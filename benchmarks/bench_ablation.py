@@ -1,0 +1,64 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not a figure of the paper, but the paper's Section III discusses each of
+these choices qualitatively; the ablations make the effect measurable:
+
+* integrated construction + zero pruning (KDTT+ vs KDTT);
+* partitioning scheme (kd-tree vs quadtree splits) at low and moderate
+  dimensionality;
+* R-tree fan-out of the branch-and-bound algorithm;
+* the O(d) weight-ratio dominance test (Theorem 5) vs the generic vertex
+  test (Theorem 2) inside the DUAL algorithm's query.
+"""
+
+import pytest
+
+from repro.algorithms import (branch_and_bound_arsp, dual_arsp,
+                              kdtree_traversal_arsp, loop_arsp,
+                              quadtree_traversal_arsp)
+from repro.core.preference import WeightRatioConstraints
+from workloads import bench_constraints, bench_dataset, run_once
+
+
+@pytest.mark.parametrize("integrated", [True, False])
+def test_ablation_integrated_construction(benchmark, integrated):
+    """KDTT+ (integrated + pruned) vs KDTT (full tree)."""
+    dataset = bench_dataset(distribution="CORR")
+    constraints = bench_constraints()
+    run_once(benchmark, kdtree_traversal_arsp, dataset, constraints,
+             integrated=integrated)
+    benchmark.extra_info["integrated"] = integrated
+
+
+@pytest.mark.parametrize("scheme", ["kd", "quad"])
+@pytest.mark.parametrize("d", [2, 4])
+def test_ablation_partitioning_scheme(benchmark, scheme, d):
+    """Quadtree splits win at low d', kd-tree splits scale better."""
+    dataset = bench_dataset(dimension=d)
+    constraints = bench_constraints(dimension=d)
+    implementation = (kdtree_traversal_arsp if scheme == "kd"
+                      else quadtree_traversal_arsp)
+    run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["d"] = d
+
+
+@pytest.mark.parametrize("max_entries", [8, 16, 64])
+def test_ablation_bnb_fanout(benchmark, max_entries):
+    """R-tree fan-out of the branch-and-bound algorithm."""
+    dataset = bench_dataset()
+    constraints = bench_constraints()
+    run_once(benchmark, branch_and_bound_arsp, dataset, constraints,
+             max_entries=max_entries)
+    benchmark.extra_info["max_entries"] = max_entries
+
+
+@pytest.mark.parametrize("method", ["dual-theorem5", "loop-vertex-test"])
+def test_ablation_ratio_dominance_test(benchmark, method):
+    """Theorem 5's O(d) test (inside DUAL) vs the generic vertex test
+    (inside LOOP) on the same weight-ratio workload."""
+    dataset = bench_dataset(dimension=3)
+    constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+    implementation = dual_arsp if method == "dual-theorem5" else loop_arsp
+    run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["method"] = method

@@ -1,0 +1,36 @@
+"""Figure 4: per-vertex score distributions of selected players.
+
+The paper's boxplots contrast a player with consistently strong scores
+against one with a strong average but large variance.  The benchmark times
+the score-distribution computation for the top Table-I players and prints
+the five-number summaries (the textual form of the boxplots).
+"""
+
+import pytest
+
+from repro.data.constraints import weak_ranking_constraints
+from repro.experiments.effectiveness import (rskyline_probability_ranking,
+                                             score_distributions)
+from workloads import bench_real_dataset, run_once
+
+
+@pytest.fixture(scope="module")
+def nba_3d():
+    return bench_real_dataset("NBA").project([0, 1, 2])
+
+
+def test_fig4_score_distributions(benchmark, nba_3d):
+    constraints = weak_ranking_constraints(3)
+    rows = rskyline_probability_ranking(nba_3d, constraints, top_k=4)
+    object_ids = [row.object_id for row in rows]
+    summaries = run_once(benchmark, score_distributions, nba_3d, constraints,
+                         object_ids)
+    print()
+    for row in rows:
+        print("%s (Pr_rsky = %.3f)" % (row.label, row.probability))
+        for vertex, summary in enumerate(summaries[row.object_id]):
+            print("  vertex %d: min=%.1f q1=%.1f median=%.1f q3=%.1f "
+                  "max=%.1f mean=%.1f"
+                  % (vertex, summary["min"], summary["q1"], summary["median"],
+                     summary["q3"], summary["max"], summary["mean"]))
+    benchmark.extra_info["players"] = [row.label for row in rows]

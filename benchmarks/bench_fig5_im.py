@@ -1,0 +1,41 @@
+"""Figure 5(r)-(t): interactively generated (IM) constraints.
+
+Paper: IND data with IM constraints, varying m, d and c; the number of
+vertices of the preference region grows with c, which hurts QDTT+ in
+particular (the quadtree's fan-out is exponential in the number of
+vertices).  Scaled-down sweeps: m in {64, 128}, c in {1, 3, 5} at d = 4.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from workloads import bench_constraints, bench_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt+", "qdtt+", "bnb"]
+
+
+@pytest.mark.parametrize("m", [64, 128])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_im_vary_m(benchmark, algorithm, m):
+    dataset = bench_dataset(num_objects=m)
+    constraints = bench_constraints(generator="IM", num_constraints=3)
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["num_vertices"] = (
+        constraints.preference_region().num_vertices)
+    benchmark.extra_info["arsp_size"] = arsp_size(result)
+
+
+@pytest.mark.parametrize("c", [1, 3, 5])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_im_vary_c(benchmark, algorithm, c):
+    dataset = bench_dataset()
+    constraints = bench_constraints(generator="IM", num_constraints=c)
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["c"] = c
+    benchmark.extra_info["num_vertices"] = (
+        constraints.preference_region().num_vertices)
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

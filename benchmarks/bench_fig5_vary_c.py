@@ -1,0 +1,33 @@
+"""Figure 5(p)-(q): running time and ARSP size vs. number of WR constraints c.
+
+Paper: c from 1 to 5 with d = 6 on IND and ANTI.  Scaled-down sweep: c in
+{1, 2, 3} with d = 4 on IND and ANTI.  Expected shape: more constraints
+tighten the preference region, strengthening F-dominance — the ARSP size
+shrinks while the work per dominance test changes little, so running times
+reflect the trade-off between fewer survivors and more tests per survivor.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from workloads import bench_constraints, bench_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt+", "qdtt+", "bnb"]
+C_VALUES = [1, 2, 3]
+DIMENSION = 4
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANTI"])
+@pytest.mark.parametrize("c", C_VALUES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_vary_c(benchmark, algorithm, c, distribution):
+    dataset = bench_dataset(dimension=DIMENSION, distribution=distribution)
+    constraints = bench_constraints(dimension=DIMENSION, num_constraints=c)
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["c"] = c
+    benchmark.extra_info["distribution"] = distribution
+    benchmark.extra_info["num_vertices"] = (
+        constraints.preference_region().num_vertices)
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

@@ -1,0 +1,27 @@
+"""Figure 5(d)-(f): running time and ARSP size vs. instance count cnt.
+
+Paper: cnt from 100 to 600 (IND/ANTI/CORR).  Scaled-down sweep: cnt in
+{2, 4, 8} on IND.  Expected shape: running time and ARSP size grow with cnt;
+the relative order of the algorithms is unchanged.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from workloads import bench_constraints, bench_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt+", "qdtt+", "bnb"]
+CNT_VALUES = [2, 4, 8]
+
+
+@pytest.mark.parametrize("cnt", CNT_VALUES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_vary_cnt(benchmark, algorithm, cnt):
+    dataset = bench_dataset(max_instances=cnt)
+    constraints = bench_constraints()
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["cnt"] = cnt
+    benchmark.extra_info["num_instances"] = dataset.num_instances
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

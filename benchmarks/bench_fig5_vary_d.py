@@ -1,0 +1,27 @@
+"""Figure 5(g)-(i): running time and ARSP size vs. data dimensionality d.
+
+Paper: d from 2 to 8.  Scaled-down sweep: d in {2, 3, 4, 5} on IND.
+Expected shape: every algorithm slows down as d grows and the ARSP size
+increases (sparser data means fewer dominations); the tree-traversal
+algorithms win at low d but scale worse than B&B.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from workloads import bench_constraints, bench_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt+", "qdtt+", "bnb"]
+D_VALUES = [2, 3, 4, 5]
+
+
+@pytest.mark.parametrize("d", D_VALUES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_vary_d(benchmark, algorithm, d):
+    dataset = bench_dataset(dimension=d)
+    constraints = bench_constraints(dimension=d)
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["d"] = d
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

@@ -1,0 +1,28 @@
+"""Figure 5(j)-(l): running time and ARSP size vs. object region length l.
+
+Paper: l from 0.1 to 0.6.  Scaled-down sweep: l in {0.1, 0.3, 0.5} on IND.
+Expected shape: larger regions mean fewer instances dominated by an entire
+object, so the ARSP size and every running time grow; B&B is the most
+sensitive because both its pruning set and its aggregated R-tree queries
+degrade.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from workloads import bench_constraints, bench_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt+", "qdtt+", "bnb"]
+L_VALUES = [0.1, 0.3, 0.5]
+
+
+@pytest.mark.parametrize("l", L_VALUES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_vary_l(benchmark, algorithm, l):
+    dataset = bench_dataset(region_length=l)
+    constraints = bench_constraints()
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["l"] = l
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

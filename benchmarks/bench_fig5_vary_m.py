@@ -1,0 +1,47 @@
+"""Figure 5(a)-(c): running time and ARSP size vs. object cardinality m.
+
+Paper series: ENUM (times out beyond toy sizes), LOOP, KDTT, KDTT+, QDTT+,
+B&B on IND / ANTI / CORR synthetic data, m from 2K to 64K.  Scaled-down
+sweep: m in {64, 128, 256}.  Expected shape: all proposed algorithms beat
+LOOP by a wide margin; B&B is strongest on IND/ANTI; the tree-traversal
+variants profit from early pruning on CORR; ENUM is only feasible on a toy
+instance.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from workloads import bench_constraints, bench_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt", "kdtt+", "qdtt+", "bnb"]
+M_VALUES = [64, 128, 256]
+DISTRIBUTIONS = ["IND", "ANTI", "CORR"]
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("m", M_VALUES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_vary_m(benchmark, algorithm, m, distribution):
+    dataset = bench_dataset(num_objects=m, distribution=distribution)
+    constraints = bench_constraints()
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["distribution"] = distribution
+    benchmark.extra_info["num_instances"] = dataset.num_instances
+    benchmark.extra_info["arsp_size"] = arsp_size(result)
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_fig5_enum_toy_instance(benchmark, distribution):
+    """ENUM is exponential: it only completes on a toy instance (the paper
+    reports INF for every plotted size)."""
+    dataset = bench_dataset(num_objects=10, max_instances=3,
+                            distribution=distribution)
+    constraints = bench_constraints()
+    implementation = get_algorithm("enum")
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["m"] = 10
+    benchmark.extra_info["distribution"] = distribution
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

@@ -1,0 +1,28 @@
+"""Figure 5(m)-(o): running time and ARSP size vs. incomplete fraction φ.
+
+Paper: φ from 0% to 80%.  Scaled-down sweep: φ in {0, 0.2, 0.8} on IND.
+Expected shape: the more objects with total probability below one, the fewer
+instances have zero rskyline probability, so both the ARSP size and the
+running times grow; B&B suffers most because fewer objects enter its pruning
+set.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from workloads import bench_constraints, bench_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt+", "qdtt+", "bnb"]
+PHI_VALUES = [0.0, 0.2, 0.8]
+
+
+@pytest.mark.parametrize("phi", PHI_VALUES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_vary_phi(benchmark, algorithm, phi):
+    dataset = bench_dataset(incomplete_fraction=phi)
+    constraints = bench_constraints()
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["phi"] = phi
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

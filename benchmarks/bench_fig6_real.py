@@ -1,0 +1,64 @@
+"""Figure 6: running time and ARSP size on the (simulated) real datasets.
+
+Paper: IIP / CAR / NBA with varying sample fraction m%, dimensionality d and
+constraint count c.  Scaled-down sweeps: m% in {50, 100} for every dataset,
+d in {2, 3, 4} and c in {1, 3} for NBA.  Expected shapes: on IIP every object
+has total probability below one, so B&B degenerates towards LOOP; CAR and
+NBA behave like synthetic data with a large region length because of their
+high per-object variance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.arsp import arsp_size
+from repro.data.constraints import weak_ranking_constraints
+from workloads import BENCH_SEED, bench_real_dataset, run_once
+
+ALGORITHMS = ["loop", "kdtt+", "bnb"]
+
+
+def sample_objects(dataset, percent, seed=BENCH_SEED):
+    if percent >= 100:
+        return dataset
+    rng = np.random.default_rng(seed)
+    count = max(2, int(round(dataset.num_objects * percent / 100.0)))
+    chosen = rng.choice(dataset.num_objects, size=count, replace=False)
+    return dataset.subset(sorted(int(i) for i in chosen))
+
+
+@pytest.mark.parametrize("name", ["IIP", "CAR", "NBA"])
+@pytest.mark.parametrize("percent", [50, 100])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6_vary_m(benchmark, algorithm, name, percent):
+    dataset = sample_objects(bench_real_dataset(name), percent)
+    constraints = weak_ranking_constraints(dataset.dimension)
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["m_percent"] = percent
+    benchmark.extra_info["num_instances"] = dataset.num_instances
+    benchmark.extra_info["arsp_size"] = arsp_size(result)
+
+
+@pytest.mark.parametrize("d", [2, 3, 4])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6_nba_vary_d(benchmark, algorithm, d):
+    dataset = bench_real_dataset("NBA").project(list(range(d)))
+    constraints = weak_ranking_constraints(d)
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["d"] = d
+    benchmark.extra_info["arsp_size"] = arsp_size(result)
+
+
+@pytest.mark.parametrize("c", [1, 3])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6_nba_vary_c(benchmark, algorithm, c):
+    dataset = bench_real_dataset("NBA").project([0, 1, 2, 3])
+    constraints = weak_ranking_constraints(4, c)
+    implementation = get_algorithm(algorithm)
+    result = run_once(benchmark, implementation, dataset, constraints)
+    benchmark.extra_info["c"] = c
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

@@ -1,0 +1,56 @@
+"""Figure 7: the specialised DUAL-MS (d = 2) against KDTT+ on IIP.
+
+Paper: query time of DUAL-MS beats KDTT+ once the index is built, but its
+preprocessing time (and memory) is orders of magnitude larger — that
+asymmetry is the point of the figure.  Scaled-down sweep: IIP samples of
+{50%, 100%} of 600 records, ratio range [0.5, 2].
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dual2d import Dual2DIndex
+from repro.algorithms.kdtree_traversal import kdtree_traversal_arsp
+from repro.core.arsp import arsp_size
+from repro.core.preference import WeightRatioConstraints
+from workloads import BENCH_SEED, bench_real_dataset, run_once
+
+RATIO = WeightRatioConstraints([(0.5, 2.0)])
+PERCENTS = [50, 100]
+
+_INDEX_CACHE = {}
+
+
+def iip_sample(percent):
+    dataset = bench_real_dataset("IIP")
+    if percent >= 100:
+        return dataset
+    rng = np.random.default_rng(BENCH_SEED)
+    count = max(2, int(round(dataset.num_objects * percent / 100.0)))
+    chosen = rng.choice(dataset.num_objects, size=count, replace=False)
+    return dataset.subset(sorted(int(i) for i in chosen))
+
+
+@pytest.mark.parametrize("percent", PERCENTS)
+def test_fig7_dual_ms_preprocessing(benchmark, percent):
+    dataset = iip_sample(percent)
+    index = run_once(benchmark, Dual2DIndex, dataset)
+    _INDEX_CACHE[percent] = index
+    benchmark.extra_info["m_percent"] = percent
+    benchmark.extra_info["num_instances"] = dataset.num_instances
+
+
+@pytest.mark.parametrize("percent", PERCENTS)
+def test_fig7_dual_ms_query(benchmark, percent):
+    index = _INDEX_CACHE.get(percent) or Dual2DIndex(iip_sample(percent))
+    result = run_once(benchmark, index.query, RATIO)
+    benchmark.extra_info["m_percent"] = percent
+    benchmark.extra_info["arsp_size"] = arsp_size(result)
+
+
+@pytest.mark.parametrize("percent", PERCENTS)
+def test_fig7_kdtt_plus(benchmark, percent):
+    dataset = iip_sample(percent)
+    result = run_once(benchmark, kdtree_traversal_arsp, dataset, RATIO)
+    benchmark.extra_info["m_percent"] = percent
+    benchmark.extra_info["arsp_size"] = arsp_size(result)

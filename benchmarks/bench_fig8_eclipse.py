@@ -1,0 +1,52 @@
+"""Figure 8: eclipse query processing — DUAL-S vs the QUAD baseline.
+
+Paper: IND data, n from 2^10 to 2^20, d from 2 to 6, four ratio ranges;
+DUAL-S beats QUAD by at least an order of magnitude and the gap widens with
+d.  Scaled-down sweeps: n in {1024, 4096}, d in {2, 3, 4}, all four ratio
+ranges at n = 1024, d = 3.
+"""
+
+import pytest
+
+from repro.core.preference import WeightRatioConstraints
+from repro.data.synthetic import generate_certain_points
+from repro.eclipse import dual_s_eclipse, quad_eclipse
+from workloads import BENCH_SEED, run_once
+
+ALGORITHMS = {"quad": quad_eclipse, "dual-s": dual_s_eclipse}
+DEFAULT_RANGE = (0.36, 2.75)
+RATIO_RANGES = [(0.84, 1.19), (0.58, 1.73), (0.36, 2.75), (0.18, 5.67)]
+
+
+def workload(n, d, ratio):
+    points = generate_certain_points(n, d, distribution="IND",
+                                     seed=BENCH_SEED)
+    constraints = WeightRatioConstraints([ratio] * (d - 1))
+    return points, constraints
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fig8_vary_n(benchmark, algorithm, n):
+    points, constraints = workload(n, 3, DEFAULT_RANGE)
+    result = run_once(benchmark, ALGORITHMS[algorithm], points, constraints)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["eclipse_size"] = len(result)
+
+
+@pytest.mark.parametrize("d", [2, 3, 4])
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fig8_vary_d(benchmark, algorithm, d):
+    points, constraints = workload(1024, d, DEFAULT_RANGE)
+    result = run_once(benchmark, ALGORITHMS[algorithm], points, constraints)
+    benchmark.extra_info["d"] = d
+    benchmark.extra_info["eclipse_size"] = len(result)
+
+
+@pytest.mark.parametrize("ratio", RATIO_RANGES)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fig8_vary_q(benchmark, algorithm, ratio):
+    points, constraints = workload(1024, 3, ratio)
+    result = run_once(benchmark, ALGORITHMS[algorithm], points, constraints)
+    benchmark.extra_info["q"] = list(ratio)
+    benchmark.extra_info["eclipse_size"] = len(result)

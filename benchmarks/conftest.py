@@ -1,0 +1,21 @@
+"""Shared setup for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The paper's
+workloads (m = 16K objects, cnt = 400 instances per object) are far beyond
+what the pure-Python implementation can time in a benchmark run, so the
+sweeps here use scaled-down sizes with the same *relative* structure; the
+series shapes (which algorithm wins, how times scale with each parameter)
+are what is being reproduced.  EXPERIMENTS.md records the mapping.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the `workloads` helper importable regardless of the pytest rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,83 @@
+"""Workload construction shared by the benchmark modules.
+
+The scaled-down counterparts of the paper's default parameters are defined
+here in one place so EXPERIMENTS.md can reference them:
+
+=================  ===========  ==================
+parameter          paper        benchmarks
+=================  ===========  ==================
+m (objects)        16,384       192 (sweep 64-512)
+cnt (instances)    400          4   (sweep 2-8)
+d (dimensions)     4            4   (sweep 2-5)
+l (region length)  0.2          0.2
+φ (incomplete)     0            0
+constraints        WR, c = d-1  WR, c = d-1
+=================  ===========  ==================
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.preference import LinearConstraints
+from repro.data.constraints import (interactive_constraints,
+                                    weak_ranking_constraints)
+from repro.data.real import car_dataset, iip_dataset, nba_dataset
+from repro.data.synthetic import SyntheticConfig, generate_uncertain_dataset
+
+BENCH_SEED = 2024
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Measure a single execution (the figure sweeps are one-shot timings)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+#: Scaled-down defaults mirroring the paper's default setting.
+DEFAULT_M = 192
+DEFAULT_CNT = 4
+DEFAULT_D = 4
+DEFAULT_L = 0.2
+DEFAULT_PHI = 0.0
+
+
+@lru_cache(maxsize=None)
+def bench_dataset(num_objects: int = DEFAULT_M, max_instances: int = DEFAULT_CNT,
+                  dimension: int = DEFAULT_D, region_length: float = DEFAULT_L,
+                  incomplete_fraction: float = DEFAULT_PHI,
+                  distribution: str = "IND", seed: int = BENCH_SEED):
+    """Synthetic uncertain dataset (cached so sweeps share generation cost)."""
+    config = SyntheticConfig(num_objects=num_objects,
+                             max_instances=max_instances,
+                             dimension=dimension,
+                             region_length=region_length,
+                             incomplete_fraction=incomplete_fraction,
+                             distribution=distribution,
+                             seed=seed)
+    return generate_uncertain_dataset(config)
+
+
+def bench_constraints(dimension: int = DEFAULT_D,
+                      num_constraints: int = None,
+                      generator: str = "WR",
+                      seed: int = BENCH_SEED) -> LinearConstraints:
+    """Constraint set for a benchmark workload (WR by default, as in paper)."""
+    if num_constraints is None:
+        num_constraints = dimension - 1
+    if generator.upper() == "WR":
+        return weak_ranking_constraints(dimension, num_constraints)
+    return interactive_constraints(dimension, num_constraints, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def bench_real_dataset(name: str, seed: int = BENCH_SEED):
+    """Scaled-down counterparts of the paper's real datasets."""
+    name = name.upper()
+    if name == "IIP":
+        return iip_dataset(num_records=600, seed=seed)
+    if name == "CAR":
+        return car_dataset(num_models=150, max_cars_per_model=8, seed=seed)
+    if name == "NBA":
+        return nba_dataset(num_players=100, max_games=15, num_metrics=8,
+                           seed=seed)
+    raise ValueError("unknown real dataset %r" % name)

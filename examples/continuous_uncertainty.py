@@ -1,0 +1,62 @@
+"""Continuous uncertainty: the paper's future-work direction, made runnable.
+
+Sensor readings or model predictions often come with continuous error models
+rather than a finite instance set.  This example builds objects with uniform
+and Gaussian uncertainty, then compares the two reductions shipped in
+``repro.continuous``: discretisation followed by exact ARSP, and direct
+Monte Carlo estimation over sampled possible worlds.
+
+Run with::
+
+    python examples/continuous_uncertainty.py
+"""
+
+from repro import LinearConstraints
+from repro.continuous import (GaussianObject, UniformBoxObject,
+                              discretized_arsp, monte_carlo_object_arsp)
+
+
+def build_fleet():
+    """A small fleet of delivery drones: (energy per km, failure rate)."""
+    return [
+        UniformBoxObject(0, lo=[0.10, 0.05], hi=[0.20, 0.15],
+                         label="drone-A (efficient, reliable)"),
+        UniformBoxObject(1, lo=[0.15, 0.02], hi=[0.45, 0.30],
+                         label="drone-B (erratic)"),
+        GaussianObject(2, mean=[0.30, 0.10], std=[0.03, 0.02],
+                       label="drone-C (consistent mid-field)"),
+        GaussianObject(3, mean=[0.18, 0.08], std=[0.10, 0.08],
+                       appearance_probability=0.8,
+                       bounds=([0.0, 0.0], [1.0, 1.0]),
+                       label="drone-D (promising but often unavailable)"),
+        UniformBoxObject(4, lo=[0.55, 0.40], hi=[0.90, 0.80],
+                         label="drone-E (outclassed)"),
+    ]
+
+
+def main() -> None:
+    objects = build_fleet()
+    # Energy matters at least as much as failure rate.
+    constraints = LinearConstraints.weak_ranking(2)
+
+    exact = discretized_arsp(objects, constraints, samples_per_object=32,
+                             seed=11)
+    estimated = monte_carlo_object_arsp(objects, constraints,
+                                        num_trials=2000, seed=12)
+
+    print("Object-level rskyline probabilities "
+          "(discretised exact vs Monte Carlo):\n")
+    print("%-40s %12s %20s" % ("object", "discretised", "monte carlo (±se)"))
+    for obj in objects:
+        estimate, stderr = estimated[obj.object_id]
+        print("%-40s %12.3f %14.3f ± %.3f"
+              % (obj.label, exact[obj.object_id], estimate, stderr))
+
+    print("\nThe efficient-and-reliable drone dominates; the erratic one "
+          "keeps a moderate probability thanks to its occasional excellent "
+          "draws — the same effect the paper highlights for high-variance "
+          "NBA players.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: compute all restricted skyline probabilities on a toy dataset.
+
+This reproduces the structure of the paper's running example (Example 1):
+four uncertain objects with ten instances and the preference
+``F = {ω1 t[1] + ω2 t[2] | 0.5 ω2 <= ω1 <= 2 ω2}``.  The coordinates below
+are chosen so that the headline value of the example holds exactly:
+``Pr_rsky(t1,1) = 2/9`` and ``Pr_rsky(t1,2) = 0``, hence
+``Pr_rsky(T1) = 2/9``.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (LinearConstraints, UncertainDataset,
+                   WeightRatioConstraints, compute_arsp,
+                   object_rskyline_probabilities, top_k_objects)
+
+# Four uncertain objects, ten instances (Example 1 structure).
+DATASET = UncertainDataset.from_instance_lists(
+    instance_lists=[
+        [(2.0, 9.0), (12.0, 10.0)],                 # T1: t1,1  t1,2
+        [(1.0, 8.0), (10.0, 4.0), (9.0, 12.0)],     # T2: t2,1  t2,2  t2,3
+        [(3.0, 5.0), (4.0, 9.0), (12.0, 3.0)],      # T3: t3,1  t3,2  t3,3
+        [(5.0, 13.0), (13.0, 2.0)],                 # T4: t4,1  t4,2
+    ],
+    probability_lists=[
+        [1.0 / 2, 1.0 / 2],
+        [1.0 / 3, 1.0 / 3, 1.0 / 3],
+        [1.0 / 3, 1.0 / 3, 1.0 / 3],
+        [1.0 / 2, 1.0 / 2],
+    ],
+    labels=["T1", "T2", "T3", "T4"],
+)
+
+
+def main() -> None:
+    # The same preference region expressed two equivalent ways: a weight
+    # ratio constraint 0.5 <= ω1/ω2 <= 2 ...
+    ratio = WeightRatioConstraints([(0.5, 2.0)])
+    # ... or explicit linear constraints ω1 - 2ω2 <= 0 and 0.5ω2 - ω1 <= 0.
+    linear = LinearConstraints.from_halfspaces(
+        2, [((1.0, -2.0), 0.0), ((-1.0, 0.5), 0.0)])
+
+    print("Preference region vertices (ratio form):")
+    print(ratio.preference_region().vertices)
+    print("Preference region vertices (linear form):")
+    print(linear.preference_region().vertices)
+
+    # Compute ARSP with two different algorithms and check they agree.
+    arsp_kdtt = compute_arsp(DATASET, linear, algorithm="kdtt+")
+    arsp_dual = compute_arsp(DATASET, ratio, algorithm="dual")
+    assert all(abs(arsp_kdtt[key] - arsp_dual[key]) < 1e-9
+               for key in arsp_kdtt)
+
+    print("\nInstance-level rskyline probabilities:")
+    for obj in DATASET.objects:
+        for position, instance in enumerate(obj.instances, start=1):
+            print("  %s,%d at %s -> %.4f"
+                  % (obj.label, position, instance.values,
+                     arsp_kdtt[instance.instance_id]))
+
+    print("\nObject-level rskyline probabilities:")
+    per_object = object_rskyline_probabilities(DATASET, arsp_kdtt)
+    for obj in DATASET.objects:
+        print("  %s -> %.4f" % (obj.label, per_object[obj.object_id]))
+
+    # The headline value of the paper's Example 1.
+    t11 = DATASET.objects[0].instances[0]
+    assert abs(arsp_kdtt[t11.instance_id] - 2.0 / 9.0) < 1e-9
+    assert abs(per_object[0] - 2.0 / 9.0) < 1e-9
+    print("\nPr_rsky(t1,1) = %.4f = 2/9, matching Example 1 of the paper."
+          % arsp_kdtt[t11.instance_id])
+
+    print("\nTop-2 objects by rskyline probability:")
+    for object_id, probability in top_k_objects(DATASET, arsp_kdtt, k=2):
+        print("  %s -> %.4f" % (DATASET.object(object_id).label, probability))
+
+
+if __name__ == "__main__":
+    main()

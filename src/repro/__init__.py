@@ -1,0 +1,50 @@
+"""repro — reproduction of "Computing All Restricted Skyline Probabilities
+on Uncertain Datasets" (ICDE 2024).
+
+The package computes the rskyline probability of every instance of an
+uncertain dataset under a user-supplied set of linear scoring functions, and
+ships every algorithm, baseline, workload generator and experiment harness
+needed to regenerate the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import UncertainDataset, LinearConstraints, compute_arsp
+>>> dataset = UncertainDataset.from_instance_lists(
+...     [[(1.0, 5.0), (2.0, 4.0)], [(3.0, 1.0)], [(4.0, 4.0)]])
+>>> constraints = LinearConstraints.weak_ranking(dimension=2)
+>>> arsp = compute_arsp(dataset, constraints, algorithm="kdtt+")
+"""
+
+from .core.arsp import (arsp_size, compute_arsp,
+                        object_rskyline_probabilities, threshold_query,
+                        top_k_objects)
+from .core.dataset import Instance, UncertainDataset, UncertainObject
+from .core.preference import (LinearConstraints, PreferenceRegion,
+                              WeightRatioConstraints)
+from .core.rskyline import eclipse, rskyline, skyline
+from .algorithms import (compute_asp, compute_skyline_probabilities,
+                         get_algorithm, list_algorithms)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "LinearConstraints",
+    "PreferenceRegion",
+    "UncertainDataset",
+    "UncertainObject",
+    "WeightRatioConstraints",
+    "arsp_size",
+    "compute_arsp",
+    "compute_asp",
+    "compute_skyline_probabilities",
+    "eclipse",
+    "get_algorithm",
+    "list_algorithms",
+    "object_rskyline_probabilities",
+    "rskyline",
+    "skyline",
+    "threshold_query",
+    "top_k_objects",
+    "__version__",
+]

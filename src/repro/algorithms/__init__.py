@@ -1,0 +1,46 @@
+"""ARSP algorithms.
+
+Every algorithm shares the same signature::
+
+    algorithm(dataset, constraints, **options) -> {instance_id: probability}
+
+and they all return identical probabilities (up to floating point noise); the
+differences are purely about how much work they avoid:
+
+================  =====================================================
+``enum``          possible-world enumeration (exponential ground truth)
+``loop``          sorted pairwise F-dominance tests, O(d d' n^2)
+``kdtt``          kd-tree traversal, tree built up front
+``kdtt+``         kd-tree traversal integrated with construction + pruning
+``qdtt+``         quadtree traversal integrated with construction + pruning
+``bnb``           best-first branch and bound with aggregated R-trees
+``dual``          half-space aggregation (weight ratio constraints only)
+``dual-ms``       specialised 2-D dual structure with preprocessing
+================  =====================================================
+"""
+
+from .asp import compute_asp, compute_skyline_probabilities
+from .branch_and_bound import branch_and_bound_arsp
+from .dual import dual_arsp
+from .dual2d import Dual2DIndex, dual_ms_arsp
+from .enum_baseline import enum_arsp
+from .kdtree_traversal import kdtree_traversal_arsp
+from .loop_baseline import loop_arsp
+from .quadtree_traversal import quadtree_traversal_arsp
+from .registry import ALGORITHMS, get_algorithm, list_algorithms
+
+__all__ = [
+    "ALGORITHMS",
+    "Dual2DIndex",
+    "branch_and_bound_arsp",
+    "compute_asp",
+    "compute_skyline_probabilities",
+    "dual_arsp",
+    "dual_ms_arsp",
+    "enum_arsp",
+    "get_algorithm",
+    "kdtree_traversal_arsp",
+    "list_algorithms",
+    "loop_arsp",
+    "quadtree_traversal_arsp",
+]

@@ -1,0 +1,55 @@
+"""ASP: all skyline probabilities (the special case used for comparison).
+
+The ASP problem — compute the *skyline* probability of every instance — is
+the special case of ARSP where ``F`` contains all monotone scoring functions,
+i.e. F-dominance degenerates into classical dominance.  The paper uses ASP in
+its effectiveness study (Table II) to contrast skyline probabilities with
+rskyline probabilities, and its kd-ASP* subroutine is the engine behind the
+KDTT algorithms.  Here ASP is obtained by running that engine with the
+identity preference region (one vertex per coordinate axis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.dataset import UncertainDataset
+from ..core.preference import PreferenceRegion
+from .base import build_score_space, empty_result, finalize_result
+from .tree_traversal import kd_partition, traverse_arsp
+
+
+def identity_region(dimension: int) -> PreferenceRegion:
+    """Preference region whose vertices are the coordinate axes.
+
+    Under this region ``S_V(t) = t``, so F-dominance is exactly classical
+    dominance and ARSP coincides with ASP.
+    """
+    return PreferenceRegion(np.eye(dimension))
+
+
+def compute_skyline_probabilities(dataset: UncertainDataset
+                                  ) -> Dict[int, float]:
+    """Skyline probability of every instance (the ASP problem)."""
+    space = build_score_space(dataset, identity_region(dataset.dimension))
+    result = empty_result(dataset)
+    traverse_arsp(space, result, kd_partition, prune_construction=True)
+    return finalize_result(result)
+
+
+def compute_asp(dataset: UncertainDataset) -> Dict[int, float]:
+    """Alias of :func:`compute_skyline_probabilities` (paper terminology)."""
+    return compute_skyline_probabilities(dataset)
+
+
+def object_skyline_probabilities(dataset: UncertainDataset
+                                 ) -> Dict[int, float]:
+    """Skyline probability aggregated per uncertain object."""
+    instance_probabilities = compute_skyline_probabilities(dataset)
+    totals: Dict[int, float] = {obj.object_id: 0.0 for obj in dataset.objects}
+    for instance in dataset.instances:
+        totals[instance.object_id] += instance_probabilities[
+            instance.instance_id]
+    return totals

@@ -1,0 +1,187 @@
+"""Shared plumbing for the ARSP algorithms.
+
+The central concept is the *score space*: Theorem 2 reduces F-dominance under
+linear constraints to classical dominance between the vectors of scores under
+the vertices of the preference region.  :class:`ScoreSpace` performs that
+mapping once and exposes the arrays all index-based algorithms work on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.dataset import UncertainDataset
+from ..core.numeric import PROB_ATOL, SCORE_ATOL, clamp_probability
+from ..core.preference import PreferenceRegion, resolve_preference_region
+
+
+@dataclass
+class ScoreSpace:
+    """The dataset mapped into the ``d'``-dimensional score space.
+
+    Attributes
+    ----------
+    dataset:
+        The original uncertain dataset.
+    region:
+        The resolved preference region (its vertices define the mapping).
+    scores:
+        ``(n, d')`` array: row ``k`` is ``S_V(t_k)`` for the ``k``-th instance
+        in ``dataset.instances`` order.
+    probabilities:
+        ``(n,)`` array of existence probabilities in the same order.
+    object_ids:
+        ``(n,)`` array with the owning object of every instance.
+    instance_ids:
+        ``(n,)`` array with the global instance ids (result dictionary keys).
+    object_totals:
+        ``(m,)`` array with the total probability mass of every object.
+    """
+
+    dataset: UncertainDataset
+    region: PreferenceRegion
+    scores: np.ndarray
+    probabilities: np.ndarray
+    object_ids: np.ndarray
+    instance_ids: np.ndarray
+    object_totals: np.ndarray
+
+    @property
+    def num_instances(self) -> int:
+        return self.scores.shape[0]
+
+    @property
+    def num_objects(self) -> int:
+        return self.object_totals.shape[0]
+
+    @property
+    def mapped_dimension(self) -> int:
+        return self.scores.shape[1]
+
+
+def build_score_space(dataset: UncertainDataset, constraints) -> ScoreSpace:
+    """Resolve the constraints and map every instance into score space."""
+    region = resolve_preference_region(constraints)
+    if region.dimension != dataset.dimension:
+        raise ValueError(
+            "constraints are defined for dimension %d but the dataset has "
+            "dimension %d" % (region.dimension, dataset.dimension))
+    points = dataset.instance_matrix()
+    scores = region.score_matrix(points)
+    object_totals = np.zeros(dataset.num_objects)
+    for obj in dataset.objects:
+        object_totals[obj.object_id] = obj.total_probability
+    return ScoreSpace(
+        dataset=dataset,
+        region=region,
+        scores=scores,
+        probabilities=dataset.probability_vector(),
+        object_ids=dataset.object_ids(),
+        instance_ids=np.asarray(
+            [inst.instance_id for inst in dataset.instances], dtype=int),
+        object_totals=object_totals,
+    )
+
+
+def empty_result(dataset: UncertainDataset) -> Dict[int, float]:
+    """Result dictionary with every instance initialised to probability 0."""
+    return {instance.instance_id: 0.0 for instance in dataset.instances}
+
+
+def finalize_result(result: Dict[int, float]) -> Dict[int, float]:
+    """Clamp accumulated float noise so probabilities stay within [0, 1]."""
+    return {key: clamp_probability(value) for key, value in result.items()}
+
+
+def result_arsp_size(result: Dict[int, float]) -> int:
+    """Number of instances with non-zero rskyline probability.
+
+    This is the "Size" series reported next to the running times in the
+    paper's Figures 5 and 6.
+    """
+    return sum(1 for value in result.values() if value > PROB_ATOL)
+
+
+def object_probabilities(dataset: UncertainDataset,
+                         result: Dict[int, float]) -> Dict[int, float]:
+    """Aggregate instance-level ARSP into per-object rskyline probabilities."""
+    totals: Dict[int, float] = {obj.object_id: 0.0 for obj in dataset.objects}
+    for instance in dataset.instances:
+        totals[instance.object_id] += result[instance.instance_id]
+    return {key: clamp_probability(value) for key, value in totals.items()}
+
+
+def weak_dominates(a: np.ndarray, b: np.ndarray,
+                   atol: float = SCORE_ATOL) -> bool:
+    """Weak component-wise dominance used on score vectors."""
+    return bool(np.all(a <= b + atol))
+
+
+class SaturationTracker:
+    """Incrementally maintained ``σ`` / ``β`` / ``χ`` state.
+
+    This is the bookkeeping shared by the kd-tree and quadtree traversal
+    algorithms: ``sigma[j]`` is the probability mass of object ``j`` known to
+    dominate the current node's min corner, ``beta`` is the product of
+    ``(1 - sigma[j])`` over non-saturated objects and ``chi`` counts the
+    saturated objects.  Updates are undoable so the traversal can backtrack.
+    """
+
+    __slots__ = ("sigma", "beta", "saturated")
+
+    def __init__(self, num_objects: int):
+        self.sigma = np.zeros(num_objects)
+        self.beta = 1.0
+        self.saturated: set = set()
+
+    @property
+    def chi(self) -> int:
+        return len(self.saturated)
+
+    def add(self, object_id: int, probability: float) -> None:
+        """Record that ``probability`` more mass of ``object_id`` dominates."""
+        old = self.sigma[object_id]
+        new = old + probability
+        self.sigma[object_id] = new
+        if object_id in self.saturated:
+            return
+        if new >= 1.0 - PROB_ATOL:
+            self.saturated.add(object_id)
+            # The factor (1 - old) leaves the product.
+            if 1.0 - old > 0.0:
+                self.beta /= (1.0 - old)
+        else:
+            self.beta *= (1.0 - new) / (1.0 - old)
+
+    def remove(self, object_id: int, probability: float) -> None:
+        """Undo a previous :meth:`add` with the same arguments."""
+        new = self.sigma[object_id]
+        old = new - probability
+        self.sigma[object_id] = old
+        if object_id in self.saturated:
+            if old >= 1.0 - PROB_ATOL:
+                return
+            self.saturated.remove(object_id)
+            self.beta *= (1.0 - old)
+        else:
+            self.beta *= (1.0 - old) / (1.0 - new)
+
+    def probability_for(self, object_id: int, probability: float) -> float:
+        """Rskyline probability of an instance of ``object_id`` with ``p``.
+
+        Assumes ``sigma`` currently reflects exactly the mass dominating the
+        instance.  The owning object's factor is excluded: if another object
+        is saturated the probability is zero, otherwise it is
+        ``p * beta / (1 - sigma[own])`` (or ``p * beta`` when the own object
+        itself is saturated, because ``beta`` already excludes it).
+        """
+        others_saturated = self.saturated - {object_id}
+        if others_saturated:
+            return 0.0
+        if object_id in self.saturated:
+            return probability * self.beta
+        own = self.sigma[object_id]
+        return probability * self.beta / (1.0 - own)

@@ -1,0 +1,177 @@
+"""B&B: the branch-and-bound algorithm (Algorithm 2).
+
+Instead of mapping the whole dataset into score space up front, the
+branch-and-bound algorithm traverses an R-tree over the *raw* instances in
+best-first order of their score under one vertex of the preference region and
+maps instances on the fly.  Two structures make it fast:
+
+* one aggregated R-tree ``R_j`` per uncertain object, holding the score
+  vectors of the already-processed instances of ``T_j`` — a window aggregate
+  query against ``R_j`` yields the probability mass of ``T_j`` that
+  F-dominates the current instance;
+* a pruning set ``P`` with at most one point per object: once the entire
+  probability mass of an object has been processed, the component-wise
+  maximum of its score vectors is added to ``P``, and any R-tree node whose
+  min-corner score vector is dominated by a member of ``P`` contains only
+  zero-probability instances (Theorems 3 and 4) and is skipped entirely.
+
+Expected time complexity ``O(m n log n)``.
+
+Instances with identical scores under the sort vertex are processed as one
+batch (all of them are inserted into their aggregated R-trees before any of
+them is queried) so that weak dominance between tied instances is accounted
+for exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.dataset import UncertainDataset
+from ..core.numeric import PROB_ATOL, SCORE_ATOL
+from ..core.preference import resolve_preference_region
+from ..index.rtree import RTree
+from .base import empty_result, finalize_result
+
+_NODE = 0
+_INSTANCE = 1
+
+
+def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
+                          max_entries: int = 16) -> Dict[int, float]:
+    """Compute ARSP with the branch-and-bound algorithm.
+
+    Parameters
+    ----------
+    dataset, constraints:
+        The ARSP input (any constraint type with a preference region).
+    max_entries:
+        Fan-out of the R-trees (both the static index and the per-object
+        aggregated trees).
+    """
+    region = resolve_preference_region(constraints)
+    if region.dimension != dataset.dimension:
+        raise ValueError(
+            "constraints are defined for dimension %d but the dataset has "
+            "dimension %d" % (region.dimension, dataset.dimension))
+    result = empty_result(dataset)
+    n = dataset.num_instances
+    if n == 0:
+        return result
+
+    instances = dataset.instances
+    points = dataset.instance_matrix()
+    probabilities = dataset.probability_vector()
+    object_ids = dataset.object_ids()
+    vertices = region.vertices
+    sort_vertex = vertices[0]
+    mapped_dimension = region.num_vertices
+
+    index = RTree.bulk_load(points,
+                            weights=probabilities,
+                            data=list(range(n)),
+                            max_entries=max_entries)
+
+    aggregated: List[RTree] = [RTree(mapped_dimension, max_entries=max_entries)
+                               for _ in range(dataset.num_objects)]
+    window_lo = np.full(mapped_dimension, -np.inf)
+
+    pruning_set: List[np.ndarray] = []
+    processed_mass = np.zeros(dataset.num_objects)
+    object_totals = np.asarray(
+        [obj.total_probability for obj in dataset.objects])
+    max_corners = np.full((dataset.num_objects, mapped_dimension), -np.inf)
+
+    def pruned(score_vector: np.ndarray) -> bool:
+        return any(np.all(corner <= score_vector + SCORE_ATOL)
+                   for corner in pruning_set)
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int, object]] = []
+
+    def push_node(node) -> None:
+        key = float(np.dot(sort_vertex, node.lo))
+        heapq.heappush(heap, (key, next(counter), _NODE, node))
+
+    def push_instance(position: int) -> None:
+        key = float(np.dot(sort_vertex, points[position]))
+        heapq.heappush(heap, (key, next(counter), _INSTANCE, position))
+
+    def expand(node) -> None:
+        """Open an R-tree node, pruning children dominated by ``P``."""
+        if node.is_leaf:
+            for entry in node.entries:
+                push_instance(int(entry.data))
+        else:
+            for child in node.children:
+                child_scores = vertices @ child.lo
+                if not pruned(child_scores):
+                    push_node(child)
+
+    root_scores = vertices @ index.root.lo
+    if index.size and not pruned(root_scores):
+        push_node(index.root)
+
+    while heap:
+        key, _, kind, payload = heapq.heappop(heap)
+        if kind == _NODE:
+            node_scores = vertices @ payload.lo
+            if not pruned(node_scores):
+                expand(payload)
+            continue
+
+        # Gather every instance with the same sort key (plus any node whose
+        # min corner shares the key, which may hide further tied instances).
+        batch: List[int] = [payload]
+        while heap and heap[0][0] <= key + SCORE_ATOL:
+            _, _, other_kind, other_payload = heapq.heappop(heap)
+            if other_kind == _NODE:
+                node_scores = vertices @ other_payload.lo
+                if not pruned(node_scores):
+                    expand(other_payload)
+            else:
+                batch.append(other_payload)
+
+        # First pass: compute score vectors and discard instances already
+        # known to have zero probability (Theorem 3 makes this safe).
+        survivors: List[Tuple[int, np.ndarray]] = []
+        for position in batch:
+            score_vector = vertices @ points[position]
+            if not pruned(score_vector):
+                survivors.append((position, score_vector))
+
+        # Second pass: insert all survivors before querying any of them so
+        # tied instances see each other in the window aggregates.
+        for position, score_vector in survivors:
+            aggregated[object_ids[position]].insert(
+                score_vector, weight=float(probabilities[position]),
+                data=position)
+
+        for position, score_vector in survivors:
+            owner = int(object_ids[position])
+            probability = float(probabilities[position])
+            for other in range(dataset.num_objects):
+                if other == owner or probability == 0.0:
+                    continue
+                tree = aggregated[other]
+                if tree.size == 0:
+                    continue
+                sigma = tree.window_aggregate(window_lo, score_vector)
+                if sigma >= 1.0 - PROB_ATOL:
+                    probability = 0.0
+                    break
+                probability *= 1.0 - sigma
+            result[instances[position].instance_id] = probability
+
+            processed_mass[owner] += probabilities[position]
+            max_corners[owner] = np.maximum(max_corners[owner], score_vector)
+            if (object_totals[owner] >= 1.0 - PROB_ATOL
+                    and processed_mass[owner] >= 1.0 - PROB_ATOL
+                    and len(dataset.objects[owner]) > 0):
+                pruning_set.append(max_corners[owner].copy())
+
+    return finalize_result(result)

@@ -1,0 +1,115 @@
+"""DUAL: half-space based ARSP for weight ratio constraints (Section IV-A).
+
+Under weight ratio constraints the F-dominance test collapses to the O(d)
+condition of Theorem 5, and the instances F-dominating a target ``t`` form a
+union of ``2^{d-1}`` half-spaces (one per orthant around ``t``).  The paper
+reduces the per-instance work to half-space *reporting* queries answered with
+a theoretical point-location structure over hyperplane arrangements
+(Theorem 6); as discussed in DESIGN.md the practical substitute used here is
+a per-object aggregated kd-tree queried with the half-space predicate:
+
+* the margin function ``g(s) = min_{r ∈ R} sum_i r[i](t[i]-s[i]) + (t[d]-s[d])``
+  is monotonically decreasing in every coordinate of ``s``,
+* therefore a kd-tree node with box ``[lo, hi]`` contains only dominators of
+  ``t`` when ``g(hi) >= 0`` and no dominator when ``g(lo) < 0``,
+
+which gives exactly the ``classifier`` needed by
+:meth:`repro.index.kdtree.KDTree.aggregate`.  The query consequently prunes
+whole subtrees on both sides of the half-space boundary, mirroring the role
+of the point-location structure while remaining practical for any ``d``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.dataset import UncertainDataset
+from ..core.numeric import PROB_ATOL, SCORE_ATOL
+from ..core.preference import WeightRatioConstraints
+from ..index.kdtree import INSIDE, OUTSIDE, PARTIAL, KDTree
+from .base import empty_result, finalize_result
+
+
+class DualIndex:
+    """Preprocessing state of the DUAL algorithm.
+
+    One aggregated kd-tree per uncertain object, over the raw instance
+    coordinates, weighted by the existence probabilities.  The index is
+    constraint-independent: the same preprocessing serves any weight ratio
+    constraint issued later, which is the preprocessing/query split the
+    paper's Section IV is about.
+    """
+
+    def __init__(self, dataset: UncertainDataset, leaf_size: int = 16):
+        self.dataset = dataset
+        self.trees: List[KDTree] = []
+        for obj in dataset.objects:
+            points = np.asarray([inst.values for inst in obj], dtype=float)
+            weights = np.asarray([inst.probability for inst in obj],
+                                 dtype=float)
+            self.trees.append(KDTree(points, weights=weights,
+                                     leaf_size=leaf_size))
+
+    # ------------------------------------------------------------------
+    def dominating_mass(self, target: np.ndarray, object_id: int,
+                        constraints: WeightRatioConstraints) -> float:
+        """Probability mass of ``object_id`` that F-dominates ``target``."""
+        lows = constraints.lows
+        highs = constraints.highs
+        d = constraints.dimension
+        target = np.asarray(target, dtype=float)
+
+        def margin(point: np.ndarray) -> float:
+            diffs = target[:d - 1] - point[:d - 1]
+            coeffs = np.where(diffs > 0.0, lows, highs)
+            return float(np.dot(coeffs, diffs) + target[d - 1] - point[d - 1])
+
+        def classifier(lo: np.ndarray, hi: np.ndarray) -> int:
+            # g is monotone decreasing in every coordinate of the candidate
+            # dominator, so the extremes over the box sit at its corners.
+            if margin(hi) >= -SCORE_ATOL:
+                return INSIDE
+            if margin(lo) < -SCORE_ATOL:
+                return OUTSIDE
+            return PARTIAL
+
+        def predicate(point: np.ndarray) -> bool:
+            return margin(point) >= -SCORE_ATOL
+
+        return self.trees[object_id].aggregate(classifier, predicate)
+
+    # ------------------------------------------------------------------
+    def query(self, constraints: WeightRatioConstraints) -> Dict[int, float]:
+        """Compute the full ARSP for the given weight ratio constraints."""
+        if constraints.dimension != self.dataset.dimension:
+            raise ValueError(
+                "constraints are defined for dimension %d but the dataset "
+                "has dimension %d"
+                % (constraints.dimension, self.dataset.dimension))
+        result = empty_result(self.dataset)
+        for instance in self.dataset.instances:
+            probability = instance.probability
+            target = instance.as_array()
+            for other in range(self.dataset.num_objects):
+                if other == instance.object_id or probability == 0.0:
+                    continue
+                sigma = self.dominating_mass(target, other, constraints)
+                if sigma >= 1.0 - PROB_ATOL:
+                    probability = 0.0
+                    break
+                probability *= 1.0 - sigma
+            result[instance.instance_id] = probability
+        return finalize_result(result)
+
+
+def dual_arsp(dataset: UncertainDataset,
+              constraints: WeightRatioConstraints,
+              leaf_size: int = 16) -> Dict[int, float]:
+    """One-shot DUAL: build the index and answer a single constraint set."""
+    if not isinstance(constraints, WeightRatioConstraints):
+        raise TypeError("the DUAL algorithm requires WeightRatioConstraints; "
+                        "use the tree-traversal or branch-and-bound "
+                        "algorithms for general linear constraints")
+    return DualIndex(dataset, leaf_size=leaf_size).query(constraints)

@@ -1,0 +1,42 @@
+"""ENUM: the possible-world enumeration baseline.
+
+This is the first baseline of Section III-A: enumerate every possible world,
+compute its rskyline and accumulate the world probability onto every member.
+It is exponential in the number of objects and exists as ground truth for the
+other algorithms and for the (small) ENUM series of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.dataset import UncertainDataset
+from ..core.possible_worlds import brute_force_arsp, number_of_possible_worlds
+from .base import finalize_result
+
+#: Refuse to enumerate more worlds than this by default; the figure-5
+#: experiments show ENUM timing out even at the smallest settings, and an
+#: accidental call on a benchmark-sized dataset would effectively hang.
+DEFAULT_MAX_WORLDS = 5_000_000
+
+
+def enum_arsp(dataset: UncertainDataset, constraints,
+              max_worlds: int = DEFAULT_MAX_WORLDS) -> Dict[int, float]:
+    """Compute ARSP by enumerating all possible worlds.
+
+    Parameters
+    ----------
+    dataset, constraints:
+        The ARSP input.
+    max_worlds:
+        Safety limit on the number of possible worlds; a ``ValueError`` is
+        raised when the dataset would exceed it.  Pass ``None`` to disable.
+    """
+    if max_worlds is not None:
+        worlds = number_of_possible_worlds(dataset)
+        if worlds > max_worlds:
+            raise ValueError(
+                "dataset has %d possible worlds which exceeds the ENUM limit "
+                "of %d; use one of the polynomial algorithms instead"
+                % (worlds, max_worlds))
+    return finalize_result(brute_force_arsp(dataset, constraints))

@@ -1,0 +1,54 @@
+"""KDTT / KDTT+: the kd-tree traversal algorithm (Algorithm 1).
+
+The algorithm maps the uncertain dataset into the score space defined by the
+vertices of the preference region and then runs the kd-ASP* procedure.  Two
+variants are exposed, matching the paper's experimental study:
+
+* ``KDTT`` (``integrated=False``): the original formulation that explores the
+  complete kd-tree;
+* ``KDTT+`` (``integrated=True``, the default): construction is integrated
+  with the preorder traversal and subtrees whose instances all have zero
+  rskyline probability are never built.
+
+Time complexity: ``O(c^2 + d d' n + n^{2 - 1/d'})`` where ``d'`` is the
+number of vertices of the preference region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.dataset import UncertainDataset
+from .base import build_score_space, empty_result, finalize_result
+from .tree_traversal import kd_partition, traverse_arsp
+
+
+def kdtree_traversal_arsp(dataset: UncertainDataset, constraints,
+                          integrated: bool = True) -> Dict[int, float]:
+    """Compute ARSP with the kd-tree traversal algorithm.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain dataset.
+    constraints:
+        Linear or weight-ratio constraints (anything accepted by
+        :func:`repro.core.preference.resolve_preference_region`).
+    integrated:
+        ``True`` for KDTT+ (integrated construction + zero pruning),
+        ``False`` for the original KDTT.
+    """
+    space = build_score_space(dataset, constraints)
+    result = empty_result(dataset)
+    traverse_arsp(space, result, kd_partition, prune_construction=integrated)
+    return finalize_result(result)
+
+
+def kdtt_plus(dataset: UncertainDataset, constraints) -> Dict[int, float]:
+    """Convenience wrapper for the KDTT+ variant."""
+    return kdtree_traversal_arsp(dataset, constraints, integrated=True)
+
+
+def kdtt(dataset: UncertainDataset, constraints) -> Dict[int, float]:
+    """Convenience wrapper for the original KDTT variant."""
+    return kdtree_traversal_arsp(dataset, constraints, integrated=False)

@@ -1,0 +1,64 @@
+"""LOOP: the sorted pairwise-test baseline.
+
+The second baseline of Section III-A.  It computes the vertices of the
+preference region, sorts all instances by their score under one vertex and,
+for every instance, tests it against every candidate dominator among the
+preceding instances (plus ties) using the score-space dominance test.  The
+running time is ``O(c^2 + d d' n^2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.dataset import UncertainDataset
+from ..core.numeric import PROB_ATOL, SCORE_ATOL
+from .base import build_score_space, empty_result, finalize_result
+
+
+def loop_arsp(dataset: UncertainDataset, constraints) -> Dict[int, float]:
+    """Compute ARSP with the quadratic LOOP baseline."""
+    space = build_score_space(dataset, constraints)
+    result = empty_result(dataset)
+    n = space.num_instances
+    if n == 0:
+        return result
+
+    # Sort by the score under the first vertex; any instance that F-dominates
+    # another one has a score at most as large, so only the prefix (plus
+    # exact ties) needs to be examined.
+    primary = space.scores[:, 0]
+    order = np.argsort(primary, kind="stable")
+    scores = space.scores[order]
+    probabilities = space.probabilities[order]
+    object_ids = space.object_ids[order]
+    instance_ids = space.instance_ids[order]
+    sorted_primary = primary[order]
+
+    m = space.num_objects
+    for position in range(n):
+        target_score = scores[position]
+        target_object = object_ids[position]
+        sigma = np.zeros(m)
+        candidate = 0
+        limit = sorted_primary[position] + SCORE_ATOL
+        while candidate < n and sorted_primary[candidate] <= limit:
+            if (candidate != position
+                    and object_ids[candidate] != target_object
+                    and np.all(scores[candidate] <= target_score + SCORE_ATOL)):
+                sigma[object_ids[candidate]] += probabilities[candidate]
+            candidate += 1
+
+        probability = probabilities[position]
+        for object_id in range(m):
+            if object_id == target_object:
+                continue
+            if sigma[object_id] >= 1.0 - PROB_ATOL:
+                probability = 0.0
+                break
+            probability *= 1.0 - sigma[object_id]
+        result[int(instance_ids[position])] = probability
+
+    return finalize_result(result)

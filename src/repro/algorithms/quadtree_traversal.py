@@ -1,0 +1,26 @@
+"""QDTT+: the quadtree variant of the tree-traversal algorithm.
+
+The remark at the end of Section III-B observes that kd-ASP* works with any
+space-partitioning tree; the experimental study includes a quadtree variant
+which recursively splits every dimension of the score space at the node's
+centre.  It performs well in low-dimensional score spaces and degrades when
+``d'`` grows (Fig. 5(s)-(t)), which the benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.dataset import UncertainDataset
+from .base import build_score_space, empty_result, finalize_result
+from .tree_traversal import quad_partition, traverse_arsp
+
+
+def quadtree_traversal_arsp(dataset: UncertainDataset, constraints,
+                            integrated: bool = True) -> Dict[int, float]:
+    """Compute ARSP with the quadtree traversal algorithm (QDTT+)."""
+    space = build_score_space(dataset, constraints)
+    result = empty_result(dataset)
+    traverse_arsp(space, result, quad_partition,
+                  prune_construction=integrated)
+    return finalize_result(result)

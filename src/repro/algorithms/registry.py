@@ -1,0 +1,63 @@
+"""Registry mapping algorithm names to implementations.
+
+The experiment harness, the benchmarks and the public ``compute_arsp`` API
+all refer to algorithms by the short names used in the paper's figures
+(ENUM, LOOP, KDTT, KDTT+, QDTT+, B&B, DUAL, DUAL-MS).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .branch_and_bound import branch_and_bound_arsp
+from .dual import dual_arsp
+from .dual2d import dual_ms_arsp
+from .enum_baseline import enum_arsp
+from .kdtree_traversal import kdtree_traversal_arsp, kdtt
+from .loop_baseline import loop_arsp
+from .quadtree_traversal import quadtree_traversal_arsp
+
+#: Canonical name -> callable(dataset, constraints, **options).
+ALGORITHMS: Dict[str, Callable] = {
+    "enum": enum_arsp,
+    "loop": loop_arsp,
+    "kdtt": kdtt,
+    "kdtt+": kdtree_traversal_arsp,
+    "qdtt+": quadtree_traversal_arsp,
+    "bnb": branch_and_bound_arsp,
+    "dual": dual_arsp,
+    "dual-ms": dual_ms_arsp,
+}
+
+#: Accepted aliases (case-insensitive, punctuation-tolerant).
+_ALIASES: Dict[str, str] = {
+    "enum": "enum",
+    "loop": "loop",
+    "kdtt": "kdtt",
+    "kdtt+": "kdtt+",
+    "kdttplus": "kdtt+",
+    "qdtt+": "qdtt+",
+    "qdttplus": "qdtt+",
+    "quadtree": "qdtt+",
+    "bnb": "bnb",
+    "b&b": "bnb",
+    "branch-and-bound": "bnb",
+    "dual": "dual",
+    "dual-ms": "dual-ms",
+    "dualms": "dual-ms",
+}
+
+
+def get_algorithm(name: str) -> Callable:
+    """Look up an algorithm by (case-insensitive) name or alias."""
+    key = name.strip().lower()
+    canonical = _ALIASES.get(key, key)
+    if canonical not in ALGORITHMS:
+        raise KeyError("unknown ARSP algorithm %r; available: %s"
+                       % (name, ", ".join(sorted(ALGORITHMS))))
+    return ALGORITHMS[canonical]
+
+
+def list_algorithms() -> List[str]:
+    """Canonical names of all registered algorithms."""
+    return sorted(ALGORITHMS)

@@ -1,0 +1,172 @@
+"""The shared space-partitioning traversal engine (kd-ASP*).
+
+Algorithm 1 of the paper maps all instances into the score space and runs an
+optimised all-skyline-probabilities procedure (kd-ASP*) that interleaves the
+construction of a space-partitioning tree with a preorder traversal.  The
+same procedure works with any partitioning scheme — the paper evaluates a
+kd-tree variant (KDTT / KDTT+) and a quadtree variant (QDTT+) — so the engine
+lives here and the two public algorithms only differ in the partition
+function they plug in.
+
+State maintained along the current root-to-node path (see the paper):
+
+* ``sigma[j]`` — probability mass of object ``j`` known to dominate the
+  current node's min corner,
+* ``beta`` — product of ``(1 - sigma[j])`` over non-saturated objects,
+* ``chi`` — number of saturated objects (``sigma[j] = 1``),
+* ``C`` — candidate dominators: instances that dominate the node's max
+  corner but not (yet) its min corner.
+
+The engine is iterative (explicit stack) so that degenerate partitions cannot
+overflow the Python recursion limit, and the zero-pruning rule is slightly
+more conservative than the paper's: a subtree is only pruned when *no*
+instance of a saturated object remains inside it (see DESIGN.md §6), which
+keeps the computation exact on inputs with coordinate ties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.numeric import SCORE_ATOL
+from .base import ScoreSpace, SaturationTracker
+
+#: A partition function receives the score matrix, the indices of the current
+#: node's instances and the node's min/max corners, and returns a list of
+#: non-empty index arrays covering the node.
+PartitionFunction = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray], List[np.ndarray]]
+
+
+def kd_partition(scores: np.ndarray, indices: np.ndarray,
+                 pmin: np.ndarray, pmax: np.ndarray) -> List[np.ndarray]:
+    """Split at the median of the widest dimension (kd-tree style)."""
+    spreads = pmax - pmin
+    axis = int(np.argmax(spreads))
+    values = scores[indices, axis]
+    order = np.argsort(values, kind="stable")
+    half = len(indices) // 2
+    left = indices[order[:half]]
+    right = indices[order[half:]]
+    return [part for part in (left, right) if len(part)]
+
+
+def quad_partition(scores: np.ndarray, indices: np.ndarray,
+                   pmin: np.ndarray, pmax: np.ndarray) -> List[np.ndarray]:
+    """Split every dimension at the box centre (quadtree style).
+
+    Falls back to the kd split when the centre split fails to separate the
+    points (possible only when all spread is concentrated in one dimension
+    and ties collapse the groups).
+    """
+    center = (pmin + pmax) / 2.0
+    codes = np.zeros(len(indices), dtype=np.int64)
+    dimension = scores.shape[1]
+    for dim in range(dimension):
+        codes = (codes << 1) | (scores[indices, dim] >= center[dim])
+    groups: List[np.ndarray] = []
+    for code in np.unique(codes):
+        groups.append(indices[codes == code])
+    if len(groups) <= 1:
+        return kd_partition(scores, indices, pmin, pmax)
+    return groups
+
+
+def traverse_arsp(space: ScoreSpace, result: Dict[int, float],
+                  partition: PartitionFunction,
+                  prune_construction: bool = True) -> Dict[str, int]:
+    """Run the kd-ASP* traversal and fill ``result`` in place.
+
+    Parameters
+    ----------
+    space:
+        The dataset mapped into score space.
+    result:
+        Dictionary pre-initialised with every instance id; rskyline
+        probabilities are written into it.
+    partition:
+        The space-partitioning rule (:func:`kd_partition` or
+        :func:`quad_partition`).
+    prune_construction:
+        When True (KDTT+/QDTT+) subtrees whose instances all have zero
+        probability are not constructed; when False (KDTT) the full tree is
+        explored and the zeros are produced at the leaves.
+
+    Returns
+    -------
+    dict
+        Small statistics dictionary (visited nodes, pruned subtrees) used by
+        tests and by the experiment reports.
+    """
+    n = space.num_instances
+    stats = {"nodes": 0, "pruned": 0, "leaves": 0}
+    if n == 0:
+        return stats
+
+    scores = space.scores
+    probabilities = space.probabilities
+    object_ids = space.object_ids
+    instance_ids = space.instance_ids
+    tracker = SaturationTracker(space.num_objects)
+
+    all_indices = np.arange(n)
+    stack: List[tuple] = [("node", all_indices, all_indices)]
+
+    while stack:
+        action = stack.pop()
+        if action[0] == "undo":
+            for object_id, probability in reversed(action[1]):
+                tracker.remove(object_id, probability)
+            continue
+
+        _, indices, candidates = action
+        stats["nodes"] += 1
+        node_scores = scores[indices]
+        pmin = node_scores.min(axis=0)
+        pmax = node_scores.max(axis=0)
+
+        # Move candidates that dominate the min corner into sigma; keep the
+        # ones that still dominate the max corner as candidates for children.
+        applied: List[tuple] = []
+        kept: List[int] = []
+        for candidate in candidates:
+            candidate_score = scores[candidate]
+            if np.all(candidate_score <= pmin + SCORE_ATOL):
+                object_id = int(object_ids[candidate])
+                probability = float(probabilities[candidate])
+                tracker.add(object_id, probability)
+                applied.append((object_id, probability))
+            elif np.all(candidate_score <= pmax + SCORE_ATOL):
+                kept.append(int(candidate))
+        stack.append(("undo", applied))
+        new_candidates = np.asarray(kept, dtype=int)
+
+        # Zero pruning: every instance in the node has probability zero when
+        # at least two objects are saturated, or when one is saturated and
+        # none of its instances lies inside the node.
+        if tracker.saturated and prune_construction:
+            zero_all = len(tracker.saturated) >= 2
+            if not zero_all:
+                node_objects = set(int(o) for o in object_ids[indices])
+                zero_all = tracker.saturated.isdisjoint(node_objects)
+            if zero_all:
+                stats["pruned"] += 1
+                for index in indices:
+                    result[int(instance_ids[index])] = 0.0
+                continue
+
+        identical = bool(np.all(pmax - pmin <= SCORE_ATOL))
+        if len(indices) == 1 or identical:
+            stats["leaves"] += 1
+            for index in indices:
+                result[int(instance_ids[index])] = tracker.probability_for(
+                    int(object_ids[index]), float(probabilities[index]))
+            continue
+
+        parts = partition(scores, indices, pmin, pmax)
+        for part in reversed(parts):
+            stack.append(("node", part, new_candidates))
+
+    return stats

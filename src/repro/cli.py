@@ -1,0 +1,200 @@
+"""Command line interface.
+
+Four subcommands cover the common ways of exercising the reproduction
+without writing code:
+
+``python -m repro arsp``
+    Generate a synthetic workload and compute ARSP with a chosen algorithm,
+    printing timing, the ARSP size and the top objects.
+
+``python -m repro figure --id 5a``
+    Re-run one of the paper's figure sweeps (scaled down) and print the
+    running-time / ARSP-size series.
+
+``python -m repro effectiveness``
+    Print the Table I / Table II style rankings on the simulated NBA data.
+
+``python -m repro algorithms``
+    List the registered ARSP algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .algorithms.registry import list_algorithms
+from .core.arsp import arsp_size, compute_arsp, top_k_objects
+from .data.constraints import weak_ranking_constraints
+from .data.real import nba_dataset
+from .data.synthetic import SyntheticConfig, generate_uncertain_dataset
+from .experiments.effectiveness import (format_ranking_table,
+                                        rskyline_probability_ranking,
+                                        skyline_probability_ranking)
+from .experiments.figures import figure5_sweep, figure6_sweep, figure8_sweep
+from .experiments.harness import sweep_to_series
+from .experiments.reporting import format_series, format_table
+
+#: Figure identifiers accepted by ``python -m repro figure --id ...`` mapped
+#: to (description, runner).  Runners return printable text.
+FIGURE_IDS = ("5a", "5d", "5g", "5j", "5m", "5p", "6a", "8a", "8b")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Computing All Restricted Skyline "
+                    "Probabilities on Uncertain Datasets' (ICDE 2024)")
+    subparsers = parser.add_subparsers(dest="command")
+
+    arsp = subparsers.add_parser("arsp", help="run ARSP on synthetic data")
+    arsp.add_argument("--algorithm", default="auto",
+                      help="algorithm name (see 'algorithms' command)")
+    arsp.add_argument("--objects", type=int, default=200, help="m")
+    arsp.add_argument("--instances", type=int, default=4, help="cnt")
+    arsp.add_argument("--dimension", type=int, default=4, help="d")
+    arsp.add_argument("--region-length", type=float, default=0.2, help="l")
+    arsp.add_argument("--incomplete", type=float, default=0.0, help="phi")
+    arsp.add_argument("--distribution", default="IND",
+                      choices=["IND", "ANTI", "CORR"])
+    arsp.add_argument("--constraints", type=int, default=None,
+                      help="number of WR constraints (default d-1)")
+    arsp.add_argument("--top-k", type=int, default=10)
+    arsp.add_argument("--seed", type=int, default=7)
+
+    figure = subparsers.add_parser("figure", help="re-run a figure sweep")
+    figure.add_argument("--id", required=True, choices=FIGURE_IDS,
+                        help="figure identifier, e.g. 5a")
+
+    subparsers.add_parser("effectiveness",
+                          help="Tables I/II on the simulated NBA data")
+    subparsers.add_parser("algorithms", help="list registered algorithms")
+    return parser
+
+
+def run_arsp(args: argparse.Namespace) -> str:
+    config = SyntheticConfig(num_objects=args.objects,
+                             max_instances=args.instances,
+                             dimension=args.dimension,
+                             region_length=args.region_length,
+                             incomplete_fraction=args.incomplete,
+                             distribution=args.distribution,
+                             seed=args.seed)
+    dataset = generate_uncertain_dataset(config)
+    constraints = weak_ranking_constraints(args.dimension, args.constraints)
+    start = time.perf_counter()
+    result = compute_arsp(dataset, constraints, algorithm=args.algorithm)
+    elapsed = time.perf_counter() - start
+
+    lines = [
+        "workload: m=%d, instances=%d, d=%d, distribution=%s"
+        % (dataset.num_objects, dataset.num_instances, dataset.dimension,
+           args.distribution),
+        "algorithm %s finished in %.3f s; ARSP size %d"
+        % (args.algorithm, elapsed, arsp_size(result)),
+        "",
+    ]
+    rows = [(object_id, round(probability, 4))
+            for object_id, probability in top_k_objects(dataset, result,
+                                                        args.top_k)]
+    lines.append(format_table(["object", "Pr_rsky"], rows,
+                              title="top-%d objects" % args.top_k))
+    return "\n".join(lines)
+
+
+def run_figure(figure_id: str) -> str:
+    algorithms = ("loop", "kdtt+", "bnb")
+    if figure_id == "5a":
+        points = figure5_sweep("m", [32, 64, 128], algorithms=algorithms)
+        return format_series("m", [p.value for p in points],
+                             sweep_to_series(points, algorithms),
+                             title="Figure 5(a): IND, vary m (seconds)")
+    if figure_id == "5d":
+        points = figure5_sweep("cnt", [2, 4, 6], algorithms=algorithms)
+        return format_series("cnt", [p.value for p in points],
+                             sweep_to_series(points, algorithms),
+                             title="Figure 5(d): IND, vary cnt (seconds)")
+    if figure_id == "5g":
+        points = figure5_sweep("d", [2, 3, 4], algorithms=algorithms)
+        return format_series("d", [p.value for p in points],
+                             sweep_to_series(points, algorithms),
+                             title="Figure 5(g): IND, vary d (seconds)")
+    if figure_id == "5j":
+        points = figure5_sweep("l", [0.1, 0.3, 0.5], algorithms=algorithms)
+        return format_series("l", [p.value for p in points],
+                             sweep_to_series(points, algorithms),
+                             title="Figure 5(j): IND, vary l (seconds)")
+    if figure_id == "5m":
+        points = figure5_sweep("phi", [0.0, 0.4, 0.8], algorithms=algorithms)
+        return format_series("phi", [p.value for p in points],
+                             sweep_to_series(points, algorithms),
+                             title="Figure 5(m): IND, vary phi (seconds)")
+    if figure_id == "5p":
+        points = figure5_sweep("c", [1, 2, 3], algorithms=algorithms,
+                               base={"dimension": 4})
+        return format_series("c", [p.value for p in points],
+                             sweep_to_series(points, algorithms),
+                             title="Figure 5(p): IND, vary c (seconds)")
+    if figure_id == "6a":
+        points = figure6_sweep("IIP", "m", [25, 50, 100],
+                               algorithms=algorithms,
+                               dataset_kwargs={"num_records": 400})
+        return format_series("m%", [p.value for p in points],
+                             sweep_to_series(points, algorithms),
+                             title="Figure 6(a): IIP, vary m (seconds)")
+    if figure_id in ("8a", "8b"):
+        parameter = "n" if figure_id == "8a" else "d"
+        values: Sequence = [512, 1024, 2048] if figure_id == "8a" else [2, 3, 4]
+        rows = figure8_sweep(parameter, values, default_n=1024)
+        series = {
+            "QUAD": [row["quad_s"] for row in rows],
+            "DUAL-S": [row["dual_s_s"] for row in rows],
+            "eclipse size": [row["eclipse_size"] for row in rows],
+        }
+        return format_series(parameter, list(values), series,
+                             title="Figure 8: eclipse query (seconds)")
+    raise ValueError("unknown figure id %r" % figure_id)
+
+
+def run_effectiveness() -> str:
+    dataset = nba_dataset(num_players=100, max_games=15, num_metrics=3,
+                          seed=2021)
+    constraints = weak_ranking_constraints(3)
+    table1 = rskyline_probability_ranking(dataset, constraints, top_k=14)
+    table2 = skyline_probability_ranking(dataset, top_k=14)
+    return "\n\n".join([
+        format_ranking_table(table1,
+                             "Table I - top-14 by rskyline probability "
+                             "(* = aggregated rskyline member)"),
+        format_ranking_table(table2,
+                             "Table II - top-14 by skyline probability",
+                             probability_header="Pr_sky"),
+    ])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "algorithms":
+        print("\n".join(list_algorithms()))
+        return 0
+    if args.command == "arsp":
+        print(run_arsp(args))
+        return 0
+    if args.command == "figure":
+        print(run_figure(args.id))
+        return 0
+    if args.command == "effectiveness":
+        print(run_effectiveness())
+        return 0
+    parser.error("unknown command %r" % args.command)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Continuous uncertainty extension.
+
+The paper's conclusion lists rskyline analysis over *continuous* uncertainty
+models as an open direction: when each object is a continuous distribution,
+the dominance probabilities become integrals that are expensive to evaluate
+exactly.  This subpackage provides the two standard practical routes and is
+the repository's implementation of that future-work item:
+
+* :func:`discretize` — sample each continuous object into a discrete
+  uncertain object and run any exact ARSP algorithm on the result;
+* :func:`monte_carlo_object_arsp` — estimate object-level rskyline
+  probabilities directly by sampling possible worlds, with standard errors.
+"""
+
+from .model import (ContinuousUncertainObject, GaussianObject,
+                    UniformBoxObject)
+from .sampling import discretize, discretized_arsp, monte_carlo_object_arsp
+
+__all__ = [
+    "ContinuousUncertainObject",
+    "GaussianObject",
+    "UniformBoxObject",
+    "discretize",
+    "discretized_arsp",
+    "monte_carlo_object_arsp",
+]

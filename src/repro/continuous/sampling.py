@@ -1,0 +1,132 @@
+"""Discretisation and Monte Carlo estimation for continuous uncertainty.
+
+Two complementary approaches, both reducing to machinery that already exists
+in the package:
+
+* :func:`discretize` turns each continuous object into a discrete uncertain
+  object by sampling; any exact ARSP algorithm then applies.  As the number
+  of samples grows the discretised probabilities converge to the continuous
+  ones (at the cost of a larger instance count).
+* :func:`monte_carlo_object_arsp` estimates the *object-level* rskyline
+  probability directly: sample a possible world (one point per appearing
+  object), compute its rskyline with the certain-data operator, repeat.  It
+  returns the estimate together with its standard error, so callers can pick
+  the trial count for a target accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.arsp import compute_arsp, object_rskyline_probabilities
+from ..core.dataset import UncertainDataset
+from ..core.dominance import f_dominates_scores
+from ..core.preference import resolve_preference_region
+from .model import ContinuousUncertainObject
+
+
+def discretize(objects: Sequence[ContinuousUncertainObject],
+               samples_per_object: int = 16,
+               seed: Optional[int] = None) -> UncertainDataset:
+    """Sample every continuous object into a discrete uncertain object.
+
+    Each object contributes ``samples_per_object`` instances with equal
+    probability ``appearance_probability / samples_per_object``, so objects
+    that may not materialise keep a total probability below one.
+    """
+    if samples_per_object < 1:
+        raise ValueError("samples_per_object must be positive")
+    _validate_objects(objects)
+    rng = np.random.default_rng(seed)
+    instance_lists = []
+    probability_lists = []
+    labels = []
+    for obj in objects:
+        points = obj.sample(rng, samples_per_object)
+        probability = obj.appearance_probability / samples_per_object
+        instance_lists.append([tuple(point) for point in points])
+        probability_lists.append([probability] * samples_per_object)
+        labels.append(obj.label if obj.label is not None
+                      else "object-%d" % obj.object_id)
+    return UncertainDataset.from_instance_lists(instance_lists,
+                                                probability_lists,
+                                                labels=labels)
+
+
+def discretized_arsp(objects: Sequence[ContinuousUncertainObject],
+                     constraints, samples_per_object: int = 16,
+                     algorithm: str = "auto",
+                     seed: Optional[int] = None) -> Dict[int, float]:
+    """Object-level rskyline probabilities via discretisation + exact ARSP."""
+    dataset = discretize(objects, samples_per_object=samples_per_object,
+                         seed=seed)
+    instance_probabilities = compute_arsp(dataset, constraints,
+                                          algorithm=algorithm)
+    per_object = object_rskyline_probabilities(dataset,
+                                               instance_probabilities)
+    return {objects[index].object_id: per_object[index]
+            for index in range(len(objects))}
+
+
+def monte_carlo_object_arsp(objects: Sequence[ContinuousUncertainObject],
+                            constraints, num_trials: int = 500,
+                            seed: Optional[int] = None
+                            ) -> Dict[int, Tuple[float, float]]:
+    """Monte Carlo estimate of every object's rskyline probability.
+
+    Returns ``{object_id: (estimate, standard_error)}``.  Each trial samples
+    one possible world: every object appears with its appearance probability
+    and, if it appears, materialises as a single draw from its distribution;
+    the objects whose draws are not F-dominated by another appearing object's
+    draw score a hit.
+    """
+    if num_trials < 1:
+        raise ValueError("num_trials must be positive")
+    _validate_objects(objects)
+    region = resolve_preference_region(constraints)
+    if objects and region.dimension != objects[0].dimension:
+        raise ValueError("constraints are defined for dimension %d but the "
+                         "objects have dimension %d"
+                         % (region.dimension, objects[0].dimension))
+    rng = np.random.default_rng(seed)
+    hits = {obj.object_id: 0 for obj in objects}
+
+    for _ in range(num_trials):
+        appearing = [obj for obj in objects
+                     if rng.random() < obj.appearance_probability]
+        if not appearing:
+            continue
+        points = np.vstack([obj.sample(rng, 1)[0] for obj in appearing])
+        scores = region.score_matrix(points)
+        for i, obj in enumerate(appearing):
+            dominated = False
+            for j in range(len(appearing)):
+                if i != j and f_dominates_scores(scores[j], scores[i]):
+                    dominated = True
+                    break
+            if not dominated:
+                hits[obj.object_id] += 1
+
+    estimates: Dict[int, Tuple[float, float]] = {}
+    for obj in objects:
+        probability = hits[obj.object_id] / num_trials
+        standard_error = math.sqrt(max(probability * (1.0 - probability), 0.0)
+                                   / num_trials)
+        estimates[obj.object_id] = (probability, standard_error)
+    return estimates
+
+
+def _validate_objects(objects: Sequence[ContinuousUncertainObject]) -> None:
+    if not objects:
+        raise ValueError("at least one continuous object is required")
+    dimension = objects[0].dimension
+    seen = set()
+    for obj in objects:
+        if obj.dimension != dimension:
+            raise ValueError("all objects must share the same dimension")
+        if obj.object_id in seen:
+            raise ValueError("duplicate object id %d" % obj.object_id)
+        seen.add(obj.object_id)

@@ -1,0 +1,43 @@
+"""Core data model, preference model and problem definitions."""
+
+from .arsp import (arsp_size, compute_arsp, object_rskyline_probabilities,
+                   threshold_query, top_k_objects)
+from .dataset import Instance, UncertainDataset, UncertainObject
+from .dominance import (dominates, f_dominates, f_dominates_scores,
+                        strictly_dominates, weight_ratio_f_dominates)
+from .possible_worlds import (brute_force_arsp, brute_force_object_arsp,
+                              iter_possible_worlds, number_of_possible_worlds,
+                              world_probability, world_rskyline)
+from .preference import (LinearConstraints, PreferenceRegion,
+                         WeightRatioConstraints, resolve_preference_region)
+from .rskyline import dominance_counts, eclipse, rskyline, skyline
+
+__all__ = [
+    "Instance",
+    "LinearConstraints",
+    "PreferenceRegion",
+    "UncertainDataset",
+    "UncertainObject",
+    "WeightRatioConstraints",
+    "arsp_size",
+    "brute_force_arsp",
+    "brute_force_object_arsp",
+    "compute_arsp",
+    "dominance_counts",
+    "dominates",
+    "eclipse",
+    "f_dominates",
+    "f_dominates_scores",
+    "iter_possible_worlds",
+    "number_of_possible_worlds",
+    "object_rskyline_probabilities",
+    "resolve_preference_region",
+    "rskyline",
+    "skyline",
+    "strictly_dominates",
+    "threshold_query",
+    "top_k_objects",
+    "weight_ratio_f_dominates",
+    "world_probability",
+    "world_rskyline",
+]

@@ -1,0 +1,94 @@
+"""High level ARSP API.
+
+``compute_arsp`` is the main entry point of the package: it dispatches to any
+of the registered algorithms and returns the rskyline probability of every
+instance.  Convenience helpers aggregate the result per object, rank objects
+and report the ARSP size statistic used throughout the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .dataset import UncertainDataset
+from .numeric import PROB_ATOL
+from .preference import WeightRatioConstraints
+
+
+def compute_arsp(dataset: UncertainDataset, constraints,
+                 algorithm: str = "auto", **options) -> Dict[int, float]:
+    """Compute the rskyline probability of every instance.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain dataset.
+    constraints:
+        A :class:`~repro.core.preference.LinearConstraints`,
+        :class:`~repro.core.preference.WeightRatioConstraints`,
+        :class:`~repro.core.preference.PreferenceRegion` or raw vertex array.
+    algorithm:
+        One of the names in :func:`repro.algorithms.list_algorithms`, or
+        ``"auto"`` to pick a sensible default (B&B for general constraints,
+        DUAL for weight ratio constraints).
+    options:
+        Extra keyword arguments passed to the selected algorithm.
+
+    Returns
+    -------
+    dict
+        Mapping ``instance_id -> rskyline probability`` covering every
+        instance of the dataset (zero-probability instances included).
+    """
+    from ..algorithms.registry import get_algorithm
+
+    if algorithm == "auto":
+        if isinstance(constraints, WeightRatioConstraints):
+            algorithm = "dual"
+        else:
+            algorithm = "bnb"
+    implementation = get_algorithm(algorithm)
+    return implementation(dataset, constraints, **options)
+
+
+def object_rskyline_probabilities(dataset: UncertainDataset,
+                                  instance_probabilities: Dict[int, float]
+                                  ) -> Dict[int, float]:
+    """Aggregate instance-level ARSP into per-object probabilities."""
+    totals: Dict[int, float] = {obj.object_id: 0.0 for obj in dataset.objects}
+    for instance in dataset.instances:
+        totals[instance.object_id] += instance_probabilities[
+            instance.instance_id]
+    return totals
+
+
+def top_k_objects(dataset: UncertainDataset,
+                  instance_probabilities: Dict[int, float],
+                  k: int) -> List[Tuple[int, float]]:
+    """Top-``k`` objects ranked by rskyline probability.
+
+    Returns ``(object_id, probability)`` pairs sorted by decreasing
+    probability (ties broken by object id for determinism).  This is the
+    query behind Table I of the paper.
+    """
+    totals = object_rskyline_probabilities(dataset, instance_probabilities)
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]
+
+
+def arsp_size(instance_probabilities: Dict[int, float],
+              atol: float = PROB_ATOL) -> int:
+    """Number of instances with non-zero rskyline probability."""
+    return sum(1 for value in instance_probabilities.values() if value > atol)
+
+
+def threshold_query(instance_probabilities: Dict[int, float],
+                    threshold: float) -> List[int]:
+    """Instance ids whose rskyline probability is at least ``threshold``.
+
+    The paper motivates computing *all* probabilities partly because it
+    subsumes threshold queries; this helper provides that derived query.
+    """
+    return [instance_id
+            for instance_id, value in instance_probabilities.items()
+            if value >= threshold]

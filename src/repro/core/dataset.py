@@ -1,0 +1,364 @@
+"""Uncertain data model.
+
+The paper models an uncertain dataset ``D = {T_1, ..., T_m}`` where every
+uncertain object ``T_i`` is a discrete probability distribution over a set of
+instances in ``R^d``.  This module provides the three value classes used by
+every algorithm in the package:
+
+* :class:`Instance` — a single point together with its existence probability
+  and the identity of the object it belongs to.
+* :class:`UncertainObject` — a named collection of instances whose
+  probabilities sum to at most one.
+* :class:`UncertainDataset` — the full dataset, with validation, convenient
+  accessors and the aggregation used by the paper's effectiveness study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .numeric import PROB_ATOL
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A single instance of an uncertain object.
+
+    Attributes
+    ----------
+    object_id:
+        Index of the owning uncertain object within the dataset.
+    instance_id:
+        Global index of the instance within the dataset (unique across all
+        objects); used as the key of ARSP result dictionaries.
+    values:
+        Attribute vector as a tuple of floats.  Lower values are preferred.
+    probability:
+        Existence probability ``p(t)`` of this instance.
+    """
+
+    object_id: int
+    instance_id: int
+    values: Tuple[float, ...]
+    probability: float
+
+    @property
+    def dimension(self) -> int:
+        """Number of attributes of the instance."""
+        return len(self.values)
+
+    def as_array(self) -> np.ndarray:
+        """Return the attribute vector as a 1-D numpy array."""
+        return np.asarray(self.values, dtype=float)
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+
+@dataclass
+class UncertainObject:
+    """A discrete probability distribution over a set of instances."""
+
+    object_id: int
+    instances: List[Instance] = field(default_factory=list)
+    label: Optional[str] = None
+
+    @property
+    def total_probability(self) -> float:
+        """Sum of existence probabilities of all instances (``<= 1``)."""
+        return sum(instance.probability for instance in self.instances)
+
+    @property
+    def dimension(self) -> int:
+        if not self.instances:
+            raise ValueError("object %d has no instances" % self.object_id)
+        return self.instances[0].dimension
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self.instances)
+
+    def mean_vector(self) -> np.ndarray:
+        """Plain (unweighted) average of the instance attribute vectors.
+
+        This matches the paper's effectiveness study, which aggregates each
+        player by "computing the average statistics for each player".
+        """
+        if not self.instances:
+            raise ValueError("object %d has no instances" % self.object_id)
+        return np.mean([instance.as_array() for instance in self.instances],
+                       axis=0)
+
+    def expected_vector(self) -> np.ndarray:
+        """Probability-weighted average of the instance attribute vectors.
+
+        The weights are renormalised so that they sum to one, which makes the
+        value well defined also for objects with total probability below one.
+        """
+        total = self.total_probability
+        if total <= 0.0:
+            raise ValueError("object %d has zero probability mass"
+                             % self.object_id)
+        acc = np.zeros(self.dimension)
+        for instance in self.instances:
+            acc += instance.as_array() * (instance.probability / total)
+        return acc
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the object violates the data model."""
+        if not self.instances:
+            raise ValueError("object %d has no instances" % self.object_id)
+        dim = self.instances[0].dimension
+        for instance in self.instances:
+            if instance.object_id != self.object_id:
+                raise ValueError(
+                    "instance %d claims object %d but is stored in object %d"
+                    % (instance.instance_id, instance.object_id,
+                       self.object_id))
+            if instance.dimension != dim:
+                raise ValueError(
+                    "instance %d has dimension %d, expected %d"
+                    % (instance.instance_id, instance.dimension, dim))
+            if instance.probability <= 0.0:
+                raise ValueError(
+                    "instance %d has non-positive probability %g"
+                    % (instance.instance_id, instance.probability))
+        if self.total_probability > 1.0 + PROB_ATOL:
+            raise ValueError(
+                "object %d has total probability %g > 1"
+                % (self.object_id, self.total_probability))
+
+
+class UncertainDataset:
+    """A collection of uncertain objects over a common attribute space."""
+
+    def __init__(self, objects: Sequence[UncertainObject]):
+        self._objects: List[UncertainObject] = list(objects)
+        self._instances: List[Instance] = [
+            instance for obj in self._objects for instance in obj.instances
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_instance_lists(
+        cls,
+        instance_lists: Sequence[Sequence[Sequence[float]]],
+        probability_lists: Optional[Sequence[Sequence[float]]] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> "UncertainDataset":
+        """Build a dataset from nested lists of coordinates.
+
+        Parameters
+        ----------
+        instance_lists:
+            ``instance_lists[i][j]`` is the coordinate vector of the ``j``-th
+            instance of object ``i``.
+        probability_lists:
+            Optional matching nested list of probabilities.  When omitted,
+            every instance of object ``i`` gets probability
+            ``1 / len(instance_lists[i])``.
+        labels:
+            Optional human readable labels for the objects.
+        """
+        objects: List[UncertainObject] = []
+        next_instance_id = 0
+        for object_id, rows in enumerate(instance_lists):
+            rows = list(rows)
+            if probability_lists is None:
+                probs = [1.0 / len(rows)] * len(rows)
+            else:
+                probs = list(probability_lists[object_id])
+                if len(probs) != len(rows):
+                    raise ValueError(
+                        "object %d: %d probabilities for %d instances"
+                        % (object_id, len(probs), len(rows)))
+            instances = []
+            for values, prob in zip(rows, probs):
+                instances.append(Instance(
+                    object_id=object_id,
+                    instance_id=next_instance_id,
+                    values=tuple(float(v) for v in values),
+                    probability=float(prob),
+                ))
+                next_instance_id += 1
+            label = labels[object_id] if labels is not None else None
+            objects.append(UncertainObject(object_id=object_id,
+                                           instances=instances,
+                                           label=label))
+        return cls(objects)
+
+    @classmethod
+    def from_certain_points(
+        cls,
+        points: Sequence[Sequence[float]],
+        probabilities: Optional[Sequence[float]] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> "UncertainDataset":
+        """Build a dataset where every object has exactly one instance.
+
+        This is the structure of the IIP dataset in the paper and is also how
+        certain datasets are represented when running the eclipse query code
+        paths through the uncertain machinery.
+        """
+        if probabilities is None:
+            probabilities = [1.0] * len(points)
+        return cls.from_instance_lists(
+            [[point] for point in points],
+            [[prob] for prob in probabilities],
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> List[UncertainObject]:
+        return self._objects
+
+    @property
+    def instances(self) -> List[Instance]:
+        return self._instances
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._objects)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self._instances)
+
+    @property
+    def dimension(self) -> int:
+        if not self._objects:
+            raise ValueError("dataset has no objects")
+        return self._objects[0].dimension
+
+    def object(self, object_id: int) -> UncertainObject:
+        return self._objects[object_id]
+
+    def instance(self, instance_id: int) -> Instance:
+        return self._instances[instance_id]
+
+    def __len__(self) -> int:
+        return self.num_objects
+
+    def __iter__(self) -> Iterator[UncertainObject]:
+        return iter(self._objects)
+
+    def instance_matrix(self) -> np.ndarray:
+        """All instance coordinate vectors stacked into an ``(n, d)`` array."""
+        return np.asarray([inst.values for inst in self._instances],
+                          dtype=float)
+
+    def probability_vector(self) -> np.ndarray:
+        """Existence probabilities of all instances as an ``(n,)`` array."""
+        return np.asarray([inst.probability for inst in self._instances],
+                          dtype=float)
+
+    def object_ids(self) -> np.ndarray:
+        """Owning object index of every instance as an ``(n,)`` int array."""
+        return np.asarray([inst.object_id for inst in self._instances],
+                          dtype=int)
+
+    # ------------------------------------------------------------------
+    # Derived datasets
+    # ------------------------------------------------------------------
+    def aggregate(self, weighted: bool = False) -> "UncertainDataset":
+        """Aggregate every object into a single certain point.
+
+        The paper's effectiveness study compares ARSP against the "aggregated
+        rskyline", the rskyline of the dataset obtained by replacing every
+        uncertain object with its average instance.
+        """
+        points = []
+        labels = []
+        for obj in self._objects:
+            vector = obj.expected_vector() if weighted else obj.mean_vector()
+            points.append(tuple(float(v) for v in vector))
+            labels.append(obj.label if obj.label is not None
+                          else "object-%d" % obj.object_id)
+        return UncertainDataset.from_certain_points(points, labels=labels)
+
+    def project(self, dimensions: Sequence[int]) -> "UncertainDataset":
+        """Return a new dataset restricted to a subset of the attributes.
+
+        Used by the experiments that vary the dimensionality of the real
+        datasets (Fig. 6(d)).
+        """
+        dims = list(dimensions)
+        instance_lists: List[List[Tuple[float, ...]]] = []
+        probability_lists: List[List[float]] = []
+        labels: List[str] = []
+        for obj in self._objects:
+            instance_lists.append(
+                [tuple(inst.values[k] for k in dims) for inst in obj])
+            probability_lists.append([inst.probability for inst in obj])
+            labels.append(obj.label if obj.label is not None
+                          else "object-%d" % obj.object_id)
+        return UncertainDataset.from_instance_lists(
+            instance_lists, probability_lists, labels=labels)
+
+    def subset(self, object_ids: Iterable[int]) -> "UncertainDataset":
+        """Return a dataset containing only the selected objects.
+
+        Object and instance ids are re-assigned to keep them dense, which is
+        what the per-figure experiments that sample ``m%`` of a real dataset
+        expect.
+        """
+        selected = [self._objects[i] for i in object_ids]
+        instance_lists = [[inst.values for inst in obj] for obj in selected]
+        probability_lists = [[inst.probability for inst in obj]
+                             for obj in selected]
+        labels = [obj.label if obj.label is not None
+                  else "object-%d" % obj.object_id for obj in selected]
+        return UncertainDataset.from_instance_lists(
+            instance_lists, probability_lists, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Validation and summaries
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Validate the whole dataset; raise ``ValueError`` on any problem."""
+        if not self._objects:
+            raise ValueError("dataset has no objects")
+        dim = self._objects[0].dimension
+        seen_instance_ids: Dict[int, int] = {}
+        for expected_id, obj in enumerate(self._objects):
+            if obj.object_id != expected_id:
+                raise ValueError("object at position %d has id %d"
+                                 % (expected_id, obj.object_id))
+            obj.validate()
+            if obj.dimension != dim:
+                raise ValueError("object %d has dimension %d, expected %d"
+                                 % (obj.object_id, obj.dimension, dim))
+            for inst in obj:
+                if inst.instance_id in seen_instance_ids:
+                    raise ValueError("duplicate instance id %d"
+                                     % inst.instance_id)
+                seen_instance_ids[inst.instance_id] = inst.object_id
+
+    def summary(self) -> Dict[str, float]:
+        """Small dictionary of dataset statistics used in reports."""
+        counts = [len(obj) for obj in self._objects]
+        return {
+            "num_objects": float(self.num_objects),
+            "num_instances": float(self.num_instances),
+            "dimension": float(self.dimension),
+            "min_instances_per_object": float(min(counts)),
+            "max_instances_per_object": float(max(counts)),
+            "mean_instances_per_object": float(np.mean(counts)),
+            "objects_below_full_probability": float(sum(
+                1 for obj in self._objects
+                if obj.total_probability < 1.0 - PROB_ATOL)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return ("UncertainDataset(objects=%d, instances=%d, dimension=%d)"
+                % (self.num_objects, self.num_instances, self.dimension))

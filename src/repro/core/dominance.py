@@ -1,0 +1,174 @@
+"""Dominance predicates.
+
+Three related predicates are used throughout the paper:
+
+* classical (Pareto) dominance ``t ⪯ s``: ``t[i] <= s[i]`` for every
+  attribute;
+* F-dominance for general linear constraints (Theorem 2): ``t ≺_F s`` iff
+  ``S_ω(t) <= S_ω(s)`` for every vertex ``ω`` of the preference region;
+* the O(d) F-dominance test for weight ratio constraints (Theorem 5).
+
+All predicates are *weak*: they hold when every comparison is an equality.
+The algorithms only ever apply them between instances of different uncertain
+objects, which is the form used in equation (3) of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .numeric import SCORE_ATOL
+from .preference import (LinearConstraints, PreferenceRegion,
+                         WeightRatioConstraints, resolve_preference_region)
+
+
+def dominates(t: Sequence[float], s: Sequence[float],
+              atol: float = SCORE_ATOL) -> bool:
+    """Classical weak dominance: ``t[i] <= s[i]`` for every attribute."""
+    return all(a <= b + atol for a, b in zip(t, s))
+
+
+def strictly_dominates(t: Sequence[float], s: Sequence[float],
+                       atol: float = SCORE_ATOL) -> bool:
+    """Pareto dominance: weak dominance plus strictly better somewhere."""
+    better_somewhere = False
+    for a, b in zip(t, s):
+        if a > b + atol:
+            return False
+        if a < b - atol:
+            better_somewhere = True
+    return better_somewhere
+
+
+def f_dominates(t: Sequence[float], s: Sequence[float],
+                constraints, atol: float = SCORE_ATOL) -> bool:
+    """F-dominance test via the vertices of the preference region (Thm 2).
+
+    ``constraints`` may be a :class:`LinearConstraints`,
+    :class:`WeightRatioConstraints`, :class:`PreferenceRegion` or a raw
+    vertex array.  For repeated tests precompute the region once and use
+    :func:`f_dominates_region` or score-space dominance instead.
+    """
+    region = resolve_preference_region(constraints)
+    return f_dominates_region(t, s, region, atol=atol)
+
+
+def f_dominates_region(t: Sequence[float], s: Sequence[float],
+                       region: PreferenceRegion,
+                       atol: float = SCORE_ATOL) -> bool:
+    """F-dominance given an already-resolved preference region."""
+    score_t = region.score(t)
+    score_s = region.score(s)
+    return bool(np.all(score_t <= score_s + atol))
+
+
+def f_dominates_scores(score_t: Sequence[float], score_s: Sequence[float],
+                       atol: float = SCORE_ATOL) -> bool:
+    """F-dominance expressed directly on precomputed score vectors.
+
+    This is classical weak dominance in the mapped ``d'``-dimensional score
+    space, which is the form every index-based algorithm uses internally.
+    """
+    return dominates(score_t, score_s, atol=atol)
+
+
+def weight_ratio_f_dominates(t: Sequence[float], s: Sequence[float],
+                             constraints: WeightRatioConstraints,
+                             atol: float = SCORE_ATOL) -> bool:
+    """The O(d) F-dominance test of Theorem 5.
+
+    ``t ≺_F s`` iff
+
+    ``t[d] - s[d] <= sum_i coeff_i * (s[i] - t[i])`` where ``coeff_i = l_i``
+    when ``s[i] > t[i]`` and ``h_i`` otherwise.  Equivalently, the minimum of
+    ``sum_i r[i] (s[i] - t[i]) + (s[d] - t[d])`` over the ratio
+    hyper-rectangle is non-negative (Lemma 1).
+    """
+    d = constraints.dimension
+    if len(t) != d or len(s) != d:
+        raise ValueError("points must have dimension %d" % d)
+    total = 0.0
+    for i, (low, high) in enumerate(constraints.ranges):
+        diff = s[i] - t[i]
+        coeff = low if diff > 0.0 else high
+        total += coeff * diff
+    return t[d - 1] - s[d - 1] <= total + atol
+
+
+def weight_ratio_min_margin(t: Sequence[float], s: Sequence[float],
+                            constraints: WeightRatioConstraints) -> float:
+    """Minimum of ``h'(r) = sum_i r[i](s[i]-t[i]) + (s[d]-t[d])`` over ``R``.
+
+    ``t ≺_F s`` iff the returned value is ``>= 0``; exposing the margin makes
+    the bound computations of the DUAL algorithms and the property tests
+    straightforward.
+    """
+    d = constraints.dimension
+    total = float(s[d - 1]) - float(t[d - 1])
+    for i, (low, high) in enumerate(constraints.ranges):
+        diff = float(s[i]) - float(t[i])
+        total += (low if diff > 0.0 else high) * diff
+    return total
+
+
+def dominance_region_hyperplane(t: Sequence[float],
+                                constraints: WeightRatioConstraints,
+                                k: int) -> np.ndarray:
+    """Coefficients of the hyperplane ``h_{t,k}`` of equation (6).
+
+    Instances ``s`` lying in orthant ``k`` (relative to ``t``) that
+    F-dominate ``t`` are exactly those lying below or on this hyperplane.
+    The return value ``(a_1, ..., a_{d-1}, b)`` describes
+    ``x[d] = sum_i a_i (t[i] - x[i]) + t[d]`` through its slope coefficients
+    ``a_i`` (``l_i`` or ``h_i`` depending on bit ``i`` of ``k``) and the
+    intercept evaluated at ``x[1..d-1] = 0``, i.e.
+    ``b = sum_i a_i t[i] + t[d]``.
+    """
+    d = constraints.dimension
+    d_minus_1 = d - 1
+    coeffs = np.empty(d_minus_1)
+    for i, (low, high) in enumerate(constraints.ranges):
+        bit = (k >> (d_minus_1 - 1 - i)) & 1
+        coeffs[i] = high if bit else low
+    intercept = float(np.dot(coeffs, np.asarray(t[:d_minus_1], dtype=float))
+                      + t[d - 1])
+    return np.concatenate([coeffs, [intercept]])
+
+
+def orthant_of(s: Sequence[float], t: Sequence[float], dimension: int) -> int:
+    """Orthant index ``k`` of instance ``s`` relative to pivot ``t``.
+
+    Bit ``i`` (most significant first) is 1 when ``s[i] > t[i]`` — the same
+    encoding used by :meth:`WeightRatioConstraints.rectangle_vertex`, so the
+    hyperplane ``h_{t,k}`` built from the ``k``-vertex applies to orthant
+    ``k``'s instances.
+
+    Note the paper assigns bit 0 to ``s[i] < t[i]``; instances exactly on the
+    boundary may be assigned either orthant without affecting correctness
+    because the two hyperplanes agree on the boundary.
+    """
+    d_minus_1 = dimension - 1
+    k = 0
+    for i in range(d_minus_1):
+        k <<= 1
+        if s[i] > t[i]:
+            k |= 1
+    return k
+
+
+def lp_reference_f_dominates(t: Sequence[float], s: Sequence[float],
+                             constraints) -> bool:
+    """Reference F-dominance test used only for validation.
+
+    Because ``h(ω) = sum_i ω[i](s[i] - t[i])`` is linear and the preference
+    region is a bounded convex polytope, its minimum over the region is
+    attained at a vertex.  The reference test therefore evaluates the margin
+    at every vertex explicitly; it exists so tests can check the faster
+    predicates against an independent formulation.
+    """
+    region = resolve_preference_region(constraints)
+    diffs = np.asarray(s, dtype=float) - np.asarray(t, dtype=float)
+    margins = region.vertices @ diffs
+    return bool(np.min(margins) >= -SCORE_ATOL)

@@ -1,0 +1,81 @@
+"""Shared numeric tolerances and small helpers.
+
+Every algorithm in the package compares floating point probabilities and
+scores.  Centralising the tolerances here keeps the algorithms consistent
+with each other: an instance whose accumulated dominating probability is
+``1 - 1e-15`` must be treated as saturated by *all* algorithms, otherwise
+they would disagree on which rskyline probabilities are exactly zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Absolute tolerance used when deciding whether an accumulated probability
+#: mass has reached 1 (object "saturation") or 0.
+PROB_ATOL = 1e-12
+
+#: Absolute tolerance used when comparing scores / coordinates for weak
+#: dominance.  Scores are exact sums of products of inputs, so only genuine
+#: representation noise needs to be absorbed.
+SCORE_ATOL = 1e-12
+
+
+def is_one(value: float, atol: float = PROB_ATOL) -> bool:
+    """Return True if ``value`` should be treated as probability 1."""
+    return value >= 1.0 - atol
+
+
+def is_zero(value: float, atol: float = PROB_ATOL) -> bool:
+    """Return True if ``value`` should be treated as probability 0."""
+    return abs(value) <= atol
+
+
+def clamp_probability(value: float) -> float:
+    """Clamp a computed probability into [0, 1], absorbing float noise."""
+    if value < 0.0:
+        return 0.0 if value > -PROB_ATOL else value
+    if value > 1.0:
+        return 1.0 if value < 1.0 + PROB_ATOL else value
+    return value
+
+
+def leq(a: float, b: float, atol: float = SCORE_ATOL) -> bool:
+    """Weak less-than-or-equal with absolute tolerance."""
+    return a <= b + atol
+
+
+def lt(a: float, b: float, atol: float = SCORE_ATOL) -> bool:
+    """Strict less-than with absolute tolerance."""
+    return a < b - atol
+
+
+def close(a: float, b: float, atol: float = SCORE_ATOL) -> bool:
+    """Approximate equality with absolute tolerance."""
+    return abs(a - b) <= atol
+
+
+def vector_leq(a: Sequence[float], b: Sequence[float],
+               atol: float = SCORE_ATOL) -> bool:
+    """Component-wise weak dominance: ``a[i] <= b[i]`` for every i."""
+    return all(x <= y + atol for x, y in zip(a, b))
+
+
+def vector_close(a: Sequence[float], b: Sequence[float],
+                 atol: float = SCORE_ATOL) -> bool:
+    """Component-wise approximate equality."""
+    return all(abs(x - y) <= atol for x, y in zip(a, b))
+
+
+def probabilities_close(a: float, b: float, atol: float = 1e-9) -> bool:
+    """Comparison used by tests when checking two algorithms agree."""
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=atol)
+
+
+def product(values: Iterable[float]) -> float:
+    """Product of an iterable of floats (math.prod with an empty default)."""
+    result = 1.0
+    for value in values:
+        result *= value
+    return result

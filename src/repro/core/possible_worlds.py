@@ -1,0 +1,132 @@
+"""Possible-world semantics and ground-truth ARSP computation.
+
+The uncertain dataset induces a distribution over *possible worlds*: each
+object independently either materialises as exactly one of its instances or
+does not appear at all.  Equation (1) of the paper gives the probability of a
+world; equation (2) defines the rskyline probability of an instance as the
+total probability of the worlds whose rskyline contains it.
+
+The functions here enumerate worlds explicitly.  They are exponential in the
+number of objects and exist purely as ground truth for the test suite and as
+the ENUM baseline of the experiments; every other algorithm is validated
+against them on small datasets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .dataset import Instance, UncertainDataset
+from .dominance import f_dominates_scores
+from .numeric import PROB_ATOL
+from .preference import PreferenceRegion, resolve_preference_region
+
+
+def iter_possible_worlds(dataset: UncertainDataset
+                         ) -> Iterator[Tuple[Tuple[Optional[Instance], ...], float]]:
+    """Yield every possible world together with its probability.
+
+    A world is represented as a tuple with one entry per object: either the
+    materialised :class:`Instance` or ``None`` when the object does not
+    appear.  Worlds with zero probability (objects whose instance
+    probabilities sum to exactly one never disappear) are skipped.
+    """
+    per_object_choices: List[List[Tuple[Optional[Instance], float]]] = []
+    for obj in dataset.objects:
+        choices: List[Tuple[Optional[Instance], float]] = [
+            (instance, instance.probability) for instance in obj
+        ]
+        absent_probability = 1.0 - obj.total_probability
+        if absent_probability > PROB_ATOL:
+            choices.append((None, absent_probability))
+        per_object_choices.append(choices)
+
+    for combination in itertools.product(*per_object_choices):
+        probability = 1.0
+        world = []
+        for instance, choice_probability in combination:
+            probability *= choice_probability
+            world.append(instance)
+        if probability > 0.0:
+            yield tuple(world), probability
+
+
+def world_probability(dataset: UncertainDataset,
+                      world: Sequence[Optional[Instance]]) -> float:
+    """Probability of one explicit world (equation (1) of the paper)."""
+    if len(world) != dataset.num_objects:
+        raise ValueError("world must contain one entry per object")
+    probability = 1.0
+    for obj, instance in zip(dataset.objects, world):
+        if instance is None:
+            probability *= 1.0 - obj.total_probability
+        else:
+            if instance.object_id != obj.object_id:
+                raise ValueError("instance %d does not belong to object %d"
+                                 % (instance.instance_id, obj.object_id))
+            probability *= instance.probability
+    return probability
+
+
+def world_rskyline(world: Sequence[Optional[Instance]],
+                   region: PreferenceRegion) -> List[Instance]:
+    """The rskyline of a single possible world with respect to ``F``.
+
+    An instance belongs to the rskyline iff no instance of *another* object
+    in the world F-dominates it (weak dominance on the vertex scores).
+    """
+    present = [instance for instance in world if instance is not None]
+    scores = {instance.instance_id: region.score(instance.values)
+              for instance in present}
+    result = []
+    for candidate in present:
+        dominated = False
+        for other in present:
+            if other.object_id == candidate.object_id:
+                continue
+            if f_dominates_scores(scores[other.instance_id],
+                                  scores[candidate.instance_id]):
+                dominated = True
+                break
+        if not dominated:
+            result.append(candidate)
+    return result
+
+
+def brute_force_arsp(dataset: UncertainDataset,
+                     constraints) -> Dict[int, float]:
+    """Ground-truth ARSP by full possible-world enumeration (equation (2)).
+
+    Returns a dictionary mapping every instance id to its rskyline
+    probability (including instances whose probability is zero).
+    """
+    region = resolve_preference_region(constraints)
+    probabilities: Dict[int, float] = {
+        instance.instance_id: 0.0 for instance in dataset.instances
+    }
+    for world, probability in iter_possible_worlds(dataset):
+        for instance in world_rskyline(world, region):
+            probabilities[instance.instance_id] += probability
+    return probabilities
+
+
+def brute_force_object_arsp(dataset: UncertainDataset,
+                            constraints) -> Dict[int, float]:
+    """Rskyline probability per *object*: sum over its instances."""
+    instance_probabilities = brute_force_arsp(dataset, constraints)
+    result: Dict[int, float] = {obj.object_id: 0.0 for obj in dataset.objects}
+    for instance in dataset.instances:
+        result[instance.object_id] += instance_probabilities[instance.instance_id]
+    return result
+
+
+def number_of_possible_worlds(dataset: UncertainDataset) -> int:
+    """Count the possible worlds (useful to guard the ENUM baseline)."""
+    count = 1
+    for obj in dataset.objects:
+        choices = len(obj)
+        if 1.0 - obj.total_probability > PROB_ATOL:
+            choices += 1
+        count *= choices
+    return count

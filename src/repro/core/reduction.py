@@ -1,0 +1,82 @@
+"""The fine-grained reduction from Orthogonal Vectors to ARSP (Theorem 1).
+
+The paper's conditional lower bound cannot be "run" as an experiment, but the
+reduction it is built on can: given an Orthogonal Vectors instance we
+construct the uncertain dataset and scoring-function set of the proof, solve
+ARSP with any of the package's algorithms, and read the OV answer off the
+result.  The test suite uses this module to verify the reduction end to end,
+which is the executable content of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import UncertainDataset
+from .numeric import PROB_ATOL
+from .preference import LinearConstraints
+
+
+def orthogonal_pair_exists(set_a: Sequence[Sequence[int]],
+                           set_b: Sequence[Sequence[int]]) -> bool:
+    """Direct quadratic-time check whether an orthogonal pair exists."""
+    a = np.asarray(set_a, dtype=int)
+    b = np.asarray(set_b, dtype=int)
+    if a.size == 0 or b.size == 0:
+        return False
+    return bool(np.any(a @ b.T == 0))
+
+
+def build_arsp_instance(set_a: Sequence[Sequence[int]],
+                        set_b: Sequence[Sequence[int]]
+                        ) -> Tuple[UncertainDataset, LinearConstraints]:
+    """Construct the ARSP instance of the Theorem 1 reduction.
+
+    * Every vector ``b ∈ B`` becomes an uncertain object with the single
+      instance ``b`` and probability 1.
+    * All vectors ``a ∈ A`` are mapped through ``ξ`` (0 → 3/2, 1 → 1/2) and
+      collected into one uncertain object ``T_A`` whose instances each have
+      probability ``1/|A|``.
+    * ``F`` consists of the ``d`` coordinate projections, i.e. the
+      unconstrained simplex, under which F-dominance coincides with
+      classical dominance.
+    """
+    a = np.asarray(set_a, dtype=float)
+    b = np.asarray(set_b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("A and B must be 2-D 0/1 arrays")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("A and B must share the vector dimension")
+    dimension = a.shape[1]
+
+    instance_lists = [[tuple(row)] for row in b]
+    probability_lists = [[1.0] for _ in range(len(b))]
+
+    xi = np.where(a == 0, 1.5, 0.5)
+    instance_lists.append([tuple(row) for row in xi])
+    probability_lists.append([1.0 / len(a)] * len(a))
+
+    dataset = UncertainDataset.from_instance_lists(instance_lists,
+                                                   probability_lists)
+    constraints = LinearConstraints.unconstrained(dimension)
+    return dataset, constraints
+
+
+def decide_orthogonal_vectors_via_arsp(
+        set_a: Sequence[Sequence[int]],
+        set_b: Sequence[Sequence[int]],
+        arsp_solver) -> bool:
+    """Decide OV using an ARSP solver, following the proof of Theorem 1.
+
+    ``arsp_solver(dataset, constraints) -> {instance_id: probability}`` may
+    be any of the algorithms in :mod:`repro.algorithms`.  The OV instance has
+    an orthogonal pair iff some instance of the ``T_A`` object (the last
+    object of the constructed dataset) has rskyline probability zero.
+    """
+    dataset, constraints = build_arsp_instance(set_a, set_b)
+    probabilities: Dict[int, float] = arsp_solver(dataset, constraints)
+    t_a = dataset.objects[-1]
+    return any(probabilities[instance.instance_id] <= PROB_ATOL
+               for instance in t_a)

@@ -1,0 +1,111 @@
+"""Certain-data operators: skyline, restricted skyline and eclipse membership.
+
+These operators are needed in three places:
+
+* the effectiveness study compares ARSP against the *aggregated rskyline*
+  (the rskyline of the dataset of per-object averages);
+* the eclipse query of Section IV operates on certain datasets;
+* tests use the certain-data operators as a semantic cross-check of the
+  probabilistic algorithms (an instance with rskyline probability zero in a
+  deterministic dataset is exactly a non-rskyline point).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .dominance import dominates, f_dominates_scores, strictly_dominates
+from .preference import resolve_preference_region
+
+
+def skyline(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the Pareto-skyline points of a certain dataset.
+
+    A point is in the skyline iff no *other* point Pareto-dominates it, where
+    dominance is weak dominance plus being strictly better in at least one
+    attribute (duplicated points therefore stay in the skyline together).
+    """
+    array = np.asarray(points, dtype=float)
+    result = []
+    for i, candidate in enumerate(array):
+        dominated = False
+        for j, other in enumerate(array):
+            if i == j:
+                continue
+            if strictly_dominates(other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            result.append(i)
+    return result
+
+
+def rskyline(points: Sequence[Sequence[float]], constraints) -> List[int]:
+    """Indices of the restricted-skyline points ``RSKY(D, F)``.
+
+    F-dominance follows the paper's definition: point ``t`` F-dominates
+    ``s != t`` iff every vertex score of ``t`` is at most that of ``s`` *and*
+    the two score vectors are not identical (so exact duplicates do not
+    eliminate each other, mirroring the behaviour of :func:`skyline`).
+    """
+    region = resolve_preference_region(constraints)
+    array = np.asarray(points, dtype=float)
+    scores = region.score_matrix(array)
+    result = []
+    for i in range(len(array)):
+        dominated = False
+        for j in range(len(array)):
+            if i == j:
+                continue
+            if (f_dominates_scores(scores[j], scores[i])
+                    and not f_dominates_scores(scores[i], scores[j])):
+                dominated = True
+                break
+        if not dominated:
+            result.append(i)
+    return result
+
+
+def eclipse(points: Sequence[Sequence[float]], ratio_constraints) -> List[int]:
+    """Indices of the eclipse (non-eclipse-dominated) points.
+
+    The eclipse query of Liu et al. is the restricted skyline under weight
+    ratio constraints; this reference implementation simply delegates to
+    :func:`rskyline` using the induced preference region and is used to
+    validate the optimised algorithms in :mod:`repro.eclipse`.
+    """
+    return rskyline(points, ratio_constraints)
+
+
+def is_f_dominated_by_any(point: Sequence[float],
+                          others: Sequence[Sequence[float]],
+                          constraints) -> bool:
+    """True iff some point in ``others`` weakly F-dominates ``point``."""
+    region = resolve_preference_region(constraints)
+    target = region.score(point)
+    for other in others:
+        if f_dominates_scores(region.score(other), target):
+            return True
+    return False
+
+
+def dominance_counts(points: Sequence[Sequence[float]], constraints
+                     ) -> List[int]:
+    """For each point, the number of other points that F-dominate it.
+
+    Used by examples and by the effectiveness analysis to illustrate why
+    objects with low rskyline probability have many dominated instances.
+    """
+    region = resolve_preference_region(constraints)
+    array = np.asarray(points, dtype=float)
+    scores = region.score_matrix(array)
+    counts = []
+    for i in range(len(array)):
+        count = 0
+        for j in range(len(array)):
+            if i != j and f_dominates_scores(scores[j], scores[i]):
+                count += 1
+        counts.append(count)
+    return counts

@@ -1,0 +1,18 @@
+"""Workload generators: synthetic uncertain datasets, constraint generators
+and simulated stand-ins for the paper's real datasets (IIP, CAR, NBA)."""
+
+from .constraints import interactive_constraints, weak_ranking_constraints
+from .real import car_dataset, iip_dataset, nba_dataset
+from .synthetic import (SyntheticConfig, generate_centers,
+                        generate_uncertain_dataset)
+
+__all__ = [
+    "SyntheticConfig",
+    "car_dataset",
+    "generate_centers",
+    "generate_uncertain_dataset",
+    "iip_dataset",
+    "interactive_constraints",
+    "nba_dataset",
+    "weak_ranking_constraints",
+]

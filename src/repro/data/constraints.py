@@ -1,0 +1,76 @@
+"""Constraint generators used in the experiments (Section V-A).
+
+Two generators are used by the paper:
+
+* **WR** — weak rankings on the weights: ``ω[i] >= ω[i+1]`` for
+  ``1 <= i <= c``.  The preference region generated this way always has
+  ``d`` vertices.
+* **IM** — interactively generated constraints: a hidden target weight
+  ``ω*`` is drawn at random, and each constraint is the half of the simplex
+  containing ``ω*`` induced by the hyperplane separating two random objects.
+  The number of vertices of the resulting region typically grows with ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.preference import LinearConstraints
+
+
+def weak_ranking_constraints(dimension: int,
+                             num_constraints: Optional[int] = None
+                             ) -> LinearConstraints:
+    """The WR generator: ``ω[i] >= ω[i+1]`` for the first ``c`` attribute pairs."""
+    return LinearConstraints.weak_ranking(dimension, num_constraints)
+
+
+def interactive_constraints(dimension: int, num_constraints: int,
+                            seed: Optional[int] = None,
+                            target_weight: Optional[np.ndarray] = None
+                            ) -> LinearConstraints:
+    """The IM generator: constraints learned from pairwise comparisons.
+
+    For each constraint two objects ``t_i`` and ``s_i`` are drawn uniformly
+    from ``[0, 1]^d``; the hyperplane ``sum_j (t_i[j] - s_i[j]) ω[j] = 0``
+    splits the simplex and the half containing the hidden target weight
+    ``ω*`` is kept as the constraint, mimicking a user who consistently
+    prefers the object that scores better under ``ω*``.
+    """
+    if num_constraints < 0:
+        raise ValueError("num_constraints must be non-negative")
+    rng = np.random.default_rng(seed)
+    if target_weight is None:
+        target_weight = rng.dirichlet(np.ones(dimension))
+    else:
+        target_weight = np.asarray(target_weight, dtype=float)
+        if target_weight.shape != (dimension,):
+            raise ValueError("target_weight must have dimension %d"
+                             % dimension)
+        if np.any(target_weight < 0) or abs(target_weight.sum() - 1.0) > 1e-9:
+            raise ValueError("target_weight must lie on the unit simplex")
+
+    rows = []
+    rhs = []
+    for _ in range(num_constraints):
+        t = rng.uniform(0.0, 1.0, size=dimension)
+        s = rng.uniform(0.0, 1.0, size=dimension)
+        normal = t - s
+        margin = float(normal @ target_weight)
+        if abs(margin) < 1e-12:
+            # Degenerate split that does not constrain ω*; skip it the same
+            # way an interactive system would discard an uninformative
+            # comparison.
+            continue
+        if margin <= 0.0:
+            # ω* prefers t (scores lower under ω*): keep normal·ω <= 0.
+            rows.append(normal)
+        else:
+            rows.append(-normal)
+        rhs.append(0.0)
+
+    if not rows:
+        return LinearConstraints.unconstrained(dimension)
+    return LinearConstraints(dimension, np.vstack(rows), np.asarray(rhs))

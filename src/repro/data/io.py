@@ -1,0 +1,135 @@
+"""Loading and saving uncertain datasets.
+
+A downstream user's data rarely arrives as Python lists, so the package
+supports two simple interchange formats:
+
+* **CSV** — one row per instance with columns
+  ``object_id, probability, attr_0, ..., attr_{d-1}`` and an optional
+  ``label`` column carrying the object label (repeated on each of the
+  object's rows).  This is the natural export of the paper's real datasets
+  (e.g. one NBA game log per row, grouped by player id).
+* **JSON** — a nested document ``{"objects": [{"label": ..., "instances":
+  [{"values": [...], "probability": ...}, ...]}, ...]}``.
+
+Both round-trip exactly through :class:`~repro.core.dataset.UncertainDataset`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.dataset import UncertainDataset
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def save_csv(dataset: UncertainDataset, path: PathLike) -> None:
+    """Write the dataset as one CSV row per instance."""
+    dimension = dataset.dimension
+    fieldnames = (["object_id", "label", "probability"]
+                  + ["attr_%d" % i for i in range(dimension)])
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fieldnames)
+        for obj in dataset.objects:
+            label = obj.label if obj.label is not None else ""
+            for instance in obj:
+                writer.writerow([obj.object_id, label, instance.probability]
+                                + list(instance.values))
+
+
+def load_csv(path: PathLike) -> UncertainDataset:
+    """Load a dataset written by :func:`save_csv` (or hand-authored).
+
+    Rows may appear in any order; object ids are re-numbered densely in
+    order of first appearance, which keeps the loaded dataset valid even if
+    the file skips ids.
+    """
+    groups: Dict[str, Dict[str, object]] = {}
+    order: List[str] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError("%s is empty" % path)
+        attr_columns = [name for name in reader.fieldnames
+                        if name.startswith("attr_")]
+        if not attr_columns:
+            raise ValueError("%s has no attr_* columns" % path)
+        attr_columns.sort(key=lambda name: int(name.split("_", 1)[1]))
+        for row in reader:
+            key = row["object_id"]
+            if key not in groups:
+                groups[key] = {"label": row.get("label") or None,
+                               "instances": [], "probabilities": []}
+                order.append(key)
+            values = tuple(float(row[column]) for column in attr_columns)
+            groups[key]["instances"].append(values)
+            groups[key]["probabilities"].append(float(row["probability"]))
+
+    if not order:
+        raise ValueError("%s contains no instances" % path)
+    instance_lists = [groups[key]["instances"] for key in order]
+    probability_lists = [groups[key]["probabilities"] for key in order]
+    labels = [groups[key]["label"] or "object-%d" % index
+              for index, key in enumerate(order)]
+    dataset = UncertainDataset.from_instance_lists(instance_lists,
+                                                   probability_lists,
+                                                   labels=labels)
+    dataset.validate()
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def save_json(dataset: UncertainDataset, path: PathLike,
+              indent: Optional[int] = 2) -> None:
+    """Write the dataset as a nested JSON document."""
+    document = {
+        "dimension": dataset.dimension,
+        "objects": [
+            {
+                "label": obj.label,
+                "instances": [
+                    {"values": list(instance.values),
+                     "probability": instance.probability}
+                    for instance in obj
+                ],
+            }
+            for obj in dataset.objects
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=indent)
+
+
+def load_json(path: PathLike) -> UncertainDataset:
+    """Load a dataset written by :func:`save_json`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    objects = document.get("objects")
+    if not objects:
+        raise ValueError("%s contains no objects" % path)
+    instance_lists = []
+    probability_lists = []
+    labels = []
+    for index, obj in enumerate(objects):
+        instances = obj.get("instances", [])
+        if not instances:
+            raise ValueError("object %d has no instances" % index)
+        instance_lists.append([tuple(float(v) for v in inst["values"])
+                               for inst in instances])
+        probability_lists.append([float(inst["probability"])
+                                  for inst in instances])
+        labels.append(obj.get("label") or "object-%d" % index)
+    dataset = UncertainDataset.from_instance_lists(instance_lists,
+                                                   probability_lists,
+                                                   labels=labels)
+    dataset.validate()
+    return dataset

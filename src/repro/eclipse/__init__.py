@@ -1,0 +1,16 @@
+"""Eclipse query processing on certain datasets (Section IV / Fig. 8).
+
+The eclipse query (Liu et al., ICDE 2021) retrieves all points that are not
+eclipse-dominated, where eclipse-dominance is F-dominance under weight ratio
+constraints.  The paper shows that the dual-based machinery developed for
+ARSP also yields a faster eclipse algorithm (DUAL-S) than the
+state-of-the-art index-based method (QUAD); this subpackage contains both,
+plus a naive reference implementation.
+"""
+
+from .naive import naive_eclipse
+from .quad import quad_eclipse
+from .dual_s import dual_s_eclipse
+from .skyline import fast_skyline
+
+__all__ = ["dual_s_eclipse", "fast_skyline", "naive_eclipse", "quad_eclipse"]

@@ -1,0 +1,56 @@
+"""Naive eclipse query: pairwise O(d) F-dominance tests over the skyline.
+
+This is the reference implementation the optimised algorithms are tested
+against.  It already uses the two structural facts shared by all eclipse
+algorithms — the eclipse is a subset of the skyline, and the F-dominance
+test under weight ratio constraints costs O(d) (Theorem 5) — but performs a
+full quadratic comparison over the skyline candidates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.dominance import weight_ratio_min_margin
+from ..core.numeric import SCORE_ATOL
+from ..core.preference import WeightRatioConstraints
+from .skyline import fast_skyline
+
+
+def eclipse_dominates(t: Sequence[float], s: Sequence[float],
+                      constraints: WeightRatioConstraints) -> bool:
+    """Strict eclipse-dominance: ``t`` dominates ``s`` but not vice versa.
+
+    Using the strict (non-mutual) form keeps duplicated points in the result
+    together, mirroring the behaviour of the skyline operator.
+    """
+    forward = weight_ratio_min_margin(t, s, constraints)
+    if forward < -SCORE_ATOL:
+        return False
+    backward = weight_ratio_min_margin(s, t, constraints)
+    return backward < -SCORE_ATOL
+
+
+def naive_eclipse(points: Sequence[Sequence[float]],
+                  constraints: WeightRatioConstraints) -> List[int]:
+    """Indices of the eclipse points of a certain dataset."""
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise ValueError("points must be an (n, d) array")
+    if array.shape[1] != constraints.dimension:
+        raise ValueError("points have dimension %d but the constraints "
+                         "expect %d" % (array.shape[1],
+                                        constraints.dimension))
+    candidates = fast_skyline(array)
+    result: List[int] = []
+    for i in candidates:
+        dominated = False
+        for j in candidates:
+            if i != j and eclipse_dominates(array[j], array[i], constraints):
+                dominated = True
+                break
+        if not dominated:
+            result.append(i)
+    return result

@@ -1,0 +1,46 @@
+"""Sort-based skyline computation shared by the eclipse algorithms.
+
+Both eclipse algorithms first restrict attention to the Pareto skyline,
+because classical dominance implies eclipse-dominance and therefore the
+eclipse is always a subset of the skyline.  The sort-filter-skyline approach
+used here processes points in increasing order of their coordinate sum and
+compares each point only against the skyline found so far, which is the
+standard ``O(n s)`` method and fast in practice for the independent data of
+Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.numeric import SCORE_ATOL
+
+
+def fast_skyline(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the Pareto-skyline points (duplicates are all retained)."""
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise ValueError("points must be an (n, d) array")
+    n = array.shape[0]
+    if n == 0:
+        return []
+    order = np.argsort(array.sum(axis=1), kind="stable")
+    skyline_indices: List[int] = []
+    skyline_points: List[np.ndarray] = []
+    for index in order:
+        candidate = array[index]
+        dominated = False
+        for point in skyline_points:
+            # A point earlier in the sum-order cannot have a larger sum, so
+            # weak dominance plus a strict improvement somewhere is Pareto
+            # dominance.
+            if np.all(point <= candidate + SCORE_ATOL) and np.any(
+                    point < candidate - SCORE_ATOL):
+                dominated = True
+                break
+        if not dominated:
+            skyline_indices.append(int(index))
+            skyline_points.append(candidate)
+    return sorted(skyline_indices)

@@ -1,0 +1,20 @@
+"""Experiment harness: the code that regenerates every table and figure.
+
+* :mod:`repro.experiments.harness` — timing utilities and the runner that
+  executes a set of ARSP algorithms on one workload.
+* :mod:`repro.experiments.effectiveness` — Table I, Table II and Fig. 4.
+* :mod:`repro.experiments.figures` — the parameter sweeps of Figs. 5-8.
+* :mod:`repro.experiments.reporting` — plain-text table/series formatting.
+"""
+
+from .harness import AlgorithmRun, SweepPoint, run_algorithms, time_call
+from .reporting import format_series, format_table
+
+__all__ = [
+    "AlgorithmRun",
+    "SweepPoint",
+    "format_series",
+    "format_table",
+    "run_algorithms",
+    "time_call",
+]

@@ -1,0 +1,220 @@
+"""Parameter sweeps behind Figures 5-8.
+
+Every function returns a list of :class:`~repro.experiments.harness.SweepPoint`
+(or, for Figs. 7/8, a list of per-point dictionaries) and can be rendered
+with :func:`repro.experiments.reporting.format_series`.  Default parameter
+values follow the paper's defaults but the sizes are scaled down so the
+pure-Python implementation finishes in benchmark-friendly time; the sweep
+grids themselves are arguments, so the full paper-scale experiment is a
+matter of passing larger values.
+
+Paper defaults (Section V-A): ``m = 16K``, ``cnt = 400``, ``d = 4``,
+``l = 0.2``, ``φ = 0``, WR constraints with ``c = d - 1``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.dual2d import Dual2DIndex
+from ..algorithms.kdtree_traversal import kdtree_traversal_arsp
+from ..core.dataset import UncertainDataset
+from ..core.preference import LinearConstraints, WeightRatioConstraints
+from ..data.constraints import interactive_constraints, weak_ranking_constraints
+from ..data.real import car_dataset, iip_dataset, nba_dataset
+from ..data.synthetic import (SyntheticConfig, generate_certain_points,
+                              generate_uncertain_dataset)
+from ..eclipse import dual_s_eclipse, quad_eclipse
+from .harness import SweepPoint, run_algorithms, time_call
+
+#: Algorithms shown in the Fig. 5 / Fig. 6 running-time plots (ENUM is shown
+#: only at the smallest sizes in the paper and is omitted by default here).
+DEFAULT_ALGORITHMS = ("loop", "kdtt+", "qdtt+", "bnb")
+
+
+# ----------------------------------------------------------------------
+# Figure 5: synthetic datasets, general linear constraints
+# ----------------------------------------------------------------------
+def synthetic_workload(num_objects: int = 200, max_instances: int = 5,
+                       dimension: int = 4, region_length: float = 0.2,
+                       incomplete_fraction: float = 0.0,
+                       distribution: str = "IND",
+                       num_constraints: Optional[int] = None,
+                       constraint_generator: str = "WR",
+                       seed: int = 7) -> Tuple[UncertainDataset, LinearConstraints]:
+    """One synthetic workload (dataset + constraints) with paper semantics."""
+    config = SyntheticConfig(num_objects=num_objects,
+                             max_instances=max_instances,
+                             dimension=dimension,
+                             region_length=region_length,
+                             incomplete_fraction=incomplete_fraction,
+                             distribution=distribution,
+                             seed=seed)
+    dataset = generate_uncertain_dataset(config)
+    if num_constraints is None:
+        num_constraints = dimension - 1
+    if constraint_generator.upper() == "WR":
+        constraints = weak_ranking_constraints(dimension, num_constraints)
+    elif constraint_generator.upper() == "IM":
+        constraints = interactive_constraints(dimension, num_constraints,
+                                              seed=seed)
+    else:
+        raise ValueError("constraint_generator must be 'WR' or 'IM'")
+    return dataset, constraints
+
+
+def figure5_sweep(parameter: str, values: Sequence[object],
+                  distribution: str = "IND",
+                  algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                  constraint_generator: str = "WR",
+                  base: Optional[Dict[str, object]] = None,
+                  check_consistency: bool = False) -> List[SweepPoint]:
+    """Generic Fig. 5 sweep over one of m / cnt / d / l / phi / c."""
+    base = dict(base or {})
+    base.setdefault("distribution", distribution)
+    base.setdefault("constraint_generator", constraint_generator)
+    parameter_to_kwarg = {
+        "m": "num_objects",
+        "cnt": "max_instances",
+        "d": "dimension",
+        "l": "region_length",
+        "phi": "incomplete_fraction",
+        "c": "num_constraints",
+    }
+    if parameter not in parameter_to_kwarg:
+        raise ValueError("unknown Fig. 5 parameter %r" % parameter)
+    kwarg = parameter_to_kwarg[parameter]
+
+    points: List[SweepPoint] = []
+    for value in values:
+        kwargs = dict(base)
+        kwargs[kwarg] = value
+        dataset, constraints = synthetic_workload(**kwargs)
+        runs = run_algorithms(dataset, constraints, algorithms,
+                              check_consistency=check_consistency)
+        points.append(SweepPoint(parameter=parameter, value=value, runs=runs))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 6: real (simulated) datasets
+# ----------------------------------------------------------------------
+def real_dataset(name: str, seed: int = 11, **kwargs) -> UncertainDataset:
+    """Instantiate one of the simulated real datasets by name."""
+    name = name.upper()
+    if name == "IIP":
+        return iip_dataset(seed=seed, **kwargs)
+    if name == "CAR":
+        return car_dataset(seed=seed, **kwargs)
+    if name == "NBA":
+        return nba_dataset(seed=seed, **kwargs)
+    raise ValueError("unknown real dataset %r (expected IIP, CAR or NBA)"
+                     % name)
+
+
+def figure6_sweep(dataset_name: str, parameter: str,
+                  values: Sequence[object],
+                  algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                  seed: int = 11,
+                  dataset_kwargs: Optional[Dict[str, object]] = None
+                  ) -> List[SweepPoint]:
+    """Fig. 6 sweep on a real dataset over ``m`` (%), ``d`` or ``c``."""
+    dataset_kwargs = dict(dataset_kwargs or {})
+    full = real_dataset(dataset_name, seed=seed, **dataset_kwargs)
+    rng = np.random.default_rng(seed)
+    points: List[SweepPoint] = []
+    for value in values:
+        if parameter == "m":
+            count = max(1, int(round(full.num_objects * float(value) / 100.0)))
+            selected = rng.choice(full.num_objects, size=count, replace=False)
+            dataset = full.subset(sorted(int(i) for i in selected))
+            constraints = weak_ranking_constraints(dataset.dimension)
+        elif parameter == "d":
+            dims = list(range(int(value)))
+            dataset = full.project(dims)
+            constraints = weak_ranking_constraints(int(value))
+        elif parameter == "c":
+            dataset = full
+            constraints = weak_ranking_constraints(full.dimension, int(value))
+        else:
+            raise ValueError("unknown Fig. 6 parameter %r" % parameter)
+        runs = run_algorithms(dataset, constraints, algorithms)
+        points.append(SweepPoint(parameter=parameter, value=value, runs=runs))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 7: specialised DUAL-MS (d = 2) vs KDTT+ on IIP
+# ----------------------------------------------------------------------
+def figure7_dual_ms(fractions: Sequence[float] = (20, 40, 60, 80, 100),
+                    num_records: int = 400,
+                    ratio_range: Tuple[float, float] = (0.5, 2.0),
+                    seed: int = 13) -> List[Dict[str, float]]:
+    """Query time of DUAL-MS vs KDTT+ on the IIP dataset, plus DUAL-MS
+    preprocessing time (the three series of Fig. 7(b))."""
+    full = iip_dataset(num_records=num_records, seed=seed)
+    rng = np.random.default_rng(seed)
+    constraints = WeightRatioConstraints([ratio_range])
+    rows: List[Dict[str, float]] = []
+    for fraction in fractions:
+        count = max(2, int(round(full.num_objects * float(fraction) / 100.0)))
+        selected = rng.choice(full.num_objects, size=count, replace=False)
+        dataset = full.subset(sorted(int(i) for i in selected))
+
+        index, preprocessing = time_call(Dual2DIndex, dataset)
+        _, query_seconds = time_call(index.query, constraints)
+        _, kdtt_seconds = time_call(kdtree_traversal_arsp, dataset,
+                                    constraints)
+        rows.append({
+            "m_percent": float(fraction),
+            "num_instances": float(dataset.num_instances),
+            "dual_ms_preprocess_s": preprocessing,
+            "dual_ms_query_s": query_seconds,
+            "kdtt_plus_s": kdtt_seconds,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8: eclipse queries, DUAL-S vs QUAD
+# ----------------------------------------------------------------------
+DEFAULT_RATIO_RANGE = (0.36, 2.75)
+FIG8_RATIO_RANGES = ((0.84, 1.19), (0.58, 1.73), (0.36, 2.75), (0.18, 5.67))
+
+
+def figure8_sweep(parameter: str, values: Sequence[object],
+                  default_n: int = 2 ** 12, default_d: int = 3,
+                  default_range: Tuple[float, float] = DEFAULT_RATIO_RANGE,
+                  distribution: str = "IND",
+                  seed: int = 17) -> List[Dict[str, object]]:
+    """Running time of QUAD vs DUAL-S over ``n``, ``d`` or ``q`` (Fig. 8)."""
+    rows: List[Dict[str, object]] = []
+    for value in values:
+        n, d, ratio = default_n, default_d, default_range
+        if parameter == "n":
+            n = int(value)
+        elif parameter == "d":
+            d = int(value)
+        elif parameter == "q":
+            ratio = tuple(value)
+        else:
+            raise ValueError("unknown Fig. 8 parameter %r" % parameter)
+        points = generate_certain_points(n, d, distribution=distribution,
+                                         seed=seed)
+        constraints = WeightRatioConstraints([ratio] * (d - 1))
+        quad_result, quad_seconds = time_call(quad_eclipse, points,
+                                              constraints)
+        dual_result, dual_seconds = time_call(dual_s_eclipse, points,
+                                              constraints)
+        rows.append({
+            "parameter": parameter,
+            "value": value,
+            "quad_s": quad_seconds,
+            "dual_s_s": dual_seconds,
+            "eclipse_size": len(dual_result),
+            "results_match": sorted(quad_result) == sorted(dual_result),
+        })
+    return rows

@@ -1,0 +1,152 @@
+"""Timing harness shared by all experiments and benchmarks.
+
+The harness measures wall-clock running time of ARSP algorithms on a given
+workload, enforces a per-run time budget (the paper uses an "INF" cut-off of
+3600 s; the scaled-down Python experiments default to a much smaller budget)
+and reports the ARSP size statistic next to the timings — exactly the two
+series plotted in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.arsp import arsp_size
+from ..core.dataset import UncertainDataset
+from ..algorithms.registry import get_algorithm
+
+
+@dataclass
+class AlgorithmRun:
+    """Outcome of running one algorithm on one workload."""
+
+    algorithm: str
+    seconds: Optional[float]
+    arsp_size: Optional[int]
+    skipped: bool = False
+    error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.seconds is not None and self.error is None
+
+
+@dataclass
+class SweepPoint:
+    """All algorithm runs for one setting of the swept parameter."""
+
+    parameter: str
+    value: object
+    runs: Dict[str, AlgorithmRun] = field(default_factory=dict)
+
+    def seconds(self, algorithm: str) -> Optional[float]:
+        run = self.runs.get(algorithm)
+        return run.seconds if run is not None else None
+
+    def size(self) -> Optional[int]:
+        for run in self.runs.values():
+            if run.arsp_size is not None:
+                return run.arsp_size
+        return None
+
+
+def time_call(function: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Call ``function`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_algorithms(dataset: UncertainDataset, constraints,
+                   algorithms: Sequence[str],
+                   reference: Optional[Dict[int, float]] = None,
+                   check_consistency: bool = False,
+                   skip: Sequence[str] = ()) -> Dict[str, AlgorithmRun]:
+    """Run several ARSP algorithms on the same workload.
+
+    Parameters
+    ----------
+    dataset, constraints:
+        The workload.
+    algorithms:
+        Registry names of the algorithms to run.
+    reference:
+        Optional precomputed result used for consistency checking.
+    check_consistency:
+        When True the results of all algorithms are compared against the
+        first finished run (or ``reference``); a mismatch is recorded in the
+        run's ``error`` field rather than raised, so benchmark sweeps keep
+        going.
+    skip:
+        Algorithm names to record as skipped without running (the moral
+        equivalent of the paper's INF entries).
+    """
+    runs: Dict[str, AlgorithmRun] = {}
+    baseline = reference
+    for name in algorithms:
+        if name in skip:
+            runs[name] = AlgorithmRun(algorithm=name, seconds=None,
+                                      arsp_size=None, skipped=True)
+            continue
+        implementation = get_algorithm(name)
+        try:
+            result, elapsed = time_call(implementation, dataset, constraints)
+        except Exception as exc:  # pragma: no cover - defensive for sweeps
+            runs[name] = AlgorithmRun(algorithm=name, seconds=None,
+                                      arsp_size=None, error=str(exc))
+            continue
+        error = None
+        if check_consistency:
+            if baseline is None:
+                baseline = result
+            else:
+                error = _compare(baseline, result)
+        runs[name] = AlgorithmRun(algorithm=name, seconds=elapsed,
+                                  arsp_size=arsp_size(result), error=error)
+    return runs
+
+
+def sweep(parameter: str, values: Sequence[object],
+          workload_factory: Callable[[object], Tuple[UncertainDataset, object]],
+          algorithms: Sequence[str],
+          check_consistency: bool = False) -> List[SweepPoint]:
+    """Run a full parameter sweep.
+
+    ``workload_factory(value)`` must return ``(dataset, constraints)`` for
+    the given parameter value.
+    """
+    points: List[SweepPoint] = []
+    for value in values:
+        dataset, constraints = workload_factory(value)
+        runs = run_algorithms(dataset, constraints, algorithms,
+                              check_consistency=check_consistency)
+        points.append(SweepPoint(parameter=parameter, value=value, runs=runs))
+    return points
+
+
+def sweep_to_series(points: Sequence[SweepPoint],
+                    algorithms: Sequence[str]) -> Dict[str, List[object]]:
+    """Convert sweep points into printable running-time / size series."""
+    series: Dict[str, List[object]] = {name: [] for name in algorithms}
+    series["ARSP size"] = []
+    for point in points:
+        for name in algorithms:
+            series[name].append(point.seconds(name))
+        series["ARSP size"].append(point.size())
+    return series
+
+
+def _compare(reference: Dict[int, float], candidate: Dict[int, float],
+             atol: float = 1e-8) -> Optional[str]:
+    """Return an error string when two ARSP results disagree."""
+    if set(reference) != set(candidate):
+        return "result key sets differ"
+    worst = 0.0
+    for key, value in reference.items():
+        worst = max(worst, abs(value - candidate[key]))
+    if worst > atol:
+        return "results differ by up to %.3e" % worst
+    return None

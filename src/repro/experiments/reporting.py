@@ -1,0 +1,69 @@
+"""Plain-text formatting of experiment results.
+
+The paper reports its evaluation as tables (Table I / II) and as running-time
+/ result-size series over a swept parameter (Figs. 5-8).  The helpers here
+turn the structured results produced by the harness into the same rows and
+series, printed as aligned plain text so the benchmark output can be compared
+directly with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    columns = [list(map(_fmt, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(map(_fmt, headers),
+                                                       widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(cell).ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(parameter_name: str,
+                  parameter_values: Sequence[object],
+                  series: Mapping[str, Sequence[object]],
+                  title: str = "") -> str:
+    """Render one swept parameter against several measured series.
+
+    ``series`` maps a series name (e.g. an algorithm) to one value per
+    parameter setting; missing values may be ``None`` and are rendered as
+    ``-`` (the paper uses INF for algorithms that exceed the time limit).
+    """
+    headers = [parameter_name] + list(series)
+    rows = []
+    for position, value in enumerate(parameter_values):
+        row = [value]
+        for name in series:
+            values = series[name]
+            row.append(values[position] if position < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return "%.3e" % value
+        return "%.4g" % value
+    return str(value)
+
+
+def merge_series(results: Sequence[Mapping[str, object]],
+                 keys: Sequence[str]) -> Dict[str, List[object]]:
+    """Collect per-run dictionaries into parallel series keyed by ``keys``."""
+    return {key: [run.get(key) for run in results] for key in keys}

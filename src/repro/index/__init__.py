@@ -1,0 +1,20 @@
+"""Spatial index substrate used by the ARSP and eclipse algorithms.
+
+Everything here is implemented from scratch on top of numpy arrays:
+
+* :mod:`repro.index.kdtree` — a bulk-built kd-tree with weighted aggregate
+  queries driven by caller-supplied node classifiers (used by the DUAL
+  algorithms and the eclipse DUAL-S algorithm).
+* :mod:`repro.index.quadtree` — a region quadtree (used by the QUAD eclipse
+  baseline and available to the quadtree-traversal experiments).
+* :mod:`repro.index.rtree` — an R-tree supporting STR bulk loading,
+  incremental insertion and aggregated window queries (used by the
+  branch-and-bound algorithm).
+"""
+
+from .bbox import BoundingBox
+from .kdtree import KDTree
+from .quadtree import QuadTree
+from .rtree import RTree
+
+__all__ = ["BoundingBox", "KDTree", "QuadTree", "RTree"]

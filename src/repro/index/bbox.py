@@ -1,0 +1,80 @@
+"""Axis-aligned bounding boxes shared by the spatial indexes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class BoundingBox:
+    """A closed axis-aligned box ``[lo, hi]`` in ``R^d``."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if self.lo.shape != self.hi.shape:
+            raise ValueError("lo and hi must have the same shape")
+        if np.any(self.lo > self.hi):
+            raise ValueError("lo must be component-wise at most hi")
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "BoundingBox":
+        """Smallest box containing every row of ``points``."""
+        array = np.asarray(points, dtype=float)
+        if array.size == 0:
+            raise ValueError("cannot build a bounding box of zero points")
+        return cls(array.min(axis=0), array.max(axis=0))
+
+    @property
+    def dimension(self) -> int:
+        return self.lo.shape[0]
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        point = np.asarray(point, dtype=float)
+        return bool(np.all(self.lo <= point) and np.all(point <= self.hi))
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        return bool(np.all(self.lo <= other.lo) and np.all(other.hi <= self.hi))
+
+    def intersects_box(self, other: "BoundingBox") -> bool:
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(np.minimum(self.lo, other.lo),
+                           np.maximum(self.hi, other.hi))
+
+    def expanded_to(self, point: Sequence[float]) -> "BoundingBox":
+        point = np.asarray(point, dtype=float)
+        return BoundingBox(np.minimum(self.lo, point),
+                           np.maximum(self.hi, point))
+
+    def margin_increase(self, point: Sequence[float]) -> float:
+        """Increase in perimeter ("margin") when adding ``point``.
+
+        Used by the R-tree ChooseLeaf heuristic; cheaper and better behaved
+        than volume in high dimensions where many boxes are degenerate.
+        """
+        point = np.asarray(point, dtype=float)
+        new_lo = np.minimum(self.lo, point)
+        new_hi = np.maximum(self.hi, point)
+        return float(np.sum(new_hi - new_lo) - np.sum(self.hi - self.lo))
+
+    def volume(self) -> float:
+        return float(np.prod(self.hi - self.lo))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "BoundingBox(lo=%s, hi=%s)" % (self.lo.tolist(), self.hi.tolist())
+
+
+def union_boxes(boxes: Iterable[BoundingBox]) -> BoundingBox:
+    """Union of a non-empty iterable of boxes."""
+    boxes = list(boxes)
+    if not boxes:
+        raise ValueError("cannot union zero boxes")
+    result = boxes[0]
+    for box in boxes[1:]:
+        result = result.union(box)
+    return result

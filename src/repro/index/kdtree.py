@@ -1,0 +1,235 @@
+"""A bulk-built kd-tree with weighted aggregate queries.
+
+The tree stores points together with optional per-point weights and payload
+values.  Besides classic axis-aligned range queries it supports *generalised
+aggregate queries* driven by a caller-supplied node classifier: the caller
+inspects a node's bounding box and decides whether every point inside it
+satisfies the query predicate (``INSIDE``), no point can (``OUTSIDE``) or the
+node must be opened (``PARTIAL``).  This is exactly the access pattern needed
+by the half-space style queries of the DUAL algorithms, whose query regions
+are not axis-aligned boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+#: Classifier verdicts for generalised queries.
+INSIDE = 1
+OUTSIDE = -1
+PARTIAL = 0
+
+NodeClassifier = Callable[[np.ndarray, np.ndarray], int]
+PointPredicate = Callable[[np.ndarray], bool]
+
+
+class KDTreeNode:
+    """One node of the kd-tree (leaf or internal)."""
+
+    __slots__ = ("lo", "hi", "indices", "left", "right", "weight_sum")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray,
+                 indices: Optional[np.ndarray], weight_sum: float):
+        self.lo = lo
+        self.hi = hi
+        self.indices = indices
+        self.left: Optional["KDTreeNode"] = None
+        self.right: Optional["KDTreeNode"] = None
+        self.weight_sum = weight_sum
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+
+class KDTree:
+    """kd-tree over a fixed set of points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of point coordinates.
+    weights:
+        Optional per-point weights used by aggregate queries (defaults to 1).
+    data:
+        Optional per-point payload returned by reporting queries.
+    leaf_size:
+        Maximum number of points stored in a leaf.
+    """
+
+    def __init__(self, points: np.ndarray,
+                 weights: Optional[Sequence[float]] = None,
+                 data: Optional[Sequence] = None,
+                 leaf_size: int = 16):
+        self.points = np.asarray(points, dtype=float)
+        if self.points.ndim != 2:
+            raise ValueError("points must be an (n, d) array")
+        n = self.points.shape[0]
+        self.weights = (np.ones(n) if weights is None
+                        else np.asarray(weights, dtype=float))
+        if self.weights.shape[0] != n:
+            raise ValueError("weights must have one entry per point")
+        self.data = list(data) if data is not None else None
+        if self.data is not None and len(self.data) != n:
+            raise ValueError("data must have one entry per point")
+        self.leaf_size = max(1, int(leaf_size))
+        self.root: Optional[KDTreeNode] = (
+            self._build(np.arange(n), depth=0) if n else None)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, indices: np.ndarray, depth: int) -> KDTreeNode:
+        subset = self.points[indices]
+        lo = subset.min(axis=0)
+        hi = subset.max(axis=0)
+        weight_sum = float(self.weights[indices].sum())
+        if len(indices) <= self.leaf_size:
+            return KDTreeNode(lo, hi, indices, weight_sum)
+        # Split along the widest dimension at the median; fall back to a leaf
+        # if every point is identical (zero spread in all dimensions).
+        spreads = hi - lo
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0.0:
+            return KDTreeNode(lo, hi, indices, weight_sum)
+        order = np.argsort(subset[:, axis], kind="stable")
+        half = len(indices) // 2
+        left_idx = indices[order[:half]]
+        right_idx = indices[order[half:]]
+        node = KDTreeNode(lo, hi, None, weight_sum)
+        node.left = self._build(left_idx, depth + 1)
+        node.right = self._build(right_idx, depth + 1)
+        return node
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    # ------------------------------------------------------------------
+    # Axis-aligned range queries
+    # ------------------------------------------------------------------
+    def range_indices(self, lo: Sequence[float], hi: Sequence[float]
+                      ) -> List[int]:
+        """Indices of points inside the closed box ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+
+        def classifier(node_lo: np.ndarray, node_hi: np.ndarray) -> int:
+            if np.any(node_lo > hi) or np.any(node_hi < lo):
+                return OUTSIDE
+            if np.all(lo <= node_lo) and np.all(node_hi <= hi):
+                return INSIDE
+            return PARTIAL
+
+        def predicate(point: np.ndarray) -> bool:
+            return bool(np.all(lo <= point) and np.all(point <= hi))
+
+        return self.report(classifier, predicate)
+
+    def range_weight(self, lo: Sequence[float], hi: Sequence[float]) -> float:
+        """Total weight of points inside the closed box ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+
+        def classifier(node_lo: np.ndarray, node_hi: np.ndarray) -> int:
+            if np.any(node_lo > hi) or np.any(node_hi < lo):
+                return OUTSIDE
+            if np.all(lo <= node_lo) and np.all(node_hi <= hi):
+                return INSIDE
+            return PARTIAL
+
+        def predicate(point: np.ndarray) -> bool:
+            return bool(np.all(lo <= point) and np.all(point <= hi))
+
+        return self.aggregate(classifier, predicate)
+
+    # ------------------------------------------------------------------
+    # Generalised queries
+    # ------------------------------------------------------------------
+    def aggregate(self, classifier: NodeClassifier,
+                  predicate: PointPredicate) -> float:
+        """Total weight of points satisfying ``predicate``.
+
+        ``classifier(lo, hi)`` must be conservative: return ``INSIDE`` only
+        when every point of the box satisfies the predicate and ``OUTSIDE``
+        only when none can.
+        """
+        if self.root is None:
+            return 0.0
+        total = 0.0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            verdict = classifier(node.lo, node.hi)
+            if verdict == OUTSIDE:
+                continue
+            if verdict == INSIDE:
+                total += node.weight_sum
+                continue
+            if node.is_leaf:
+                for index in node.indices:
+                    if predicate(self.points[index]):
+                        total += self.weights[index]
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return total
+
+    def report(self, classifier: NodeClassifier,
+               predicate: PointPredicate) -> List[int]:
+        """Indices of points satisfying ``predicate``."""
+        result: List[int] = []
+        if self.root is None:
+            return result
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            verdict = classifier(node.lo, node.hi)
+            if verdict == OUTSIDE:
+                continue
+            if verdict == INSIDE:
+                result.extend(self._collect(node))
+                continue
+            if node.is_leaf:
+                for index in node.indices:
+                    if predicate(self.points[index]):
+                        result.append(int(index))
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return result
+
+    def any_match(self, classifier: NodeClassifier,
+                  predicate: PointPredicate) -> bool:
+        """Early-exit emptiness query: does any point satisfy the predicate?"""
+        if self.root is None:
+            return False
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            verdict = classifier(node.lo, node.hi)
+            if verdict == OUTSIDE:
+                continue
+            if verdict == INSIDE:
+                return True
+            if node.is_leaf:
+                for index in node.indices:
+                    if predicate(self.points[index]):
+                        return True
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return False
+
+    def _collect(self, node: KDTreeNode) -> List[int]:
+        indices: List[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                indices.extend(int(i) for i in current.indices)
+            else:
+                stack.append(current.left)
+                stack.append(current.right)
+        return indices

@@ -1,0 +1,144 @@
+"""A point region quadtree (generalised to ``2^d`` children per node).
+
+The quadtree splits every dimension at the midpoint of the node's box, which
+is the partitioning scheme used by the QDTT+ variant of the tree-traversal
+algorithm and by the QUAD eclipse baseline.  Points are stored in the leaves;
+splitting stops at a leaf capacity or a maximum depth (whichever comes
+first), so degenerate inputs with many identical points terminate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class QuadTreeNode:
+    """One node of the quadtree."""
+
+    __slots__ = ("lo", "hi", "indices", "children", "depth")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, depth: int):
+        self.lo = lo
+        self.hi = hi
+        self.indices: Optional[List[int]] = []
+        self.children: Optional[List["QuadTreeNode"]] = None
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+
+class QuadTree:
+    """Region quadtree over a fixed set of points."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 16,
+                 max_depth: int = 32,
+                 bounds: Optional[Sequence[Sequence[float]]] = None):
+        self.points = np.asarray(points, dtype=float)
+        if self.points.ndim != 2:
+            raise ValueError("points must be an (n, d) array")
+        self.leaf_size = max(1, int(leaf_size))
+        self.max_depth = max(1, int(max_depth))
+        n, d = self.points.shape
+        if bounds is not None:
+            lo = np.asarray(bounds[0], dtype=float)
+            hi = np.asarray(bounds[1], dtype=float)
+        elif n:
+            lo = self.points.min(axis=0)
+            hi = self.points.max(axis=0)
+        else:
+            lo = np.zeros(d)
+            hi = np.ones(d)
+        # Guard against zero-width boxes so midpoint splits make progress.
+        hi = np.where(hi > lo, hi, lo + 1.0)
+        self.root = QuadTreeNode(lo, hi, depth=0)
+        for index in range(n):
+            self._insert(self.root, index)
+
+    @property
+    def dimension(self) -> int:
+        return self.points.shape[1]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _insert(self, node: QuadTreeNode, index: int) -> None:
+        while True:
+            if node.is_leaf:
+                node.indices.append(index)
+                if (len(node.indices) > self.leaf_size
+                        and node.depth < self.max_depth):
+                    self._split(node)
+                return
+            node = node.children[self._child_index(node, self.points[index])]
+
+    def _split(self, node: QuadTreeNode) -> None:
+        center = node.center()
+        d = self.dimension
+        children: List[QuadTreeNode] = []
+        for code in range(1 << d):
+            lo = node.lo.copy()
+            hi = node.hi.copy()
+            for dim in range(d):
+                if (code >> dim) & 1:
+                    lo[dim] = center[dim]
+                else:
+                    hi[dim] = center[dim]
+            children.append(QuadTreeNode(lo, hi, node.depth + 1))
+        indices = node.indices
+        node.indices = None
+        node.children = children
+        for index in indices:
+            child = children[self._child_index(node, self.points[index])]
+            child.indices.append(index)
+            if (len(child.indices) > self.leaf_size
+                    and child.depth < self.max_depth):
+                self._split(child)
+
+    def _child_index(self, node: QuadTreeNode, point: np.ndarray) -> int:
+        center = node.center()
+        code = 0
+        for dim in range(self.dimension):
+            if point[dim] >= center[dim]:
+                code |= 1 << dim
+        return code
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_indices(self, lo: Sequence[float], hi: Sequence[float]
+                      ) -> List[int]:
+        """Indices of points inside the closed box ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if np.any(node.lo > hi) or np.any(node.hi < lo):
+                continue
+            if node.is_leaf:
+                for index in node.indices:
+                    point = self.points[index]
+                    if np.all(lo <= point) and np.all(point <= hi):
+                        result.append(index)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def count_nodes(self) -> int:
+        """Total number of nodes (used by tests and diagnostics)."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count

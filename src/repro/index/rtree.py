@@ -1,0 +1,336 @@
+"""An aggregated R-tree.
+
+Two usage patterns from the paper are covered:
+
+* a *static* R-tree over the raw instance set ``I`` built with STR bulk
+  loading — the branch-and-bound algorithm traverses it in best-first order;
+* *incremental* aggregated R-trees ``R_1, ..., R_m`` (one per uncertain
+  object) into which mapped instances are inserted as they are processed and
+  which answer window aggregate queries ("sum of probabilities of points
+  dominated by the query corner").
+
+Every node maintains the total weight of the points below it so a window
+aggregate query can add whole subtrees without opening them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class RTreeEntry:
+    """A point stored in a leaf, with its weight and an opaque payload."""
+
+    __slots__ = ("point", "weight", "data")
+
+    def __init__(self, point: np.ndarray, weight: float, data):
+        self.point = point
+        self.weight = weight
+        self.data = data
+
+
+class RTreeNode:
+    """One node of the R-tree."""
+
+    __slots__ = ("is_leaf", "entries", "children", "lo", "hi", "weight_sum",
+                 "parent")
+
+    def __init__(self, is_leaf: bool, dimension: int):
+        self.is_leaf = is_leaf
+        self.entries: List[RTreeEntry] = []
+        self.children: List["RTreeNode"] = []
+        self.lo = np.full(dimension, np.inf)
+        self.hi = np.full(dimension, -np.inf)
+        self.weight_sum = 0.0
+        self.parent: Optional["RTreeNode"] = None
+
+    def recompute_bounds(self) -> None:
+        """Recompute MBR and aggregate weight from children / entries."""
+        if self.is_leaf:
+            if self.entries:
+                points = np.asarray([entry.point for entry in self.entries])
+                self.lo = points.min(axis=0)
+                self.hi = points.max(axis=0)
+                self.weight_sum = float(sum(e.weight for e in self.entries))
+            else:
+                self.lo[:] = np.inf
+                self.hi[:] = -np.inf
+                self.weight_sum = 0.0
+        else:
+            self.lo = np.min([child.lo for child in self.children], axis=0)
+            self.hi = np.max([child.hi for child in self.children], axis=0)
+            self.weight_sum = float(sum(c.weight_sum for c in self.children))
+
+    def extend_bounds(self, point: np.ndarray, weight: float) -> None:
+        """Grow the MBR to include ``point`` and add its weight."""
+        self.lo = np.minimum(self.lo, point)
+        self.hi = np.maximum(self.hi, point)
+        self.weight_sum += weight
+
+    def __len__(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+
+class RTree:
+    """Aggregated R-tree supporting bulk loading and insertion."""
+
+    def __init__(self, dimension: int, max_entries: int = 16):
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        self.dimension = int(dimension)
+        self.max_entries = max(4, int(max_entries))
+        self.min_entries = max(2, self.max_entries // 3)
+        self.root = RTreeNode(is_leaf=True, dimension=self.dimension)
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, points: np.ndarray,
+                  weights: Optional[Sequence[float]] = None,
+                  data: Optional[Sequence] = None,
+                  max_entries: int = 16) -> "RTree":
+        """Build an R-tree from a static point set with STR packing."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError("points must be an (n, d) array")
+        n, dimension = points.shape
+        tree = cls(dimension, max_entries=max_entries)
+        if n == 0:
+            return tree
+        if weights is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(weights, dtype=float)
+        payloads = list(data) if data is not None else [None] * n
+
+        entries = [RTreeEntry(points[i], float(weights[i]), payloads[i])
+                   for i in range(n)]
+        leaves = tree._pack_entries(entries)
+        tree.root = tree._pack_upwards(leaves)
+        tree.size = n
+        return tree
+
+    def _pack_entries(self, entries: List[RTreeEntry]) -> List[RTreeNode]:
+        """Pack leaf entries into leaves using recursive STR tiling."""
+        groups = _str_partition([entry.point for entry in entries],
+                                list(range(len(entries))),
+                                self.max_entries, axis=0)
+        leaves = []
+        for group in groups:
+            leaf = RTreeNode(is_leaf=True, dimension=self.dimension)
+            leaf.entries = [entries[i] for i in group]
+            leaf.recompute_bounds()
+            leaves.append(leaf)
+        return leaves
+
+    def _pack_upwards(self, nodes: List[RTreeNode]) -> RTreeNode:
+        """Pack a level of nodes into parents until a single root remains."""
+        while len(nodes) > 1:
+            centers = [((node.lo + node.hi) / 2.0) for node in nodes]
+            groups = _str_partition(centers, list(range(len(nodes))),
+                                    self.max_entries, axis=0)
+            parents = []
+            for group in groups:
+                parent = RTreeNode(is_leaf=False, dimension=self.dimension)
+                parent.children = [nodes[i] for i in group]
+                for child in parent.children:
+                    child.parent = parent
+                parent.recompute_bounds()
+                parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, point: Sequence[float], weight: float = 1.0,
+               data=None) -> None:
+        """Insert a weighted point, maintaining node aggregates."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dimension,):
+            raise ValueError("point must have dimension %d" % self.dimension)
+        entry = RTreeEntry(point, float(weight), data)
+        leaf = self._choose_leaf(self.root, point, weight)
+        leaf.entries.append(entry)
+        leaf.recompute_bounds()
+        self._handle_overflow(leaf)
+        self.size += 1
+
+    def _choose_leaf(self, node: RTreeNode, point: np.ndarray,
+                     weight: float) -> RTreeNode:
+        while not node.is_leaf:
+            node.extend_bounds(point, weight)
+            best = None
+            best_cost = None
+            for child in node.children:
+                cost = _margin_increase(child.lo, child.hi, point)
+                if best_cost is None or cost < best_cost:
+                    best = child
+                    best_cost = cost
+            node = best
+        return node
+
+    def _handle_overflow(self, node: RTreeNode) -> None:
+        while len(node) > self.max_entries:
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = RTreeNode(is_leaf=False, dimension=self.dimension)
+                new_root.children = [node, sibling]
+                node.parent = new_root
+                sibling.parent = new_root
+                new_root.recompute_bounds()
+                self.root = new_root
+                return
+            parent.children.append(sibling)
+            sibling.parent = parent
+            parent.recompute_bounds()
+            node = parent
+        # Refresh aggregates up to the root (bounds already extended on the
+        # way down; weight sums were updated there too, but a split rebuilds
+        # them from scratch so walk up once to keep everything exact).
+        current = node.parent
+        while current is not None:
+            current.recompute_bounds()
+            current = current.parent
+
+    def _split(self, node: RTreeNode) -> RTreeNode:
+        """Split an overflowing node along its widest dimension."""
+        sibling = RTreeNode(is_leaf=node.is_leaf, dimension=self.dimension)
+        if node.is_leaf:
+            points = np.asarray([entry.point for entry in node.entries])
+            axis = int(np.argmax(points.max(axis=0) - points.min(axis=0)))
+            order = np.argsort(points[:, axis], kind="stable")
+            half = len(order) // 2
+            keep = [node.entries[i] for i in order[:half]]
+            move = [node.entries[i] for i in order[half:]]
+            node.entries = keep
+            sibling.entries = move
+        else:
+            centers = np.asarray([(child.lo + child.hi) / 2.0
+                                  for child in node.children])
+            axis = int(np.argmax(centers.max(axis=0) - centers.min(axis=0)))
+            order = np.argsort(centers[:, axis], kind="stable")
+            half = len(order) // 2
+            keep = [node.children[i] for i in order[:half]]
+            move = [node.children[i] for i in order[half:]]
+            node.children = keep
+            sibling.children = move
+            for child in sibling.children:
+                child.parent = sibling
+        node.recompute_bounds()
+        sibling.recompute_bounds()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def window_aggregate(self, lo: Sequence[float], hi: Sequence[float]
+                         ) -> float:
+        """Total weight of points inside the closed box ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        if self.size == 0:
+            return 0.0
+        total = 0.0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.weight_sum == 0.0:
+                continue
+            if np.any(node.lo > hi) or np.any(node.hi < lo):
+                continue
+            if np.all(lo <= node.lo) and np.all(node.hi <= hi):
+                total += node.weight_sum
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if (np.all(lo <= entry.point)
+                            and np.all(entry.point <= hi)):
+                        total += entry.weight
+            else:
+                stack.extend(node.children)
+        return total
+
+    def window_entries(self, lo: Sequence[float], hi: Sequence[float]
+                       ) -> List[RTreeEntry]:
+        """Entries whose points lie inside the closed box ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        result: List[RTreeEntry] = []
+        if self.size == 0:
+            return result
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if np.any(node.lo > hi) or np.any(node.hi < lo):
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if (np.all(lo <= entry.point)
+                            and np.all(entry.point <= hi)):
+                        result.append(entry)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def iter_entries(self) -> Iterator[RTreeEntry]:
+        """Iterate over all stored entries."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry
+            else:
+                stack.extend(node.children)
+
+    def total_weight(self) -> float:
+        return self.root.weight_sum if self.size else 0.0
+
+    def height(self) -> int:
+        """Height of the tree (1 for a single leaf root)."""
+        height = 1
+        node = self.root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height
+
+
+def _margin_increase(lo: np.ndarray, hi: np.ndarray,
+                     point: np.ndarray) -> float:
+    """Perimeter increase of the box ``[lo, hi]`` when adding ``point``."""
+    new_lo = np.minimum(lo, point)
+    new_hi = np.maximum(hi, point)
+    return float(np.sum(new_hi - new_lo) - np.sum(hi - lo))
+
+
+def _str_partition(points: Sequence[np.ndarray], indices: List[int],
+                   capacity: int, axis: int) -> List[List[int]]:
+    """Recursively tile ``indices`` into groups of at most ``capacity``.
+
+    A simplified Sort-Tile-Recursive: sort by the current axis, cut into
+    vertical slabs, then recurse on the next axis within each slab.
+    """
+    if len(indices) <= capacity:
+        return [list(indices)]
+    dimension = len(points[0])
+    num_groups = int(np.ceil(len(indices) / capacity))
+    num_slabs = int(np.ceil(num_groups ** (1.0 / max(1, dimension - axis))))
+    slab_size = int(np.ceil(len(indices) / num_slabs))
+    order = sorted(indices, key=lambda i: points[i][axis])
+    groups: List[List[int]] = []
+    next_axis = (axis + 1) % dimension
+    for start in range(0, len(order), slab_size):
+        slab = order[start:start + slab_size]
+        if axis == dimension - 1 or len(slab) <= capacity:
+            for chunk_start in range(0, len(slab), capacity):
+                groups.append(slab[chunk_start:chunk_start + capacity])
+        else:
+            groups.extend(_str_partition(points, slab, capacity, next_axis))
+    return groups

@@ -1,0 +1,66 @@
+"""Tests for the ASP special case (all skyline probabilities)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints, UncertainDataset, compute_asp
+from repro.algorithms.asp import (compute_skyline_probabilities,
+                                  identity_region,
+                                  object_skyline_probabilities)
+from repro.core.possible_worlds import brute_force_arsp
+from tests.conftest import assert_results_close, make_random_dataset
+
+
+class TestIdentityRegion:
+    def test_identity_scores(self):
+        region = identity_region(3)
+        np.testing.assert_allclose(region.score([1.0, 2.0, 3.0]),
+                                   [1.0, 2.0, 3.0])
+
+    def test_vertex_count(self):
+        assert identity_region(4).num_vertices == 4
+
+
+class TestComputeAsp:
+    def test_matches_unconstrained_arsp(self, small_dataset_3d):
+        expected = brute_force_arsp(small_dataset_3d,
+                                    LinearConstraints.unconstrained(3))
+        assert_results_close(expected, compute_asp(small_dataset_3d))
+
+    def test_alias(self, small_dataset_3d):
+        assert compute_asp(small_dataset_3d) == pytest.approx(
+            compute_skyline_probabilities(small_dataset_3d))
+
+    def test_skyline_probability_upper_bounds_rskyline(self, small_dataset_3d,
+                                                       wr_constraints_3d):
+        from repro import compute_arsp
+        asp = compute_asp(small_dataset_3d)
+        arsp = compute_arsp(small_dataset_3d, wr_constraints_3d,
+                            algorithm="kdtt+")
+        for key in asp:
+            assert arsp[key] <= asp[key] + 1e-9
+
+    def test_certain_dataset_skyline_members_get_probability_one(self):
+        points = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0)]
+        dataset = UncertainDataset.from_certain_points(points)
+        asp = compute_asp(dataset)
+        assert asp[0] == pytest.approx(1.0)
+        assert asp[1] == pytest.approx(1.0)
+        assert asp[2] == pytest.approx(1.0)
+        assert asp[3] == pytest.approx(0.0)
+
+    def test_object_aggregation(self):
+        dataset = make_random_dataset(seed=71, num_objects=5,
+                                      max_instances=3, dimension=2)
+        per_instance = compute_asp(dataset)
+        per_object = object_skyline_probabilities(dataset)
+        for obj in dataset.objects:
+            expected = sum(per_instance[inst.instance_id] for inst in obj)
+            assert per_object[obj.object_id] == pytest.approx(expected)
+
+    def test_higher_dimension(self):
+        dataset = make_random_dataset(seed=72, num_objects=5,
+                                      max_instances=2, dimension=5)
+        expected = brute_force_arsp(dataset,
+                                    LinearConstraints.unconstrained(5))
+        assert_results_close(expected, compute_asp(dataset))

@@ -1,0 +1,69 @@
+"""Tests for the ENUM and LOOP baselines."""
+
+import pytest
+
+from repro import LinearConstraints
+from repro.algorithms import enum_arsp, loop_arsp
+from repro.algorithms.enum_baseline import DEFAULT_MAX_WORLDS
+from repro.core.possible_worlds import brute_force_arsp
+from tests.conftest import assert_results_close, make_random_dataset
+
+
+class TestEnum:
+    def test_matches_brute_force(self, small_dataset_3d, wr_constraints_3d):
+        expected = brute_force_arsp(small_dataset_3d, wr_constraints_3d)
+        assert_results_close(expected,
+                             enum_arsp(small_dataset_3d, wr_constraints_3d))
+
+    def test_world_limit_enforced(self):
+        dataset = make_random_dataset(seed=1, num_objects=30,
+                                      max_instances=4, dimension=2)
+        constraints = LinearConstraints.weak_ranking(2)
+        with pytest.raises(ValueError, match="possible worlds"):
+            enum_arsp(dataset, constraints, max_worlds=1000)
+
+    def test_world_limit_can_be_disabled(self, example1_dataset,
+                                         ratio_constraints_2d):
+        result = enum_arsp(example1_dataset, ratio_constraints_2d,
+                           max_worlds=None)
+        assert result[0] == pytest.approx(2.0 / 9.0)
+
+    def test_default_limit_is_large(self):
+        assert DEFAULT_MAX_WORLDS >= 10 ** 6
+
+    def test_probabilities_clamped(self, small_dataset_3d, wr_constraints_3d):
+        result = enum_arsp(small_dataset_3d, wr_constraints_3d)
+        assert all(0.0 <= value <= 1.0 for value in result.values())
+
+
+class TestLoop:
+    def test_matches_brute_force(self, small_dataset_3d, wr_constraints_3d):
+        expected = brute_force_arsp(small_dataset_3d, wr_constraints_3d)
+        assert_results_close(expected,
+                             loop_arsp(small_dataset_3d, wr_constraints_3d))
+
+    def test_single_object(self):
+        dataset = make_random_dataset(seed=2, num_objects=1,
+                                      max_instances=3, dimension=3)
+        constraints = LinearConstraints.weak_ranking(3)
+        result = loop_arsp(dataset, constraints)
+        for instance in dataset.instances:
+            assert result[instance.instance_id] == pytest.approx(
+                instance.probability)
+
+    def test_single_instance_objects(self):
+        dataset = make_random_dataset(seed=3, num_objects=8,
+                                      max_instances=1, dimension=2)
+        constraints = LinearConstraints.weak_ranking(2)
+        expected = brute_force_arsp(dataset, constraints)
+        assert_results_close(expected, loop_arsp(dataset, constraints))
+
+    def test_result_covers_every_instance(self, small_dataset_3d,
+                                          wr_constraints_3d):
+        result = loop_arsp(small_dataset_3d, wr_constraints_3d)
+        assert set(result) == {inst.instance_id
+                               for inst in small_dataset_3d.instances}
+
+    def test_dimension_mismatch_raises(self, small_dataset_3d):
+        with pytest.raises(ValueError, match="dimension"):
+            loop_arsp(small_dataset_3d, LinearConstraints.weak_ranking(4))

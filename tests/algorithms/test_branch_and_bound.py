@@ -1,0 +1,95 @@
+"""Tests for the branch-and-bound algorithm (Algorithm 2)."""
+
+import pytest
+
+from repro import LinearConstraints, UncertainDataset, WeightRatioConstraints
+from repro.algorithms import branch_and_bound_arsp, loop_arsp
+from repro.core.possible_worlds import brute_force_arsp
+from tests.conftest import assert_results_close, make_random_dataset
+
+
+class TestBranchAndBound:
+    def test_matches_ground_truth(self, small_dataset_3d, wr_constraints_3d):
+        expected = brute_force_arsp(small_dataset_3d, wr_constraints_3d)
+        actual = branch_and_bound_arsp(small_dataset_3d, wr_constraints_3d)
+        assert_results_close(expected, actual)
+
+    def test_example1(self, example1_dataset, ratio_constraints_2d):
+        result = branch_and_bound_arsp(example1_dataset, ratio_constraints_2d)
+        assert result[0] == pytest.approx(2.0 / 9.0)
+        assert result[1] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("max_entries", [4, 8, 32])
+    def test_fanout_does_not_change_result(self, max_entries):
+        dataset = make_random_dataset(seed=41, num_objects=25,
+                                      max_instances=3, dimension=3)
+        constraints = LinearConstraints.weak_ranking(3)
+        reference = loop_arsp(dataset, constraints)
+        actual = branch_and_bound_arsp(dataset, constraints,
+                                       max_entries=max_entries)
+        assert_results_close(reference, actual)
+
+    def test_single_instance_dataset(self):
+        dataset = UncertainDataset.from_instance_lists([[(0.3, 0.4)]],
+                                                       [[0.7]])
+        constraints = LinearConstraints.weak_ranking(2)
+        result = branch_and_bound_arsp(dataset, constraints)
+        assert result[0] == pytest.approx(0.7)
+
+    def test_pruning_set_correctness_with_certain_dominator(self):
+        """One certain object near the origin zeroes almost everything."""
+        dataset = UncertainDataset.from_instance_lists(
+            [
+                [(0.01, 0.01, 0.01)],
+                [(0.5, 0.6, 0.7), (0.8, 0.2, 0.9)],
+                [(0.9, 0.9, 0.9)],
+                [(0.005, 0.5, 0.5), (0.3, 0.005, 0.3)],
+            ],
+            [[1.0], [0.5, 0.5], [1.0], [0.5, 0.5]])
+        constraints = LinearConstraints.weak_ranking(3)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = branch_and_bound_arsp(dataset, constraints)
+        assert_results_close(expected, actual)
+        # Instances Pareto-dominated by the certain object must be zero.
+        assert actual[1] == pytest.approx(0.0)
+        assert actual[3] == pytest.approx(0.0)
+
+    def test_tied_scores_under_sort_vertex(self):
+        """Instances with equal first-vertex scores must see each other."""
+        dataset = UncertainDataset.from_instance_lists(
+            [
+                [(1.0, 3.0)],      # score under (1,0) is 1
+                [(1.0, 2.0)],      # same first-vertex score, dominates above
+                [(2.0, 2.0)],
+            ],
+            [[1.0], [1.0], [1.0]])
+        constraints = LinearConstraints.unconstrained(2)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = branch_and_bound_arsp(dataset, constraints)
+        assert_results_close(expected, actual)
+        assert actual[0] == pytest.approx(0.0)
+
+    def test_weight_ratio_constraints(self):
+        dataset = make_random_dataset(seed=43, num_objects=6,
+                                      max_instances=3, dimension=3)
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+        expected = brute_force_arsp(dataset, constraints)
+        assert_results_close(expected,
+                             branch_and_bound_arsp(dataset, constraints))
+
+    def test_dimension_mismatch(self, small_dataset_3d):
+        with pytest.raises(ValueError, match="dimension"):
+            branch_and_bound_arsp(small_dataset_3d,
+                                  LinearConstraints.weak_ranking(2))
+
+    def test_incomplete_objects_never_enter_pruning_set(self):
+        """Objects with mass < 1 must not zero out dominated instances."""
+        dataset = UncertainDataset.from_instance_lists(
+            [
+                [(0.1, 0.1)],        # mass 0.5 only
+                [(0.9, 0.9)],
+            ],
+            [[0.5], [1.0]])
+        constraints = LinearConstraints.weak_ranking(2)
+        result = branch_and_bound_arsp(dataset, constraints)
+        assert result[1] == pytest.approx(0.5)

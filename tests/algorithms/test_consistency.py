@@ -1,0 +1,209 @@
+"""Integration tests: every algorithm agrees with the ground truth.
+
+This is the central correctness guarantee of the package: on datasets small
+enough to enumerate all possible worlds, every polynomial algorithm must
+return exactly the probabilities of the brute-force definition (equation (2)
+of the paper), for every combination of data distribution, constraint family
+and incompleteness setting.
+"""
+
+import pytest
+
+from repro import LinearConstraints, UncertainDataset, WeightRatioConstraints
+from repro.algorithms import (branch_and_bound_arsp, dual_arsp, dual_ms_arsp,
+                              kdtree_traversal_arsp, loop_arsp,
+                              quadtree_traversal_arsp)
+from repro.core.possible_worlds import brute_force_arsp
+from repro.data.constraints import interactive_constraints
+from tests.conftest import assert_results_close, make_random_dataset
+
+GENERAL_ALGORITHMS = {
+    "loop": loop_arsp,
+    "kdtt": lambda d, c: kdtree_traversal_arsp(d, c, integrated=False),
+    "kdtt+": kdtree_traversal_arsp,
+    "qdtt+": quadtree_traversal_arsp,
+    "bnb": branch_and_bound_arsp,
+}
+
+
+class TestAgainstGroundTruthLinearConstraints:
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    @pytest.mark.parametrize("distribution", ["IND", "ANTI", "CORR"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_weak_ranking(self, algorithm, distribution, seed):
+        dataset = make_random_dataset(seed=seed, num_objects=6,
+                                      max_instances=3, dimension=3,
+                                      distribution=distribution)
+        constraints = LinearConstraints.weak_ranking(3)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = GENERAL_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_incomplete_objects(self, algorithm, seed):
+        dataset = make_random_dataset(seed=seed, num_objects=6,
+                                      max_instances=3, dimension=3,
+                                      incomplete_fraction=0.5)
+        constraints = LinearConstraints.weak_ranking(3)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = GENERAL_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    @pytest.mark.parametrize("dimension", [2, 4])
+    def test_other_dimensions(self, algorithm, dimension):
+        dataset = make_random_dataset(seed=11, num_objects=5,
+                                      max_instances=3, dimension=dimension)
+        constraints = LinearConstraints.weak_ranking(dimension)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = GENERAL_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    def test_unconstrained_simplex(self, algorithm):
+        dataset = make_random_dataset(seed=13, num_objects=6,
+                                      max_instances=3, dimension=3)
+        constraints = LinearConstraints.unconstrained(3)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = GENERAL_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_interactive_constraints(self, algorithm, seed):
+        dataset = make_random_dataset(seed=seed, num_objects=5,
+                                      max_instances=3, dimension=3)
+        constraints = interactive_constraints(3, 3, seed=seed)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = GENERAL_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    def test_example1(self, algorithm, example1_dataset,
+                      ratio_constraints_2d):
+        linear = ratio_constraints_2d.to_linear_constraints()
+        expected = brute_force_arsp(example1_dataset, linear)
+        actual = GENERAL_ALGORITHMS[algorithm](example1_dataset, linear)
+        assert_results_close(expected, actual)
+        assert actual[0] == pytest.approx(2.0 / 9.0)
+
+
+RATIO_ALGORITHMS = {
+    "kdtt+": kdtree_traversal_arsp,
+    "qdtt+": quadtree_traversal_arsp,
+    "bnb": branch_and_bound_arsp,
+    "dual": dual_arsp,
+}
+
+
+class TestAgainstGroundTruthRatioConstraints:
+    @pytest.mark.parametrize("algorithm", sorted(RATIO_ALGORITHMS))
+    @pytest.mark.parametrize("seed", [6, 7, 8])
+    def test_random_3d(self, algorithm, seed):
+        dataset = make_random_dataset(seed=seed, num_objects=6,
+                                      max_instances=3, dimension=3,
+                                      incomplete_fraction=0.3)
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.25, 3.0)])
+        expected = brute_force_arsp(dataset, constraints)
+        actual = RATIO_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(RATIO_ALGORITHMS))
+    def test_tight_ranges(self, algorithm):
+        dataset = make_random_dataset(seed=9, num_objects=6,
+                                      max_instances=3, dimension=3)
+        constraints = WeightRatioConstraints([(0.95, 1.05), (0.95, 1.05)])
+        expected = brute_force_arsp(dataset, constraints)
+        actual = RATIO_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_dual_ms_2d(self, seed):
+        dataset = make_random_dataset(seed=seed, num_objects=7,
+                                      max_instances=3, dimension=2,
+                                      incomplete_fraction=0.3)
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        expected = brute_force_arsp(dataset, constraints)
+        assert_results_close(expected, dual_ms_arsp(dataset, constraints))
+
+    def test_dual_ms_example1(self, example1_dataset, ratio_constraints_2d):
+        expected = brute_force_arsp(example1_dataset, ratio_constraints_2d)
+        actual = dual_ms_arsp(example1_dataset, ratio_constraints_2d)
+        assert_results_close(expected, actual)
+
+
+class TestTies:
+    """Exact coordinate ties are the edge case DESIGN.md §6 calls out."""
+
+    def tie_dataset(self) -> UncertainDataset:
+        return UncertainDataset.from_instance_lists(
+            [
+                [(1.0, 1.0), (2.0, 3.0)],
+                [(1.0, 1.0)],
+                [(1.0, 1.0), (3.0, 0.5)],
+                [(4.0, 4.0)],
+            ],
+            [[0.5, 0.5], [1.0], [0.5, 0.5], [1.0]])
+
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    def test_duplicate_points_linear(self, algorithm):
+        dataset = self.tie_dataset()
+        constraints = LinearConstraints.weak_ranking(2)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = GENERAL_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(RATIO_ALGORITHMS) + ["dual-ms"])
+    def test_duplicate_points_ratio(self, algorithm):
+        dataset = self.tie_dataset()
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        expected = brute_force_arsp(dataset, constraints)
+        implementation = (dual_ms_arsp if algorithm == "dual-ms"
+                          else RATIO_ALGORITHMS[algorithm])
+        actual = implementation(dataset, constraints)
+        assert_results_close(expected, actual)
+
+    @pytest.mark.parametrize("algorithm", sorted(GENERAL_ALGORITHMS))
+    def test_saturated_object_on_grid(self, algorithm):
+        """A fully-certain object sitting exactly on other instances."""
+        dataset = UncertainDataset.from_instance_lists(
+            [
+                [(1.0, 2.0)],
+                [(1.0, 2.0), (0.5, 3.0)],
+                [(2.0, 2.0), (1.0, 3.0)],
+            ],
+            [[1.0], [0.5, 0.5], [0.4, 0.4]])
+        constraints = LinearConstraints.weak_ranking(2)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = GENERAL_ALGORITHMS[algorithm](dataset, constraints)
+        assert_results_close(expected, actual)
+
+
+class TestCrossAlgorithmAgreement:
+    """On datasets too large to enumerate, all algorithms must still agree."""
+
+    @pytest.mark.parametrize("distribution", ["IND", "ANTI", "CORR"])
+    def test_medium_dataset_all_algorithms_agree(self, distribution):
+        dataset = make_random_dataset(seed=31, num_objects=40,
+                                      max_instances=4, dimension=3,
+                                      incomplete_fraction=0.2,
+                                      distribution=distribution)
+        constraints = LinearConstraints.weak_ranking(3)
+        reference = loop_arsp(dataset, constraints)
+        for name, implementation in GENERAL_ALGORITHMS.items():
+            if name == "loop":
+                continue
+            assert_results_close(reference, implementation(dataset,
+                                                           constraints))
+
+    def test_medium_dataset_ratio_algorithms_agree(self):
+        dataset = make_random_dataset(seed=32, num_objects=40,
+                                      max_instances=4, dimension=2,
+                                      incomplete_fraction=0.2)
+        constraints = WeightRatioConstraints([(0.4, 2.5)])
+        reference = loop_arsp(dataset, constraints)
+        for implementation in (kdtree_traversal_arsp, branch_and_bound_arsp,
+                               dual_arsp, dual_ms_arsp):
+            assert_results_close(reference, implementation(dataset,
+                                                           constraints))

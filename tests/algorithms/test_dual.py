@@ -1,0 +1,84 @@
+"""Tests for the DUAL algorithm (half-space based, weight ratio constraints)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints, WeightRatioConstraints
+from repro.algorithms import dual_arsp, loop_arsp
+from repro.algorithms.dual import DualIndex
+from repro.core.dominance import weight_ratio_f_dominates
+from repro.core.possible_worlds import brute_force_arsp
+from tests.conftest import assert_results_close, make_random_dataset
+
+
+class TestDualIndex:
+    def test_dominating_mass_matches_direct_computation(self):
+        dataset = make_random_dataset(seed=51, num_objects=5,
+                                      max_instances=4, dimension=3)
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.25, 4.0)])
+        index = DualIndex(dataset)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            target = rng.uniform(0, 1, size=3)
+            object_id = int(rng.integers(0, dataset.num_objects))
+            expected = sum(
+                inst.probability for inst in dataset.object(object_id)
+                if weight_ratio_f_dominates(inst.values, target, constraints))
+            actual = index.dominating_mass(target, object_id, constraints)
+            assert actual == pytest.approx(expected)
+
+    def test_index_is_reusable_across_constraints(self):
+        dataset = make_random_dataset(seed=52, num_objects=6,
+                                      max_instances=3, dimension=2)
+        index = DualIndex(dataset)
+        for low, high in [(0.5, 2.0), (0.9, 1.1), (0.1, 9.0)]:
+            constraints = WeightRatioConstraints([(low, high)])
+            expected = brute_force_arsp(dataset, constraints)
+            assert_results_close(expected, index.query(constraints))
+
+    def test_query_dimension_mismatch(self):
+        dataset = make_random_dataset(seed=53, dimension=3)
+        index = DualIndex(dataset)
+        with pytest.raises(ValueError, match="dimension"):
+            index.query(WeightRatioConstraints([(0.5, 2.0)]))
+
+
+class TestDualArsp:
+    def test_matches_ground_truth(self):
+        dataset = make_random_dataset(seed=54, num_objects=6,
+                                      max_instances=3, dimension=3,
+                                      incomplete_fraction=0.3)
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+        expected = brute_force_arsp(dataset, constraints)
+        assert_results_close(expected, dual_arsp(dataset, constraints))
+
+    def test_rejects_linear_constraints(self, small_dataset_3d):
+        with pytest.raises(TypeError):
+            dual_arsp(small_dataset_3d, LinearConstraints.weak_ranking(3))
+
+    def test_matches_loop_on_larger_input(self):
+        dataset = make_random_dataset(seed=55, num_objects=30,
+                                      max_instances=4, dimension=3)
+        constraints = WeightRatioConstraints([(0.3, 3.0), (0.3, 3.0)])
+        assert_results_close(loop_arsp(dataset, constraints),
+                             dual_arsp(dataset, constraints))
+
+    def test_leaf_size_does_not_change_result(self):
+        dataset = make_random_dataset(seed=56, num_objects=10,
+                                      max_instances=4, dimension=2)
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        reference = dual_arsp(dataset, constraints, leaf_size=2)
+        assert_results_close(reference,
+                             dual_arsp(dataset, constraints, leaf_size=64))
+
+    def test_wide_range_approaches_skyline_probabilities(self):
+        """A very wide ratio range behaves like the unconstrained case for
+        instances whose dominators are Pareto dominators."""
+        dataset = make_random_dataset(seed=57, num_objects=8,
+                                      max_instances=2, dimension=2)
+        wide = WeightRatioConstraints([(1e-6, 1e6)])
+        result = dual_arsp(dataset, wide)
+        skyline = brute_force_arsp(dataset,
+                                   LinearConstraints.unconstrained(2))
+        for key, value in result.items():
+            assert value <= skyline[key] + 1e-9

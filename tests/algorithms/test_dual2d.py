@@ -1,0 +1,91 @@
+"""Tests for the specialised 2-D DUAL-MS algorithm."""
+
+import math
+
+import pytest
+
+from repro import UncertainDataset, WeightRatioConstraints
+from repro.algorithms import dual_ms_arsp, loop_arsp
+from repro.algorithms.dual2d import Dual2DIndex
+from repro.core.possible_worlds import brute_force_arsp
+from tests.conftest import assert_results_close, make_random_dataset
+
+
+class TestAngularRange:
+    def test_example_range(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        start, end = Dual2DIndex.angular_range(constraints)
+        assert start == pytest.approx(math.pi - math.atan(0.5))
+        assert end == pytest.approx(2 * math.pi - math.atan(2.0))
+
+    def test_range_is_within_half_turn_bounds(self):
+        constraints = WeightRatioConstraints([(0.1, 10.0)])
+        start, end = Dual2DIndex.angular_range(constraints)
+        assert math.pi / 2 < start <= math.pi
+        assert 3 * math.pi / 2 <= end < 2 * math.pi
+
+    def test_requires_2d(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+        with pytest.raises(ValueError):
+            Dual2DIndex.angular_range(constraints)
+
+
+class TestDual2DIndex:
+    def test_rejects_non_2d_dataset(self):
+        dataset = make_random_dataset(seed=1, dimension=3)
+        with pytest.raises(ValueError, match="2-dimensional"):
+            Dual2DIndex(dataset)
+
+    def test_index_reusable_for_multiple_ranges(self):
+        dataset = make_random_dataset(seed=61, num_objects=7,
+                                      max_instances=3, dimension=2)
+        index = Dual2DIndex(dataset)
+        for low, high in [(0.5, 2.0), (0.9, 1.1), (0.2, 6.0)]:
+            constraints = WeightRatioConstraints([(low, high)])
+            expected = brute_force_arsp(dataset, constraints)
+            assert_results_close(expected, index.query(constraints))
+
+    def test_coincident_instances_counted(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [
+                [(1.0, 1.0)],
+                [(1.0, 1.0)],      # coincident with the first object
+                [(2.0, 2.0)],
+            ],
+            [[1.0], [0.4], [1.0]])
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        expected = brute_force_arsp(dataset, constraints)
+        assert_results_close(expected, dual_ms_arsp(dataset, constraints))
+
+
+class TestDualMsArsp:
+    def test_example1(self, example1_dataset, ratio_constraints_2d):
+        result = dual_ms_arsp(example1_dataset, ratio_constraints_2d)
+        assert result[0] == pytest.approx(2.0 / 9.0)
+
+    def test_matches_loop_on_larger_input(self):
+        dataset = make_random_dataset(seed=62, num_objects=40,
+                                      max_instances=4, dimension=2,
+                                      incomplete_fraction=0.2)
+        constraints = WeightRatioConstraints([(0.36, 2.75)])
+        assert_results_close(loop_arsp(dataset, constraints),
+                             dual_ms_arsp(dataset, constraints))
+
+    def test_rejects_wrong_constraint_type(self, example1_dataset):
+        from repro import LinearConstraints
+        with pytest.raises(TypeError):
+            dual_ms_arsp(example1_dataset, LinearConstraints.weak_ranking(2))
+
+    def test_boundary_instances_included(self):
+        """Instances exactly on a dominance hyperplane dominate weakly."""
+        dataset = UncertainDataset.from_instance_lists(
+            [
+                [(9.0, 12.0)],
+                # On the region-0 hyperplane t[2] = -0.5 t[1] + 16.5.
+                [(7.0, 13.0)],
+            ],
+            [[1.0], [1.0]])
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        expected = brute_force_arsp(dataset, constraints)
+        assert_results_close(expected, dual_ms_arsp(dataset, constraints))
+        assert expected[0] == pytest.approx(0.0)

@@ -1,0 +1,37 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, get_algorithm, list_algorithms
+from repro.algorithms.branch_and_bound import branch_and_bound_arsp
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        expected = {"enum", "loop", "kdtt", "kdtt+", "qdtt+", "bnb", "dual",
+                    "dual-ms"}
+        assert expected == set(ALGORITHMS)
+
+    def test_list_is_sorted(self):
+        names = list_algorithms()
+        assert names == sorted(names)
+
+    def test_lookup_canonical(self):
+        assert get_algorithm("bnb") is branch_and_bound_arsp
+
+    def test_lookup_alias(self):
+        assert get_algorithm("B&B") is branch_and_bound_arsp
+        assert get_algorithm("branch-and-bound") is branch_and_bound_arsp
+        assert get_algorithm("KDTTPLUS") is ALGORITHMS["kdtt+"]
+        assert get_algorithm("dualms") is ALGORITHMS["dual-ms"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_algorithm("LOOP") is ALGORITHMS["loop"]
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            get_algorithm("magic")
+
+    def test_callables(self):
+        for name in list_algorithms():
+            assert callable(get_algorithm(name))

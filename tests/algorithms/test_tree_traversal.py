@@ -1,0 +1,160 @@
+"""Tests for the kd-ASP* traversal engine and its KDTT/QDTT front-ends."""
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints
+from repro.algorithms.base import (SaturationTracker, build_score_space,
+                                   empty_result)
+from repro.algorithms.kdtree_traversal import kdtree_traversal_arsp
+from repro.algorithms.quadtree_traversal import quadtree_traversal_arsp
+from repro.algorithms.tree_traversal import (kd_partition, quad_partition,
+                                             traverse_arsp)
+from repro.core.possible_worlds import brute_force_arsp
+from tests.conftest import assert_results_close, make_random_dataset
+
+
+class TestSaturationTracker:
+    def test_add_updates_beta(self):
+        tracker = SaturationTracker(3)
+        tracker.add(0, 0.5)
+        assert tracker.beta == pytest.approx(0.5)
+        tracker.add(1, 0.25)
+        assert tracker.beta == pytest.approx(0.375)
+        assert tracker.chi == 0
+
+    def test_saturation_detection(self):
+        tracker = SaturationTracker(2)
+        tracker.add(0, 0.6)
+        tracker.add(0, 0.4)
+        assert tracker.chi == 1
+        assert 0 in tracker.saturated
+        # beta now excludes object 0 entirely.
+        assert tracker.beta == pytest.approx(1.0)
+
+    def test_remove_restores_state(self):
+        tracker = SaturationTracker(2)
+        tracker.add(0, 0.6)
+        tracker.add(1, 0.3)
+        tracker.add(0, 0.4)          # saturates object 0
+        tracker.remove(0, 0.4)
+        tracker.remove(1, 0.3)
+        tracker.remove(0, 0.6)
+        assert tracker.chi == 0
+        assert tracker.beta == pytest.approx(1.0)
+        np.testing.assert_allclose(tracker.sigma, [0.0, 0.0])
+
+    def test_probability_for_excludes_own_object(self):
+        tracker = SaturationTracker(2)
+        tracker.add(0, 0.5)     # half of object 0 dominates
+        tracker.add(1, 0.25)
+        # An instance of object 0 only sees object 1's factor.
+        assert tracker.probability_for(0, 0.5) == pytest.approx(0.5 * 0.75)
+        # An instance of object 1 only sees object 0's factor.
+        assert tracker.probability_for(1, 0.1) == pytest.approx(0.1 * 0.5)
+
+    def test_probability_for_with_other_saturated(self):
+        tracker = SaturationTracker(2)
+        tracker.add(0, 1.0)
+        assert tracker.probability_for(1, 0.5) == 0.0
+        assert tracker.probability_for(0, 0.5) == pytest.approx(0.5)
+
+
+class TestPartitions:
+    def test_kd_partition_splits_in_two(self):
+        scores = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        indices = np.arange(4)
+        parts = kd_partition(scores, indices, scores.min(0), scores.max(0))
+        assert len(parts) == 2
+        assert sorted(np.concatenate(parts).tolist()) == [0, 1, 2, 3]
+
+    def test_quad_partition_covers_everything(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(0, 1, size=(50, 3))
+        indices = np.arange(50)
+        parts = quad_partition(scores, indices, scores.min(0), scores.max(0))
+        assert len(parts) >= 2
+        assert sorted(np.concatenate(parts).tolist()) == list(range(50))
+
+    def test_quad_partition_separates_distinct_points(self):
+        scores = np.array([[0.0, 0.0], [1.0, 1.0]])
+        parts = quad_partition(scores, np.arange(2), scores.min(0),
+                               scores.max(0))
+        assert len(parts) == 2
+
+
+class TestTraversalEngine:
+    def build(self, seed=17, dimension=3):
+        dataset = make_random_dataset(seed=seed, num_objects=6,
+                                      max_instances=3, dimension=dimension)
+        constraints = LinearConstraints.weak_ranking(dimension)
+        return dataset, constraints
+
+    def test_stats_reported(self):
+        dataset, constraints = self.build()
+        space = build_score_space(dataset, constraints)
+        result = empty_result(dataset)
+        stats = traverse_arsp(space, result, kd_partition)
+        assert stats["nodes"] >= stats["leaves"] >= 1
+
+    def test_pruning_reduces_nodes(self):
+        # A dataset with one certain dominating object prunes most subtrees.
+        dataset = make_random_dataset(seed=19, num_objects=20,
+                                      max_instances=2, dimension=2,
+                                      distribution="CORR")
+        constraints = LinearConstraints.weak_ranking(2)
+        space = build_score_space(dataset, constraints)
+        pruned_result = empty_result(dataset)
+        pruned_stats = traverse_arsp(space, pruned_result, kd_partition,
+                                     prune_construction=True)
+        full_result = empty_result(dataset)
+        full_stats = traverse_arsp(space, full_result, kd_partition,
+                                   prune_construction=False)
+        assert pruned_stats["nodes"] <= full_stats["nodes"]
+        assert_results_close(full_result, pruned_result)
+
+    def test_empty_dataset_handled(self):
+        dataset, constraints = self.build()
+        space = build_score_space(dataset, constraints)
+        space.scores = np.empty((0, space.scores.shape[1]))
+        space.probabilities = np.empty(0)
+        space.object_ids = np.empty(0, dtype=int)
+        space.instance_ids = np.empty(0, dtype=int)
+        stats = traverse_arsp(space, {}, kd_partition)
+        assert stats["nodes"] == 0
+
+
+class TestFrontEnds:
+    @pytest.mark.parametrize("integrated", [True, False])
+    def test_kdtt_variants_match_ground_truth(self, integrated):
+        dataset = make_random_dataset(seed=23, num_objects=6,
+                                      max_instances=3, dimension=3)
+        constraints = LinearConstraints.weak_ranking(3)
+        expected = brute_force_arsp(dataset, constraints)
+        actual = kdtree_traversal_arsp(dataset, constraints,
+                                       integrated=integrated)
+        assert_results_close(expected, actual)
+
+    def test_qdtt_matches_kdtt(self):
+        dataset = make_random_dataset(seed=29, num_objects=30,
+                                      max_instances=3, dimension=4)
+        constraints = LinearConstraints.weak_ranking(4)
+        assert_results_close(kdtree_traversal_arsp(dataset, constraints),
+                             quadtree_traversal_arsp(dataset, constraints))
+
+    def test_dimension_mismatch(self):
+        dataset = make_random_dataset(seed=1, dimension=3)
+        with pytest.raises(ValueError, match="dimension"):
+            kdtree_traversal_arsp(dataset, LinearConstraints.weak_ranking(2))
+
+    def test_deep_degenerate_input_does_not_overflow(self):
+        """Exponentially spaced collinear points force deep partitions."""
+        values = [0.97 ** i for i in range(300)]
+        instance_lists = [[(v, v)] for v in values]
+        from repro import UncertainDataset
+        dataset = UncertainDataset.from_instance_lists(instance_lists)
+        constraints = LinearConstraints.weak_ranking(2)
+        result = quadtree_traversal_arsp(dataset, constraints)
+        # Only the smallest point survives; everything else is dominated by
+        # the certain object below it.
+        assert sum(1 for v in result.values() if v > 0) == 1

@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints, UncertainDataset, WeightRatioConstraints
+from repro.data.synthetic import SyntheticConfig, generate_uncertain_dataset
+
+
+def make_random_dataset(seed: int, num_objects: int = 6,
+                        max_instances: int = 3, dimension: int = 3,
+                        region_length: float = 0.4,
+                        incomplete_fraction: float = 0.0,
+                        distribution: str = "IND") -> UncertainDataset:
+    """Small random uncertain dataset for algorithm comparisons."""
+    config = SyntheticConfig(num_objects=num_objects,
+                             max_instances=max_instances,
+                             dimension=dimension,
+                             region_length=region_length,
+                             incomplete_fraction=incomplete_fraction,
+                             distribution=distribution,
+                             seed=seed)
+    return generate_uncertain_dataset(config)
+
+
+def assert_results_close(expected, actual, atol=1e-9):
+    """Assert two ARSP result dictionaries agree."""
+    assert set(expected) == set(actual)
+    for key in expected:
+        assert actual[key] == pytest.approx(expected[key], abs=atol), (
+            "instance %d: expected %r, got %r"
+            % (key, expected[key], actual[key]))
+
+
+@pytest.fixture
+def example1_dataset() -> UncertainDataset:
+    """The Example 1 style dataset used by the quickstart."""
+    return UncertainDataset.from_instance_lists(
+        instance_lists=[
+            [(2.0, 9.0), (12.0, 10.0)],
+            [(1.0, 8.0), (10.0, 4.0), (9.0, 12.0)],
+            [(3.0, 5.0), (4.0, 9.0), (12.0, 3.0)],
+            [(5.0, 13.0), (13.0, 2.0)],
+        ],
+        probability_lists=[
+            [0.5, 0.5],
+            [1.0 / 3, 1.0 / 3, 1.0 / 3],
+            [1.0 / 3, 1.0 / 3, 1.0 / 3],
+            [0.5, 0.5],
+        ],
+        labels=["T1", "T2", "T3", "T4"],
+    )
+
+
+@pytest.fixture
+def ratio_constraints_2d() -> WeightRatioConstraints:
+    """The ratio constraint of Example 1: 0.5 <= ω1/ω2 <= 2."""
+    return WeightRatioConstraints([(0.5, 2.0)])
+
+
+@pytest.fixture
+def wr_constraints_3d() -> LinearConstraints:
+    """Weak ranking constraints for a 3-dimensional data space."""
+    return LinearConstraints.weak_ranking(3)
+
+
+@pytest.fixture
+def small_dataset_3d() -> UncertainDataset:
+    """Deterministic 3-D dataset small enough for world enumeration."""
+    return make_random_dataset(seed=5, num_objects=5, max_instances=3,
+                               dimension=3, incomplete_fraction=0.4)
+
+
+@pytest.fixture
+def certain_points_3d() -> np.ndarray:
+    """Certain 3-D points for the eclipse tests."""
+    rng = np.random.default_rng(23)
+    return rng.uniform(0.0, 1.0, size=(80, 3))

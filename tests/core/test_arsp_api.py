@@ -1,0 +1,88 @@
+"""Tests for the high level ARSP API (repro.core.arsp)."""
+
+import pytest
+
+from repro import (LinearConstraints, WeightRatioConstraints, arsp_size,
+                   compute_arsp, object_rskyline_probabilities,
+                   threshold_query, top_k_objects)
+from repro.algorithms import list_algorithms
+from tests.conftest import assert_results_close
+
+
+class TestComputeArsp:
+    def test_explicit_algorithm(self, example1_dataset, ratio_constraints_2d):
+        result = compute_arsp(example1_dataset, ratio_constraints_2d,
+                              algorithm="kdtt+")
+        assert result[0] == pytest.approx(2.0 / 9.0)
+
+    def test_auto_dispatch_ratio_constraints(self, example1_dataset,
+                                             ratio_constraints_2d):
+        auto = compute_arsp(example1_dataset, ratio_constraints_2d,
+                            algorithm="auto")
+        explicit = compute_arsp(example1_dataset, ratio_constraints_2d,
+                                algorithm="dual")
+        assert_results_close(explicit, auto)
+
+    def test_auto_dispatch_linear_constraints(self, example1_dataset):
+        constraints = LinearConstraints.weak_ranking(2)
+        auto = compute_arsp(example1_dataset, constraints, algorithm="auto")
+        explicit = compute_arsp(example1_dataset, constraints,
+                                algorithm="bnb")
+        assert_results_close(explicit, auto)
+
+    def test_unknown_algorithm(self, example1_dataset, ratio_constraints_2d):
+        with pytest.raises(KeyError):
+            compute_arsp(example1_dataset, ratio_constraints_2d,
+                         algorithm="nonexistent")
+
+    def test_options_are_forwarded(self, example1_dataset,
+                                   ratio_constraints_2d):
+        result = compute_arsp(example1_dataset, ratio_constraints_2d,
+                              algorithm="kdtt+", integrated=False)
+        assert result[0] == pytest.approx(2.0 / 9.0)
+
+    def test_result_covers_all_instances(self, example1_dataset,
+                                         ratio_constraints_2d):
+        result = compute_arsp(example1_dataset, ratio_constraints_2d)
+        assert set(result) == {inst.instance_id
+                               for inst in example1_dataset.instances}
+
+    def test_all_registered_algorithms_listed(self):
+        names = list_algorithms()
+        for expected in ["enum", "loop", "kdtt", "kdtt+", "qdtt+", "bnb",
+                         "dual", "dual-ms"]:
+            assert expected in names
+
+
+class TestDerivedQueries:
+    @pytest.fixture
+    def arsp(self, example1_dataset, ratio_constraints_2d):
+        return compute_arsp(example1_dataset, ratio_constraints_2d,
+                            algorithm="kdtt+")
+
+    def test_object_aggregation(self, example1_dataset, arsp):
+        per_object = object_rskyline_probabilities(example1_dataset, arsp)
+        assert per_object[0] == pytest.approx(2.0 / 9.0)
+        assert set(per_object) == {0, 1, 2, 3}
+
+    def test_top_k(self, example1_dataset, arsp):
+        top = top_k_objects(example1_dataset, arsp, k=2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]
+
+    def test_top_k_larger_than_objects(self, example1_dataset, arsp):
+        top = top_k_objects(example1_dataset, arsp, k=100)
+        assert len(top) == example1_dataset.num_objects
+
+    def test_arsp_size_counts_nonzero(self, arsp):
+        assert arsp_size(arsp) == sum(1 for v in arsp.values() if v > 1e-12)
+
+    def test_threshold_query(self, arsp):
+        strong = threshold_query(arsp, threshold=0.2)
+        assert all(arsp[i] >= 0.2 for i in strong)
+        weak_or_strong = threshold_query(arsp, threshold=0.0)
+        assert len(weak_or_strong) == len(arsp)
+
+    def test_threshold_query_monotone(self, arsp):
+        assert len(threshold_query(arsp, 0.5)) <= len(threshold_query(arsp,
+                                                                      0.1))

@@ -1,0 +1,74 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import (FIGURE_IDS, build_parser, main, run_arsp,
+                       run_effectiveness, run_figure)
+
+
+class TestParser:
+    def test_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_arsp_defaults(self):
+        args = build_parser().parse_args(["arsp"])
+        assert args.command == "arsp"
+        assert args.algorithm == "auto"
+        assert args.objects == 200
+
+    def test_figure_requires_known_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "--id", "99x"])
+
+
+class TestCommands:
+    def test_algorithms_command(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "bnb" in out and "kdtt+" in out
+
+    def test_arsp_command_small(self, capsys):
+        code = main(["arsp", "--objects", "20", "--instances", "2",
+                     "--dimension", "3", "--algorithm", "kdtt+",
+                     "--top-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ARSP size" in out
+        assert "top-3 objects" in out
+
+    def test_arsp_text_contains_workload_summary(self):
+        args = build_parser().parse_args(
+            ["arsp", "--objects", "15", "--instances", "2",
+             "--dimension", "2", "--algorithm", "loop"])
+        text = run_arsp(args)
+        assert "m=15" in text
+        assert "loop" in text
+
+    def test_figure_5a(self):
+        text = run_figure("5a")
+        assert "Figure 5(a)" in text
+        assert "kdtt+" in text
+
+    def test_figure_8b(self):
+        text = run_figure("8b")
+        assert "DUAL-S" in text and "QUAD" in text
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(ValueError):
+            run_figure("nope")
+
+    def test_all_figure_ids_resolvable(self):
+        # Smoke-only for the cheap ones; the expensive sweeps are covered by
+        # the benchmarks.  Here we just assert the id table is consistent.
+        assert set(FIGURE_IDS) == {"5a", "5d", "5g", "5j", "5m", "5p", "6a",
+                                   "8a", "8b"}
+
+    def test_effectiveness_output(self):
+        text = run_effectiveness()
+        assert "Table I" in text and "Table II" in text

@@ -1,0 +1,136 @@
+"""Tests for the continuous-uncertainty extension (repro.continuous)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints, WeightRatioConstraints
+from repro.continuous import (GaussianObject, UniformBoxObject, discretize,
+                              discretized_arsp, monte_carlo_object_arsp)
+
+
+def make_objects():
+    return [
+        UniformBoxObject(0, lo=[0.0, 0.0], hi=[0.2, 0.2], label="strong"),
+        UniformBoxObject(1, lo=[0.4, 0.4], hi=[0.6, 0.6], label="middle"),
+        UniformBoxObject(2, lo=[0.8, 0.8], hi=[1.0, 1.0], label="weak"),
+        GaussianObject(3, mean=[0.5, 0.1], std=[0.05, 0.05],
+                       appearance_probability=0.7, label="noisy"),
+    ]
+
+
+class TestModels:
+    def test_uniform_box_samples_inside_box(self):
+        obj = UniformBoxObject(0, [0.0, 1.0], [0.5, 2.0])
+        samples = obj.sample(np.random.default_rng(0), 200)
+        assert samples.shape == (200, 2)
+        assert np.all(samples >= [0.0, 1.0]) and np.all(samples <= [0.5, 2.0])
+
+    def test_uniform_box_mean(self):
+        obj = UniformBoxObject(0, [0.0, 1.0], [1.0, 3.0])
+        np.testing.assert_allclose(obj.mean(), [0.5, 2.0])
+
+    def test_uniform_box_validation(self):
+        with pytest.raises(ValueError):
+            UniformBoxObject(0, [1.0, 0.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            UniformBoxObject(0, [0.0], [1.0, 1.0])
+
+    def test_gaussian_truncation(self):
+        obj = GaussianObject(0, mean=[0.5, 0.5], std=[1.0, 1.0],
+                             bounds=([0.0, 0.0], [1.0, 1.0]))
+        samples = obj.sample(np.random.default_rng(1), 500)
+        assert np.all(samples >= 0.0) and np.all(samples <= 1.0)
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            GaussianObject(0, mean=[0.5], std=[-1.0])
+
+    def test_appearance_probability_bounds(self):
+        with pytest.raises(ValueError):
+            UniformBoxObject(0, [0.0], [1.0], appearance_probability=0.0)
+        with pytest.raises(ValueError):
+            UniformBoxObject(0, [0.0], [1.0], appearance_probability=1.5)
+
+
+class TestDiscretize:
+    def test_shape_and_probabilities(self):
+        dataset = discretize(make_objects(), samples_per_object=8, seed=2)
+        dataset.validate()
+        assert dataset.num_objects == 4
+        assert dataset.num_instances == 32
+        assert dataset.objects[0].total_probability == pytest.approx(1.0)
+        assert dataset.objects[3].total_probability == pytest.approx(0.7)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            discretize([], samples_per_object=4)
+        with pytest.raises(ValueError):
+            discretize(make_objects(), samples_per_object=0)
+        with pytest.raises(ValueError):
+            discretize([UniformBoxObject(0, [0.0], [1.0]),
+                        UniformBoxObject(0, [0.0], [1.0])])
+        with pytest.raises(ValueError):
+            discretize([UniformBoxObject(0, [0.0], [1.0]),
+                        UniformBoxObject(1, [0.0, 0.0], [1.0, 1.0])])
+
+    def test_discretized_arsp_ordering(self):
+        constraints = LinearConstraints.weak_ranking(2)
+        result = discretized_arsp(make_objects(), constraints,
+                                  samples_per_object=12, seed=3)
+        # The object near the origin must beat the one near (1, 1).
+        assert result[0] > result[2]
+        assert all(0.0 <= value <= 1.0 + 1e-9 for value in result.values())
+
+
+class TestMonteCarlo:
+    def test_estimates_and_errors(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        estimates = monte_carlo_object_arsp(make_objects(), constraints,
+                                            num_trials=300, seed=4)
+        assert set(estimates) == {0, 1, 2, 3}
+        for probability, standard_error in estimates.values():
+            assert 0.0 <= probability <= 1.0
+            assert 0.0 <= standard_error <= 0.5
+
+    def test_dominating_object_has_high_probability(self):
+        constraints = LinearConstraints.weak_ranking(2)
+        estimates = monte_carlo_object_arsp(make_objects(), constraints,
+                                            num_trials=400, seed=5)
+        assert estimates[0][0] > 0.9
+        assert estimates[2][0] < 0.2
+
+    def test_agrees_with_discretized_estimate(self):
+        """Both reductions must agree within Monte Carlo error."""
+        constraints = LinearConstraints.weak_ranking(2)
+        objects = make_objects()
+        mc = monte_carlo_object_arsp(objects, constraints, num_trials=800,
+                                     seed=6)
+        disc = discretized_arsp(objects, constraints, samples_per_object=24,
+                                seed=7)
+        for object_id, (estimate, standard_error) in mc.items():
+            assert abs(estimate - disc[object_id]) <= max(
+                5 * standard_error, 0.12)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            monte_carlo_object_arsp(make_objects(),
+                                    LinearConstraints.weak_ranking(2),
+                                    num_trials=0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            monte_carlo_object_arsp(make_objects(),
+                                    LinearConstraints.weak_ranking(3),
+                                    num_trials=10)
+
+    def test_appearance_probability_lowers_competition(self):
+        """If the dominating object rarely appears, others benefit."""
+        constraints = LinearConstraints.weak_ranking(2)
+        rare_winner = [
+            UniformBoxObject(0, [0.0, 0.0], [0.1, 0.1],
+                             appearance_probability=0.2),
+            UniformBoxObject(1, [0.5, 0.5], [0.6, 0.6]),
+        ]
+        estimates = monte_carlo_object_arsp(rare_winner, constraints,
+                                            num_trials=600, seed=8)
+        assert estimates[1][0] > 0.6

@@ -1,0 +1,192 @@
+"""Tests for the uncertain data model (repro.core.dataset)."""
+
+import numpy as np
+import pytest
+
+from repro import Instance, UncertainDataset, UncertainObject
+
+
+class TestInstance:
+    def test_dimension(self):
+        instance = Instance(0, 0, (1.0, 2.0, 3.0), 0.5)
+        assert instance.dimension == 3
+
+    def test_indexing(self):
+        instance = Instance(0, 0, (1.0, 2.0, 3.0), 0.5)
+        assert instance[0] == 1.0
+        assert instance[2] == 3.0
+
+    def test_as_array(self):
+        instance = Instance(0, 0, (1.0, 2.0), 0.5)
+        np.testing.assert_allclose(instance.as_array(), [1.0, 2.0])
+
+    def test_frozen(self):
+        instance = Instance(0, 0, (1.0,), 0.5)
+        with pytest.raises(Exception):
+            instance.probability = 0.7
+
+
+class TestUncertainObject:
+    def make(self, probs=(0.3, 0.4)):
+        instances = [Instance(0, i, (float(i), float(i) + 1.0), p)
+                     for i, p in enumerate(probs)]
+        return UncertainObject(object_id=0, instances=instances)
+
+    def test_total_probability(self):
+        assert self.make().total_probability == pytest.approx(0.7)
+
+    def test_len_and_iter(self):
+        obj = self.make()
+        assert len(obj) == 2
+        assert [inst.instance_id for inst in obj] == [0, 1]
+
+    def test_mean_vector(self):
+        obj = self.make()
+        np.testing.assert_allclose(obj.mean_vector(), [0.5, 1.5])
+
+    def test_expected_vector_weights_by_probability(self):
+        obj = self.make(probs=(0.75, 0.25))
+        np.testing.assert_allclose(obj.expected_vector(), [0.25, 1.25])
+
+    def test_validate_rejects_total_above_one(self):
+        obj = self.make(probs=(0.7, 0.7))
+        with pytest.raises(ValueError, match="total probability"):
+            obj.validate()
+
+    def test_validate_rejects_nonpositive_probability(self):
+        obj = UncertainObject(0, [Instance(0, 0, (1.0,), 0.0)])
+        with pytest.raises(ValueError, match="non-positive"):
+            obj.validate()
+
+    def test_validate_rejects_dimension_mismatch(self):
+        obj = UncertainObject(0, [Instance(0, 0, (1.0,), 0.4),
+                                  Instance(0, 1, (1.0, 2.0), 0.4)])
+        with pytest.raises(ValueError, match="dimension"):
+            obj.validate()
+
+    def test_validate_rejects_wrong_owner(self):
+        obj = UncertainObject(0, [Instance(1, 0, (1.0,), 0.4)])
+        with pytest.raises(ValueError, match="claims object"):
+            obj.validate()
+
+    def test_empty_object_dimension_raises(self):
+        obj = UncertainObject(0, [])
+        with pytest.raises(ValueError):
+            _ = obj.dimension
+
+
+class TestUncertainDataset:
+    def test_from_instance_lists_default_probabilities(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(0.0, 1.0), (1.0, 0.0)], [(0.5, 0.5)]])
+        assert dataset.num_objects == 2
+        assert dataset.num_instances == 3
+        assert dataset.objects[0].instances[0].probability == pytest.approx(0.5)
+        assert dataset.objects[1].instances[0].probability == pytest.approx(1.0)
+
+    def test_from_instance_lists_explicit_probabilities(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(0.0,)], [(1.0,)]], [[0.4], [0.9]])
+        assert dataset.objects[0].total_probability == pytest.approx(0.4)
+
+    def test_from_instance_lists_mismatched_probabilities(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            UncertainDataset.from_instance_lists([[(0.0,), (1.0,)]], [[0.4]])
+
+    def test_from_certain_points(self):
+        dataset = UncertainDataset.from_certain_points(
+            [(1.0, 2.0), (3.0, 4.0)], probabilities=[0.8, 0.6])
+        assert dataset.num_objects == 2
+        assert all(len(obj) == 1 for obj in dataset)
+        assert dataset.objects[1].instances[0].probability == pytest.approx(0.6)
+
+    def test_instance_ids_are_global_and_dense(self, example1_dataset):
+        ids = [inst.instance_id for inst in example1_dataset.instances]
+        assert ids == list(range(example1_dataset.num_instances))
+
+    def test_dimension(self, example1_dataset):
+        assert example1_dataset.dimension == 2
+
+    def test_instance_matrix_shape(self, example1_dataset):
+        matrix = example1_dataset.instance_matrix()
+        assert matrix.shape == (10, 2)
+
+    def test_probability_vector_sums(self, example1_dataset):
+        totals = example1_dataset.probability_vector().sum()
+        assert totals == pytest.approx(4.0)
+
+    def test_object_ids(self, example1_dataset):
+        object_ids = example1_dataset.object_ids()
+        assert list(object_ids[:2]) == [0, 0]
+        assert list(object_ids[-2:]) == [3, 3]
+
+    def test_accessors(self, example1_dataset):
+        assert example1_dataset.object(2).label == "T3"
+        assert example1_dataset.instance(0).values == (2.0, 9.0)
+        assert len(example1_dataset) == 4
+
+    def test_validate_accepts_valid(self, example1_dataset):
+        example1_dataset.validate()
+
+    def test_validate_rejects_duplicate_instance_ids(self):
+        objects = [
+            UncertainObject(0, [Instance(0, 0, (1.0,), 0.5)]),
+            UncertainObject(1, [Instance(1, 0, (2.0,), 0.5)]),
+        ]
+        dataset = UncertainDataset(objects)
+        with pytest.raises(ValueError, match="duplicate instance id"):
+            dataset.validate()
+
+    def test_validate_rejects_misnumbered_objects(self):
+        objects = [UncertainObject(1, [Instance(1, 0, (1.0,), 0.5)])]
+        dataset = UncertainDataset(objects)
+        with pytest.raises(ValueError, match="position"):
+            dataset.validate()
+
+    def test_validate_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="no objects"):
+            UncertainDataset([]).validate()
+
+    def test_aggregate_uses_plain_mean(self, example1_dataset):
+        aggregated = example1_dataset.aggregate()
+        assert aggregated.num_objects == 4
+        assert all(len(obj) == 1 for obj in aggregated)
+        t1_mean = aggregated.objects[0].instances[0].values
+        assert t1_mean == pytest.approx((7.0, 9.5))
+
+    def test_aggregate_weighted(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(0.0, 0.0), (4.0, 4.0)]], [[0.75, 0.25]])
+        aggregated = dataset.aggregate(weighted=True)
+        assert aggregated.objects[0].instances[0].values == pytest.approx(
+            (1.0, 1.0))
+
+    def test_project(self, example1_dataset):
+        projected = example1_dataset.project([1])
+        assert projected.dimension == 1
+        assert projected.num_instances == example1_dataset.num_instances
+        assert projected.instance(0).values == (9.0,)
+
+    def test_project_preserves_probabilities(self, example1_dataset):
+        projected = example1_dataset.project([0])
+        np.testing.assert_allclose(projected.probability_vector(),
+                                   example1_dataset.probability_vector())
+
+    def test_subset(self, example1_dataset):
+        subset = example1_dataset.subset([1, 3])
+        assert subset.num_objects == 2
+        assert subset.objects[0].label == "T2"
+        assert subset.objects[1].label == "T4"
+        subset.validate()
+
+    def test_summary(self, example1_dataset):
+        summary = example1_dataset.summary()
+        assert summary["num_objects"] == 4
+        assert summary["num_instances"] == 10
+        assert summary["max_instances_per_object"] == 3
+        assert summary["objects_below_full_probability"] == 0
+
+    def test_summary_counts_incomplete_objects(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(0.0,)], [(1.0,)]], [[0.5], [1.0]])
+        assert dataset.summary()["objects_below_full_probability"] == 1

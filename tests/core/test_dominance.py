@@ -1,0 +1,160 @@
+"""Tests for the dominance predicates (repro.core.dominance)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints, WeightRatioConstraints
+from repro.core.dominance import (dominance_region_hyperplane, dominates,
+                                  f_dominates, f_dominates_region,
+                                  f_dominates_scores, lp_reference_f_dominates,
+                                  orthant_of, strictly_dominates,
+                                  weight_ratio_f_dominates,
+                                  weight_ratio_min_margin)
+
+
+class TestClassicalDominance:
+    def test_weak_dominance_includes_equal(self):
+        assert dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_weak_dominance(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 4.0), (1.0, 3.0))
+
+    def test_strict_dominance(self):
+        assert strictly_dominates((1.0, 2.0), (1.0, 3.0))
+        assert not strictly_dominates((1.0, 2.0), (1.0, 2.0))
+        assert not strictly_dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_strict_dominance_is_asymmetric(self):
+        a, b = (0.5, 0.7), (0.6, 0.9)
+        assert strictly_dominates(a, b)
+        assert not strictly_dominates(b, a)
+
+
+class TestFDominance:
+    def test_unconstrained_equals_pareto(self):
+        constraints = LinearConstraints.unconstrained(2)
+        assert f_dominates((1.0, 2.0), (2.0, 3.0), constraints)
+        assert not f_dominates((1.0, 4.0), (2.0, 3.0), constraints)
+
+    def test_constrained_can_dominate_incomparable_points(self):
+        # Under ω1 >= ω2 the point (1, 3) F-dominates (2, 2.5) even though
+        # neither Pareto-dominates the other.
+        constraints = LinearConstraints.weak_ranking(2)
+        assert not dominates((1.0, 3.0), (2.0, 2.5))
+        assert f_dominates((1.0, 3.0), (2.0, 2.5), constraints)
+
+    def test_f_dominance_on_scores(self):
+        assert f_dominates_scores((1.0, 2.0), (1.5, 2.0))
+        assert not f_dominates_scores((1.0, 2.1), (1.5, 2.0))
+
+    def test_region_form_matches(self):
+        constraints = LinearConstraints.weak_ranking(3)
+        region = constraints.preference_region()
+        t, s = (0.2, 0.5, 0.9), (0.4, 0.6, 0.3)
+        assert f_dominates(t, s, constraints) == f_dominates_region(
+            t, s, region)
+
+    def test_matches_lp_reference(self):
+        rng = np.random.default_rng(1)
+        constraints = LinearConstraints.weak_ranking(3)
+        for _ in range(50):
+            t = rng.uniform(0, 1, 3)
+            s = rng.uniform(0, 1, 3)
+            assert f_dominates(t, s, constraints) == \
+                lp_reference_f_dominates(t, s, constraints)
+
+    def test_pareto_dominance_implies_f_dominance(self):
+        rng = np.random.default_rng(2)
+        constraints = LinearConstraints.weak_ranking(4)
+        for _ in range(50):
+            t = rng.uniform(0, 1, 4)
+            s = t + rng.uniform(0, 0.5, 4)
+            assert f_dominates(t, s, constraints)
+
+
+class TestWeightRatioDominance:
+    CONSTRAINTS = WeightRatioConstraints([(0.5, 2.0)])
+
+    def test_theorem5_matches_vertex_test_2d(self):
+        rng = np.random.default_rng(3)
+        region = self.CONSTRAINTS.preference_region()
+        for _ in range(200):
+            t = rng.uniform(0, 10, 2)
+            s = rng.uniform(0, 10, 2)
+            expected = f_dominates_region(t, s, region)
+            assert weight_ratio_f_dominates(t, s, self.CONSTRAINTS) == expected
+
+    def test_theorem5_matches_vertex_test_4d(self):
+        rng = np.random.default_rng(4)
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.2, 1.5),
+                                              (1.0, 4.0)])
+        region = constraints.preference_region()
+        for _ in range(200):
+            t = rng.uniform(0, 10, 4)
+            s = rng.uniform(0, 10, 4)
+            expected = f_dominates_region(t, s, region)
+            assert weight_ratio_f_dominates(t, s, constraints) == expected
+
+    def test_example3_dominators(self):
+        # Example 3 of the paper: t3,1 = (6, 5) and t3,2-like points below
+        # the hyperplane dominate t2,3 = (9, 12) under R = [0.5, 2].
+        target = (9.0, 12.0)
+        assert weight_ratio_f_dominates((6.0, 5.0), target, self.CONSTRAINTS)
+        # A point above both hyperplanes does not dominate.
+        assert not weight_ratio_f_dominates((8.0, 17.0), target,
+                                            self.CONSTRAINTS)
+
+    def test_self_dominance_is_weak(self):
+        assert weight_ratio_f_dominates((1.0, 1.0), (1.0, 1.0),
+                                        self.CONSTRAINTS)
+
+    def test_min_margin_sign_agrees_with_test(self):
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            t = rng.uniform(0, 5, 2)
+            s = rng.uniform(0, 5, 2)
+            margin = weight_ratio_min_margin(t, s, self.CONSTRAINTS)
+            assert (margin >= -1e-12) == weight_ratio_f_dominates(
+                t, s, self.CONSTRAINTS)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            weight_ratio_f_dominates((1.0, 2.0, 3.0), (1.0, 2.0, 3.0),
+                                     self.CONSTRAINTS)
+
+
+class TestHyperplanesAndOrthants:
+    CONSTRAINTS = WeightRatioConstraints([(0.5, 2.0)])
+
+    def test_example3_hyperplanes(self):
+        # h_{t,0}: t[2] = -0.5 t[1] + 16.5 and h_{t,1}: t[2] = -2 t[1] + 30
+        # for t = t2,3 = (9, 12) and R = [0.5, 2].
+        target = (9.0, 12.0)
+        h0 = dominance_region_hyperplane(target, self.CONSTRAINTS, 0)
+        h1 = dominance_region_hyperplane(target, self.CONSTRAINTS, 1)
+        assert h0[0] == pytest.approx(0.5)
+        assert h0[1] == pytest.approx(16.5)
+        assert h1[0] == pytest.approx(2.0)
+        assert h1[1] == pytest.approx(30.0)
+
+    def test_orthant_encoding(self):
+        target = (5.0, 5.0)
+        assert orthant_of((4.0, 9.0), target, 2) == 0
+        assert orthant_of((6.0, 1.0), target, 2) == 1
+
+    def test_orthant_encoding_3d(self):
+        target = (5.0, 5.0, 5.0)
+        assert orthant_of((4.0, 6.0, 0.0), target, 3) == 0b01
+        assert orthant_of((6.0, 6.0, 0.0), target, 3) == 0b11
+        assert orthant_of((4.0, 4.0, 0.0), target, 3) == 0b00
+
+    def test_hyperplane_boundary_matches_theorem5(self):
+        # A point exactly on h_{t,k} in orthant k weakly dominates t.
+        target = (9.0, 12.0)
+        # Orthant 0 (s[1] < t[1]); pick s on t[2] = -0.5 t[1] + 16.5.
+        s = (7.0, 16.5 - 0.5 * 7.0)
+        assert weight_ratio_f_dominates(s, target, self.CONSTRAINTS)
+        # Slightly above the hyperplane: no longer dominating.
+        s_above = (7.0, 16.5 - 0.5 * 7.0 + 0.1)
+        assert not weight_ratio_f_dominates(s_above, target, self.CONSTRAINTS)

@@ -1,0 +1,60 @@
+"""Tests for numeric helpers (repro.core.numeric)."""
+
+import pytest
+
+from repro.core import numeric
+
+
+class TestSaturationHelpers:
+    def test_is_one(self):
+        assert numeric.is_one(1.0)
+        assert numeric.is_one(1.0 - 1e-15)
+        assert not numeric.is_one(0.999)
+
+    def test_is_zero(self):
+        assert numeric.is_zero(0.0)
+        assert numeric.is_zero(1e-15)
+        assert not numeric.is_zero(1e-6)
+
+    def test_clamp_probability_absorbs_noise(self):
+        assert numeric.clamp_probability(-1e-15) == 0.0
+        assert numeric.clamp_probability(1.0 + 1e-15) == 1.0
+
+    def test_clamp_probability_keeps_real_violations(self):
+        assert numeric.clamp_probability(-0.5) == -0.5
+        assert numeric.clamp_probability(1.5) == 1.5
+
+    def test_clamp_probability_identity_inside_interval(self):
+        assert numeric.clamp_probability(0.25) == 0.25
+
+
+class TestComparisons:
+    def test_leq_and_lt(self):
+        assert numeric.leq(1.0, 1.0)
+        assert numeric.leq(1.0, 1.0 + 1e-15)
+        assert not numeric.lt(1.0, 1.0)
+        assert numeric.lt(0.9, 1.0)
+
+    def test_close(self):
+        assert numeric.close(1.0, 1.0 + 1e-14)
+        assert not numeric.close(1.0, 1.001)
+
+    def test_vector_leq(self):
+        assert numeric.vector_leq((1.0, 2.0), (1.0, 3.0))
+        assert not numeric.vector_leq((1.0, 4.0), (1.0, 3.0))
+
+    def test_vector_close(self):
+        assert numeric.vector_close((1.0, 2.0), (1.0, 2.0 + 1e-14))
+        assert not numeric.vector_close((1.0, 2.0), (1.0, 2.1))
+
+    def test_probabilities_close(self):
+        assert numeric.probabilities_close(0.3333333333, 1.0 / 3.0)
+        assert not numeric.probabilities_close(0.3, 0.4)
+
+
+class TestProduct:
+    def test_empty_product_is_one(self):
+        assert numeric.product([]) == 1.0
+
+    def test_product(self):
+        assert numeric.product([0.5, 0.5, 2.0]) == pytest.approx(0.5)

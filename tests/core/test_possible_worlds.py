@@ -1,0 +1,190 @@
+"""Tests for possible-world semantics (repro.core.possible_worlds)."""
+
+import math
+
+import pytest
+
+from repro import LinearConstraints, UncertainDataset, WeightRatioConstraints
+from repro.core.possible_worlds import (brute_force_arsp,
+                                        brute_force_object_arsp,
+                                        iter_possible_worlds,
+                                        number_of_possible_worlds,
+                                        world_probability, world_rskyline)
+from repro.core.preference import resolve_preference_region
+
+
+@pytest.fixture
+def tiny_dataset():
+    return UncertainDataset.from_instance_lists(
+        [[(1.0, 4.0), (2.0, 2.0)], [(3.0, 1.0)]],
+        [[0.5, 0.3], [1.0]])
+
+
+class TestWorldEnumeration:
+    def test_number_of_possible_worlds(self, tiny_dataset):
+        # Object 1 has mass 0.8 (can be absent), object 2 has mass 1.0.
+        assert number_of_possible_worlds(tiny_dataset) == 3
+
+    def test_number_of_possible_worlds_example1(self, example1_dataset):
+        assert number_of_possible_worlds(example1_dataset) == 2 * 3 * 3 * 2
+
+    def test_world_probabilities_sum_to_one(self, tiny_dataset):
+        total = sum(prob for _, prob in iter_possible_worlds(tiny_dataset))
+        assert total == pytest.approx(1.0)
+
+    def test_world_probabilities_sum_to_one_example1(self, example1_dataset):
+        total = sum(prob for _, prob in iter_possible_worlds(example1_dataset))
+        assert total == pytest.approx(1.0)
+
+    def test_world_probability_matches_equation1(self, tiny_dataset):
+        instances = tiny_dataset.instances
+        # World: object 0 absent, object 1 takes its instance.
+        world = (None, instances[2])
+        assert world_probability(tiny_dataset, world) == pytest.approx(
+            (1.0 - 0.8) * 1.0)
+        # World: object 0 takes its first instance.
+        world = (instances[0], instances[2])
+        assert world_probability(tiny_dataset, world) == pytest.approx(0.5)
+
+    def test_world_probability_validates_length(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            world_probability(tiny_dataset, (None,))
+
+    def test_world_probability_validates_ownership(self, tiny_dataset):
+        instances = tiny_dataset.instances
+        with pytest.raises(ValueError):
+            world_probability(tiny_dataset, (instances[2], instances[2]))
+
+    def test_iter_worlds_yields_instances_of_right_objects(self, tiny_dataset):
+        for world, _ in iter_possible_worlds(tiny_dataset):
+            for object_id, instance in enumerate(world):
+                if instance is not None:
+                    assert instance.object_id == object_id
+
+
+class TestWorldRSkyline:
+    def test_unconstrained_is_pareto_skyline(self, tiny_dataset):
+        region = resolve_preference_region(
+            LinearConstraints.unconstrained(2))
+        instances = tiny_dataset.instances
+        world = (instances[0], instances[2])   # (1,4) and (3,1): both skyline
+        skyline = world_rskyline(world, region)
+        assert {inst.instance_id for inst in skyline} == {0, 2}
+
+    def test_dominated_instance_excluded(self, tiny_dataset):
+        region = resolve_preference_region(
+            LinearConstraints.unconstrained(2))
+        world = (tiny_dataset.instances[1], tiny_dataset.instances[2])
+        # (2,2) vs (3,1): incomparable, both stay.
+        assert len(world_rskyline(world, region)) == 2
+
+    def test_constrained_rskyline_smaller(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(1.0, 3.0)], [(2.0, 2.5)]], [[1.0], [1.0]])
+        world = tuple(dataset.instances)
+        unconstrained = resolve_preference_region(
+            LinearConstraints.unconstrained(2))
+        ranked = resolve_preference_region(LinearConstraints.weak_ranking(2))
+        assert len(world_rskyline(world, unconstrained)) == 2
+        assert len(world_rskyline(world, ranked)) == 1
+
+    def test_same_object_instances_do_not_dominate_each_other(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(1.0, 1.0), (2.0, 2.0)]], [[0.5, 0.5]])
+        region = resolve_preference_region(
+            LinearConstraints.unconstrained(2))
+        # Both instances belong to the same object, so even the dominated
+        # one stays in the rskyline of a (hypothetical) joint world.
+        world_like = tuple(dataset.instances[:1])
+        assert len(world_rskyline(world_like, region)) == 1
+
+
+class TestBruteForceARSP:
+    def test_example1_value(self, example1_dataset, ratio_constraints_2d):
+        result = brute_force_arsp(example1_dataset, ratio_constraints_2d)
+        assert result[0] == pytest.approx(2.0 / 9.0)
+        assert result[1] == pytest.approx(0.0)
+
+    def test_probabilities_within_unit_interval(self, small_dataset_3d,
+                                                wr_constraints_3d):
+        result = brute_force_arsp(small_dataset_3d, wr_constraints_3d)
+        assert all(0.0 <= value <= 1.0 for value in result.values())
+
+    def test_instance_probability_bounded_by_existence(self, small_dataset_3d,
+                                                       wr_constraints_3d):
+        result = brute_force_arsp(small_dataset_3d, wr_constraints_3d)
+        for instance in small_dataset_3d.instances:
+            assert result[instance.instance_id] <= instance.probability + 1e-12
+
+    def test_single_object_gets_full_probability(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(0.5, 0.5), (0.2, 0.9)]], [[0.6, 0.4]])
+        result = brute_force_arsp(dataset,
+                                  LinearConstraints.unconstrained(2))
+        # With no other object nothing can dominate: Pr equals existence.
+        assert result[0] == pytest.approx(0.6)
+        assert result[1] == pytest.approx(0.4)
+
+    def test_object_aggregation(self, example1_dataset, ratio_constraints_2d):
+        per_object = brute_force_object_arsp(example1_dataset,
+                                             ratio_constraints_2d)
+        per_instance = brute_force_arsp(example1_dataset,
+                                        ratio_constraints_2d)
+        assert per_object[0] == pytest.approx(per_instance[0]
+                                              + per_instance[1])
+
+    def test_fully_dominated_object_is_zero(self):
+        dataset = UncertainDataset.from_instance_lists(
+            [[(0.0, 0.0)], [(1.0, 1.0)]], [[1.0], [1.0]])
+        result = brute_force_arsp(dataset,
+                                  LinearConstraints.unconstrained(2))
+        assert result[0] == pytest.approx(1.0)
+        assert result[1] == pytest.approx(0.0)
+
+    def test_weight_ratio_equals_linear_form(self, example1_dataset):
+        ratio = WeightRatioConstraints([(0.5, 2.0)])
+        linear = ratio.to_linear_constraints()
+        assert brute_force_arsp(example1_dataset, ratio) == pytest.approx(
+            brute_force_arsp(example1_dataset, linear))
+
+    def test_equation3_factorisation(self, example1_dataset,
+                                     ratio_constraints_2d):
+        """The possible-world definition matches equation (3) of the paper."""
+        from repro.core.dominance import f_dominates
+        result = brute_force_arsp(example1_dataset, ratio_constraints_2d)
+        for instance in example1_dataset.instances:
+            expected = instance.probability
+            for obj in example1_dataset.objects:
+                if obj.object_id == instance.object_id:
+                    continue
+                mass = sum(other.probability for other in obj
+                           if f_dominates(other.values, instance.values,
+                                          ratio_constraints_2d))
+                expected *= (1.0 - mass)
+            assert result[instance.instance_id] == pytest.approx(expected)
+
+    def test_total_probability_conservation(self, example1_dataset,
+                                            ratio_constraints_2d):
+        """Expected rskyline size equals the sum over instances of Pr_rsky."""
+        region = resolve_preference_region(ratio_constraints_2d)
+        expected_size = 0.0
+        for world, probability in iter_possible_worlds(example1_dataset):
+            expected_size += probability * len(world_rskyline(world, region))
+        result = brute_force_arsp(example1_dataset, ratio_constraints_2d)
+        assert sum(result.values()) == pytest.approx(expected_size)
+
+    def test_monotone_in_constraint_tightening(self, example1_dataset):
+        """A larger F (tighter region ⊂ looser region ⇒ more functions?) —
+        here: adding constraints can only decrease rskyline probabilities
+        relative to the unconstrained skyline probability is *not* generally
+        monotone, but the unconstrained case upper-bounds every instance's
+        probability computed with the *same* dominance relation restricted
+        further.  We check the specific fact the paper states: rskyline
+        probabilities are at most the corresponding skyline probabilities.
+        """
+        skyline_result = brute_force_arsp(
+            example1_dataset, LinearConstraints.unconstrained(2))
+        rskyline_result = brute_force_arsp(
+            example1_dataset, WeightRatioConstraints([(0.5, 2.0)]))
+        for key in skyline_result:
+            assert rskyline_result[key] <= skyline_result[key] + 1e-12

@@ -1,0 +1,214 @@
+"""Tests for the preference model (repro.core.preference)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints, PreferenceRegion, WeightRatioConstraints
+from repro.core.preference import resolve_preference_region
+
+
+class TestPreferenceRegion:
+    def test_vertices_shape(self):
+        region = PreferenceRegion([[1.0, 0.0], [0.5, 0.5]])
+        assert region.dimension == 2
+        assert region.num_vertices == 2
+
+    def test_empty_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            PreferenceRegion(np.empty((0, 2)))
+
+    def test_score_single_point(self):
+        region = PreferenceRegion([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(region.score([3.0, 4.0]), [3.0, 4.0])
+
+    def test_score_matrix(self):
+        region = PreferenceRegion([[0.5, 0.5]])
+        scores = region.score_matrix(np.array([[2.0, 4.0], [1.0, 1.0]]))
+        np.testing.assert_allclose(scores, [[3.0], [1.0]])
+
+    def test_contains_vertex(self):
+        region = PreferenceRegion([[1.0, 0.0], [0.0, 1.0]])
+        assert region.contains([1.0, 0.0])
+
+    def test_contains_interior_point(self):
+        region = PreferenceRegion([[1.0, 0.0], [0.0, 1.0]])
+        assert region.contains([0.5, 0.5])
+
+    def test_contains_rejects_outside_point(self):
+        region = PreferenceRegion([[1.0, 0.0, 0.0], [0.5, 0.5, 0.0]])
+        assert not region.contains([0.0, 0.0, 1.0])
+
+
+class TestLinearConstraints:
+    def test_unconstrained_vertices_are_axes(self):
+        constraints = LinearConstraints.unconstrained(3)
+        vertices = constraints.enumerate_vertices()
+        assert vertices.shape == (3, 3)
+        # Every coordinate axis weight must be present.
+        for axis in range(3):
+            expected = np.zeros(3)
+            expected[axis] = 1.0
+            assert any(np.allclose(v, expected) for v in vertices)
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4, 5, 6])
+    def test_weak_ranking_default_has_d_vertices(self, dimension):
+        constraints = LinearConstraints.weak_ranking(dimension)
+        vertices = constraints.enumerate_vertices()
+        assert vertices.shape[0] == dimension
+
+    def test_weak_ranking_vertices_3d_values(self):
+        vertices = LinearConstraints.weak_ranking(3).enumerate_vertices()
+        expected = {(1.0, 0.0, 0.0), (0.5, 0.5, 0.0),
+                    (1 / 3, 1 / 3, 1 / 3)}
+        found = {tuple(np.round(v, 6)) for v in vertices}
+        assert found == {tuple(np.round(np.array(e), 6)) for e in expected}
+
+    def test_weak_ranking_partial_constraints(self):
+        constraints = LinearConstraints.weak_ranking(4, num_constraints=1)
+        vertices = constraints.enumerate_vertices()
+        # Only ω1 >= ω2 is imposed: more vertices than the full ranking.
+        assert vertices.shape[0] > 4 - 1
+
+    def test_weak_ranking_invalid_count(self):
+        with pytest.raises(ValueError):
+            LinearConstraints.weak_ranking(3, num_constraints=5)
+
+    def test_vertices_satisfy_constraints(self):
+        constraints = LinearConstraints.weak_ranking(4)
+        for vertex in constraints.enumerate_vertices():
+            assert constraints.feasible(vertex)
+
+    def test_feasible_checks_simplex(self):
+        constraints = LinearConstraints.unconstrained(2)
+        assert constraints.feasible([0.25, 0.75])
+        assert not constraints.feasible([0.5, 0.6])
+        assert not constraints.feasible([-0.1, 1.1])
+        assert not constraints.feasible([1.0, 0.0, 0.0])
+
+    def test_from_halfspaces(self):
+        constraints = LinearConstraints.from_halfspaces(
+            2, [((1.0, -2.0), 0.0), ((-1.0, 0.5), 0.0)])
+        vertices = constraints.enumerate_vertices()
+        found = {tuple(np.round(v, 6)) for v in vertices}
+        expected = {tuple(np.round([1 / 3, 2 / 3], 6)),
+                    tuple(np.round([2 / 3, 1 / 3], 6))}
+        assert found == expected
+
+    def test_from_halfspaces_empty(self):
+        constraints = LinearConstraints.from_halfspaces(3, [])
+        assert constraints.num_constraints == 0
+
+    def test_infeasible_constraints_raise(self):
+        # ω1 <= -1 is impossible on the simplex.
+        constraints = LinearConstraints(2, [[1.0, 0.0]], [-1.0])
+        with pytest.raises(ValueError, match="empty"):
+            constraints.enumerate_vertices()
+
+    def test_dimension_one(self):
+        constraints = LinearConstraints.unconstrained(1)
+        vertices = constraints.enumerate_vertices()
+        np.testing.assert_allclose(vertices, [[1.0]])
+
+    def test_matrix_rhs_shape_validation(self):
+        with pytest.raises(ValueError, match="rows"):
+            LinearConstraints(2, [[1.0, 0.0]], [0.0, 1.0])
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            LinearConstraints(0)
+
+    def test_preference_region_roundtrip(self):
+        constraints = LinearConstraints.weak_ranking(3)
+        region = constraints.preference_region()
+        assert region.num_vertices == 3
+        assert region.dimension == 3
+
+
+class TestWeightRatioConstraints:
+    def test_dimension(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0), (1.0, 3.0)])
+        assert constraints.dimension == 3
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            WeightRatioConstraints([(2.0, 0.5)])
+        with pytest.raises(ValueError):
+            WeightRatioConstraints([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            WeightRatioConstraints([])
+
+    def test_rectangle_vertex_order(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0), (1.0, 3.0)])
+        np.testing.assert_allclose(constraints.rectangle_vertex(0),
+                                   [0.5, 1.0])
+        np.testing.assert_allclose(constraints.rectangle_vertex(3),
+                                   [2.0, 3.0])
+        np.testing.assert_allclose(constraints.rectangle_vertex(1),
+                                   [0.5, 3.0])
+        np.testing.assert_allclose(constraints.rectangle_vertex(2),
+                                   [2.0, 1.0])
+
+    def test_rectangle_vertex_out_of_range(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        with pytest.raises(ValueError):
+            constraints.rectangle_vertex(2)
+
+    def test_num_rectangle_vertices(self):
+        assert WeightRatioConstraints([(1, 2)]).num_rectangle_vertices() == 2
+        assert WeightRatioConstraints(
+            [(1, 2), (1, 2), (1, 2)]).num_rectangle_vertices() == 8
+
+    def test_simplex_vertices_example1(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        vertices = constraints.enumerate_vertices()
+        found = {tuple(np.round(v, 6)) for v in vertices}
+        expected = {tuple(np.round([1 / 3, 2 / 3], 6)),
+                    tuple(np.round([2 / 3, 1 / 3], 6))}
+        assert found == expected
+
+    def test_simplex_vertices_lie_on_simplex(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.25, 4.0)])
+        for vertex in constraints.enumerate_vertices():
+            assert vertex.sum() == pytest.approx(1.0)
+            assert np.all(vertex >= 0.0)
+
+    def test_degenerate_range_deduplicates(self):
+        constraints = WeightRatioConstraints([(1.0, 1.0)])
+        assert constraints.enumerate_vertices().shape[0] == 1
+
+    def test_to_linear_constraints_same_region(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.8, 1.5)])
+        linear = constraints.to_linear_constraints()
+        direct = {tuple(np.round(v, 6))
+                  for v in constraints.enumerate_vertices()}
+        via_linear = {tuple(np.round(v, 6))
+                      for v in linear.enumerate_vertices()}
+        assert direct == via_linear
+
+    def test_lows_highs(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0), (1.0, 3.0)])
+        np.testing.assert_allclose(constraints.lows, [0.5, 1.0])
+        np.testing.assert_allclose(constraints.highs, [2.0, 3.0])
+
+
+class TestResolvePreferenceRegion:
+    def test_resolve_linear(self):
+        region = resolve_preference_region(LinearConstraints.weak_ranking(3))
+        assert isinstance(region, PreferenceRegion)
+
+    def test_resolve_ratio(self):
+        region = resolve_preference_region(
+            WeightRatioConstraints([(0.5, 2.0)]))
+        assert region.num_vertices == 2
+
+    def test_resolve_region_passthrough(self):
+        region = PreferenceRegion([[1.0, 0.0]])
+        assert resolve_preference_region(region) is region
+
+    def test_resolve_raw_vertices(self):
+        region = resolve_preference_region([[1.0, 0.0], [0.0, 1.0]])
+        assert region.num_vertices == 2
+
+    def test_resolve_invalid(self):
+        with pytest.raises(TypeError):
+            resolve_preference_region("not constraints")

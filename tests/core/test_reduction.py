@@ -1,0 +1,94 @@
+"""Tests for the Orthogonal Vectors reduction (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (branch_and_bound_arsp, kdtree_traversal_arsp,
+                              loop_arsp)
+from repro.core.reduction import (build_arsp_instance,
+                                  decide_orthogonal_vectors_via_arsp,
+                                  orthogonal_pair_exists)
+
+
+class TestDirectOVCheck:
+    def test_orthogonal_pair_found(self):
+        a = [[1, 0, 1], [0, 1, 1]]
+        b = [[0, 1, 0], [1, 1, 1]]
+        assert orthogonal_pair_exists(a, b)   # (1,0,1) . (0,1,0) = 0
+
+    def test_no_orthogonal_pair(self):
+        a = [[1, 1, 0]]
+        b = [[1, 0, 1], [0, 1, 1]]
+        assert not orthogonal_pair_exists(a, b)
+
+    def test_empty_sets(self):
+        assert not orthogonal_pair_exists([], [[1, 0]])
+
+
+class TestConstruction:
+    def test_instance_shapes(self):
+        a = [[1, 0], [0, 1]]
+        b = [[1, 1], [0, 1], [1, 0]]
+        dataset, constraints = build_arsp_instance(a, b)
+        # One object per b vector plus the T_A object.
+        assert dataset.num_objects == len(b) + 1
+        assert dataset.num_instances == len(b) + len(a)
+        assert constraints.dimension == 2
+
+    def test_xi_mapping(self):
+        dataset, _ = build_arsp_instance([[1, 0]], [[0, 0]])
+        t_a = dataset.objects[-1]
+        assert t_a.instances[0].values == (0.5, 1.5)
+
+    def test_t_a_probabilities(self):
+        dataset, _ = build_arsp_instance([[1, 0], [0, 1], [1, 1]], [[0, 0]])
+        t_a = dataset.objects[-1]
+        assert all(inst.probability == pytest.approx(1.0 / 3)
+                   for inst in t_a)
+
+    def test_b_objects_have_probability_one(self):
+        dataset, _ = build_arsp_instance([[1, 0]], [[0, 1], [1, 1]])
+        for obj in dataset.objects[:-1]:
+            assert obj.total_probability == pytest.approx(1.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_arsp_instance([[1, 0]], [[1, 0, 1]])
+
+
+class TestReductionCorrectness:
+    """The executable content of Theorem 1: OV answer == ARSP-derived answer."""
+
+    SOLVERS = {
+        "loop": loop_arsp,
+        "kdtt+": kdtree_traversal_arsp,
+        "bnb": branch_and_bound_arsp,
+    }
+
+    @pytest.mark.parametrize("solver_name", sorted(SOLVERS))
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, solver_name, seed):
+        rng = np.random.default_rng(seed)
+        n, d = 6, 4
+        a = rng.integers(0, 2, size=(n, d))
+        b = rng.integers(0, 2, size=(n, d))
+        expected = orthogonal_pair_exists(a, b)
+        actual = decide_orthogonal_vectors_via_arsp(
+            a, b, self.SOLVERS[solver_name])
+        assert actual == expected
+
+    def test_positive_instance(self):
+        a = [[1, 0, 0], [1, 1, 0]]
+        b = [[0, 0, 1], [1, 1, 1]]
+        assert decide_orthogonal_vectors_via_arsp(a, b, loop_arsp)
+
+    def test_negative_instance(self):
+        # All-ones vectors are never orthogonal to anything non-zero.
+        a = [[1, 1, 1]]
+        b = [[1, 1, 1], [1, 0, 1]]
+        assert not decide_orthogonal_vectors_via_arsp(a, b, loop_arsp)
+
+    def test_all_zero_vector_is_orthogonal_to_everything(self):
+        a = [[0, 0]]
+        b = [[1, 1]]
+        assert decide_orthogonal_vectors_via_arsp(a, b, kdtree_traversal_arsp)

@@ -1,0 +1,104 @@
+"""Tests for the certain-data operators (repro.core.rskyline)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearConstraints, WeightRatioConstraints
+from repro.core.rskyline import (dominance_counts, eclipse,
+                                 is_f_dominated_by_any, rskyline, skyline)
+
+
+class TestSkyline:
+    def test_simple_skyline(self):
+        points = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0)]
+        assert skyline(points) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert skyline([(1.0, 1.0)]) == [0]
+
+    def test_duplicates_stay_together(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert skyline(points) == [0, 1]
+
+    def test_chain_keeps_only_minimum(self):
+        points = [(3.0, 3.0), (2.0, 2.0), (1.0, 1.0)]
+        assert skyline(points) == [2]
+
+    def test_all_incomparable(self):
+        points = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        assert skyline(points) == [0, 1, 2]
+
+
+class TestRSkyline:
+    def test_rskyline_subset_of_skyline(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(40, 3))
+        constraints = LinearConstraints.weak_ranking(3)
+        assert set(rskyline(points, constraints)) <= set(skyline(points))
+
+    def test_unconstrained_equals_skyline(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1, size=(30, 3))
+        constraints = LinearConstraints.unconstrained(3)
+        assert rskyline(points, constraints) == skyline(points)
+
+    def test_constraints_shrink_result(self):
+        points = [(1.0, 3.0), (2.0, 2.5), (3.0, 1.0)]
+        unconstrained = rskyline(points, LinearConstraints.unconstrained(2))
+        constrained = rskyline(points, LinearConstraints.weak_ranking(2))
+        assert set(constrained) <= set(unconstrained)
+        assert len(constrained) < len(unconstrained)
+
+    def test_duplicates_stay_in_rskyline(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (5.0, 5.0)]
+        constraints = LinearConstraints.weak_ranking(2)
+        assert rskyline(points, constraints) == [0, 1]
+
+    def test_example1_aggregated_style(self, example1_dataset,
+                                       ratio_constraints_2d):
+        aggregated = example1_dataset.aggregate()
+        points = [obj.instances[0].values for obj in aggregated.objects]
+        result = rskyline(points, ratio_constraints_2d)
+        assert len(result) >= 1
+        assert set(result) <= set(range(4))
+
+
+class TestEclipse:
+    def test_eclipse_equals_rskyline_of_ratio_region(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 1, size=(30, 3))
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+        assert eclipse(points, constraints) == rskyline(points, constraints)
+
+    def test_eclipse_subset_of_skyline(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(50, 2))
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        assert set(eclipse(points, constraints)) <= set(skyline(points))
+
+    def test_tighter_range_gives_smaller_eclipse(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 1, size=(60, 2))
+        wide = eclipse(points, WeightRatioConstraints([(0.2, 5.0)]))
+        narrow = eclipse(points, WeightRatioConstraints([(0.9, 1.1)]))
+        assert len(narrow) <= len(wide)
+
+
+class TestHelpers:
+    def test_is_f_dominated_by_any(self):
+        constraints = LinearConstraints.weak_ranking(2)
+        assert is_f_dominated_by_any((2.0, 2.5), [(1.0, 3.0)], constraints)
+        assert not is_f_dominated_by_any((0.5, 0.5), [(1.0, 3.0)],
+                                         constraints)
+
+    def test_dominance_counts(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        constraints = LinearConstraints.unconstrained(2)
+        assert dominance_counts(points, constraints) == [0, 1, 2]
+
+    def test_dominance_counts_with_constraints(self):
+        points = [(1.0, 3.0), (2.0, 2.5)]
+        constraints = LinearConstraints.weak_ranking(2)
+        counts = dominance_counts(points, constraints)
+        assert counts[1] == 1
+        assert counts[0] == 0

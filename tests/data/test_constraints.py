@@ -1,0 +1,70 @@
+"""Tests for the WR and IM constraint generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.constraints import (interactive_constraints,
+                                    weak_ranking_constraints)
+
+
+class TestWeakRanking:
+    @pytest.mark.parametrize("dimension", [2, 3, 5])
+    def test_default_constraint_count(self, dimension):
+        constraints = weak_ranking_constraints(dimension)
+        assert constraints.num_constraints == dimension - 1
+
+    def test_vertex_count_always_d(self):
+        for dimension in (2, 3, 4, 5):
+            constraints = weak_ranking_constraints(dimension)
+            assert constraints.enumerate_vertices().shape[0] == dimension
+
+    def test_partial_ranking(self):
+        constraints = weak_ranking_constraints(5, num_constraints=2)
+        assert constraints.num_constraints == 2
+
+
+class TestInteractive:
+    def test_target_weight_always_feasible(self):
+        rng = np.random.default_rng(0)
+        for seed in range(10):
+            dimension = int(rng.integers(2, 5))
+            target = rng.dirichlet(np.ones(dimension))
+            constraints = interactive_constraints(dimension, 4, seed=seed,
+                                                  target_weight=target)
+            assert constraints.feasible(target)
+
+    def test_constraint_count(self):
+        constraints = interactive_constraints(3, 5, seed=1)
+        assert constraints.num_constraints <= 5
+        assert constraints.num_constraints >= 1
+
+    def test_zero_constraints_gives_unconstrained(self):
+        constraints = interactive_constraints(3, 0, seed=2)
+        assert constraints.num_constraints == 0
+
+    def test_region_never_empty(self):
+        for seed in range(10):
+            constraints = interactive_constraints(4, 6, seed=seed)
+            vertices = constraints.enumerate_vertices()
+            assert vertices.shape[0] >= 1
+
+    def test_vertex_count_tends_to_grow_with_c(self):
+        few = interactive_constraints(4, 1, seed=3).enumerate_vertices()
+        many = interactive_constraints(4, 8, seed=3).enumerate_vertices()
+        assert many.shape[0] >= few.shape[0] - 1
+
+    def test_invalid_target_weight(self):
+        with pytest.raises(ValueError):
+            interactive_constraints(3, 2, target_weight=np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            interactive_constraints(3, 2,
+                                    target_weight=np.array([0.5, 0.7, -0.2]))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            interactive_constraints(3, -1)
+
+    def test_reproducible_with_seed(self):
+        first = interactive_constraints(3, 4, seed=5)
+        second = interactive_constraints(3, 4, seed=5)
+        np.testing.assert_allclose(first.matrix, second.matrix)

@@ -1,0 +1,120 @@
+"""Tests for dataset loading and saving (repro.data.io)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_csv, load_json, save_csv, save_json
+from tests.conftest import make_random_dataset
+
+
+def assert_datasets_equal(a, b):
+    assert a.num_objects == b.num_objects
+    assert a.num_instances == b.num_instances
+    np.testing.assert_allclose(a.instance_matrix(), b.instance_matrix())
+    np.testing.assert_allclose(a.probability_vector(), b.probability_vector())
+    np.testing.assert_array_equal(a.object_ids(), b.object_ids())
+    # Unnamed objects are given the default "object-<i>" label when loaded.
+    labels_a = [obj.label or "object-%d" % obj.object_id for obj in a.objects]
+    labels_b = [obj.label or "object-%d" % obj.object_id for obj in b.objects]
+    assert labels_a == labels_b
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path, example1_dataset):
+        path = tmp_path / "data.csv"
+        save_csv(example1_dataset, path)
+        assert_datasets_equal(example1_dataset, load_csv(path))
+
+    def test_round_trip_random(self, tmp_path):
+        dataset = make_random_dataset(seed=91, num_objects=12,
+                                      max_instances=4, dimension=3,
+                                      incomplete_fraction=0.3)
+        path = tmp_path / "random.csv"
+        save_csv(dataset, path)
+        assert_datasets_equal(dataset, load_csv(path))
+
+    def test_missing_labels_get_defaults(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["object_id", "probability", "attr_0", "attr_1"])
+            writer.writerow([7, 0.5, 1.0, 2.0])
+            writer.writerow([7, 0.5, 2.0, 1.0])
+            writer.writerow([9, 1.0, 0.5, 0.5])
+        dataset = load_csv(path)
+        assert dataset.num_objects == 2
+        assert dataset.objects[0].label == "object-0"
+        assert dataset.objects[0].total_probability == pytest.approx(1.0)
+
+    def test_object_ids_renumbered_densely(self, tmp_path):
+        path = tmp_path / "sparse.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["object_id", "probability", "attr_0"])
+            writer.writerow(["42", 1.0, 3.0])
+            writer.writerow(["7", 1.0, 1.0])
+        dataset = load_csv(path)
+        assert [obj.object_id for obj in dataset.objects] == [0, 1]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_missing_attr_columns_rejected(self, tmp_path):
+        path = tmp_path / "noattrs.csv"
+        path.write_text("object_id,probability\n1,1.0\n")
+        with pytest.raises(ValueError, match="attr"):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "headeronly.csv"
+        path.write_text("object_id,probability,attr_0\n")
+        with pytest.raises(ValueError, match="no instances"):
+            load_csv(path)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path, example1_dataset):
+        path = tmp_path / "data.json"
+        save_json(example1_dataset, path)
+        assert_datasets_equal(example1_dataset, load_json(path))
+
+    def test_round_trip_random(self, tmp_path):
+        dataset = make_random_dataset(seed=92, num_objects=8,
+                                      max_instances=3, dimension=4)
+        path = tmp_path / "random.json"
+        save_json(dataset, path, indent=None)
+        assert_datasets_equal(dataset, load_json(path))
+
+    def test_missing_objects_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"objects\": []}")
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_object_without_instances_rejected(self, tmp_path):
+        path = tmp_path / "bad2.json"
+        path.write_text("{\"objects\": [{\"label\": \"x\", \"instances\": []}]}")
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_loaded_dataset_usable_for_arsp(self, tmp_path, example1_dataset,
+                                            ratio_constraints_2d):
+        from repro import compute_arsp
+        path = tmp_path / "data.json"
+        save_json(example1_dataset, path)
+        reloaded = load_json(path)
+        result = compute_arsp(reloaded, ratio_constraints_2d,
+                              algorithm="kdtt+")
+        assert result[0] == pytest.approx(2.0 / 9.0)
+
+    def test_cross_format_equivalence(self, tmp_path, example1_dataset):
+        csv_path = tmp_path / "d.csv"
+        json_path = tmp_path / "d.json"
+        save_csv(example1_dataset, csv_path)
+        save_json(example1_dataset, json_path)
+        assert_datasets_equal(load_csv(csv_path), load_json(json_path))

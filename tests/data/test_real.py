@@ -1,0 +1,92 @@
+"""Tests for the simulated real datasets (IIP, CAR, NBA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.numeric import PROB_ATOL
+from repro.data.real import (IIP_CONFIDENCE_PROBABILITIES, NBA_METRICS,
+                             car_dataset, iip_dataset, nba_dataset)
+
+
+class TestIIP:
+    def test_structure(self):
+        dataset = iip_dataset(num_records=300, seed=1)
+        dataset.validate()
+        assert dataset.num_objects == 300
+        assert dataset.dimension == 2
+        assert all(len(obj) == 1 for obj in dataset)
+
+    def test_probabilities_from_confidence_levels(self):
+        dataset = iip_dataset(num_records=200, seed=2)
+        seen = {round(obj.instances[0].probability, 6) for obj in dataset}
+        assert seen <= {round(p, 6) for p in IIP_CONFIDENCE_PROBABILITIES}
+
+    def test_every_object_is_incomplete(self):
+        """φ = 1 in the paper: every object has total probability < 1."""
+        dataset = iip_dataset(num_records=100, seed=3)
+        assert all(obj.total_probability < 1.0 - PROB_ATOL for obj in dataset)
+
+    def test_reproducible(self):
+        a = iip_dataset(num_records=50, seed=4)
+        b = iip_dataset(num_records=50, seed=4)
+        np.testing.assert_allclose(a.instance_matrix(), b.instance_matrix())
+
+
+class TestCAR:
+    def test_structure(self):
+        dataset = car_dataset(num_models=40, max_cars_per_model=6, seed=5)
+        dataset.validate()
+        assert dataset.num_objects == 40
+        assert dataset.dimension == 4
+        assert all(1 <= len(obj) <= 6 for obj in dataset)
+
+    def test_uniform_probability_within_model(self):
+        dataset = car_dataset(num_models=30, seed=6)
+        for obj in dataset:
+            assert obj.total_probability == pytest.approx(1.0)
+            expected = 1.0 / len(obj)
+            assert all(inst.probability == pytest.approx(expected)
+                       for inst in obj)
+
+    def test_labels(self):
+        dataset = car_dataset(num_models=5, seed=7)
+        assert dataset.objects[0].label == "model-000"
+
+
+class TestNBA:
+    def test_structure(self):
+        dataset = nba_dataset(num_players=30, max_games=10, seed=8)
+        dataset.validate()
+        assert dataset.num_objects == 30
+        assert dataset.dimension == len(NBA_METRICS)
+        assert all(5 <= len(obj) <= 10 for obj in dataset)
+
+    def test_metric_subset(self):
+        dataset = nba_dataset(num_players=20, max_games=8, num_metrics=3,
+                              seed=9)
+        assert dataset.dimension == 3
+
+    def test_invalid_metric_count(self):
+        with pytest.raises(ValueError):
+            nba_dataset(num_metrics=0)
+        with pytest.raises(ValueError):
+            nba_dataset(num_metrics=9)
+
+    def test_equal_probability_per_record(self):
+        dataset = nba_dataset(num_players=15, max_games=12, seed=10)
+        for obj in dataset:
+            assert obj.total_probability == pytest.approx(1.0)
+
+    def test_players_have_variance(self):
+        """The per-player record variance that drives Table I must exist."""
+        dataset = nba_dataset(num_players=20, max_games=20, num_metrics=3,
+                              seed=11)
+        variances = []
+        for obj in dataset:
+            points = np.asarray([inst.values for inst in obj])
+            variances.append(points.var(axis=0).mean())
+        assert np.mean(variances) > 0.5
+
+    def test_values_non_negative(self):
+        dataset = nba_dataset(num_players=10, seed=12)
+        assert np.all(dataset.instance_matrix() >= 0.0)

@@ -1,0 +1,130 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.numeric import PROB_ATOL
+from repro.data.synthetic import (SyntheticConfig, generate_centers,
+                                  generate_certain_points,
+                                  generate_uncertain_dataset)
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        SyntheticConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_objects", 0),
+        ("max_instances", 0),
+        ("dimension", 0),
+        ("region_length", 1.5),
+        ("incomplete_fraction", -0.1),
+        ("distribution", "WEIRD"),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        config = SyntheticConfig()
+        setattr(config, field, value)
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestCenters:
+    @pytest.mark.parametrize("distribution", ["IND", "ANTI", "CORR"])
+    def test_centers_in_unit_cube(self, distribution):
+        rng = np.random.default_rng(0)
+        centers = generate_centers(500, 4, distribution, rng)
+        assert centers.shape == (500, 4)
+        assert np.all(centers >= 0.0) and np.all(centers <= 1.0)
+
+    def test_corr_centers_are_correlated(self):
+        rng = np.random.default_rng(1)
+        centers = generate_centers(2000, 2, "CORR", rng)
+        correlation = np.corrcoef(centers[:, 0], centers[:, 1])[0, 1]
+        assert correlation > 0.5
+
+    def test_anti_centers_are_anticorrelated(self):
+        rng = np.random.default_rng(2)
+        centers = generate_centers(2000, 2, "ANTI", rng)
+        correlation = np.corrcoef(centers[:, 0], centers[:, 1])[0, 1]
+        assert correlation < -0.2
+
+    def test_unknown_distribution(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            generate_centers(10, 2, "XYZ", rng)
+
+
+class TestDatasetGeneration:
+    def test_shapes_and_validity(self):
+        config = SyntheticConfig(num_objects=50, max_instances=6, dimension=3,
+                                 seed=4)
+        dataset = generate_uncertain_dataset(config)
+        dataset.validate()
+        assert dataset.num_objects == 50
+        assert dataset.dimension == 3
+        assert all(1 <= len(obj) <= 6 for obj in dataset)
+
+    def test_instances_in_unit_cube(self):
+        config = SyntheticConfig(num_objects=30, max_instances=5, dimension=4,
+                                 seed=5)
+        dataset = generate_uncertain_dataset(config)
+        matrix = dataset.instance_matrix()
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+    def test_equal_instance_probabilities(self):
+        config = SyntheticConfig(num_objects=30, max_instances=5, seed=6)
+        dataset = generate_uncertain_dataset(config)
+        for obj in dataset:
+            probabilities = {inst.probability for inst in obj}
+            assert len(probabilities) == 1
+
+    def test_incomplete_fraction(self):
+        config = SyntheticConfig(num_objects=100, max_instances=6,
+                                 incomplete_fraction=0.4, seed=7)
+        dataset = generate_uncertain_dataset(config)
+        incomplete = sum(1 for obj in dataset
+                         if obj.total_probability < 1.0 - PROB_ATOL)
+        # Objects that drew a single instance cannot lose one, so the count
+        # is at most 40 but should be well above zero.
+        assert 0 < incomplete <= 40
+
+    def test_phi_zero_gives_complete_objects(self):
+        config = SyntheticConfig(num_objects=50, max_instances=4,
+                                 incomplete_fraction=0.0, seed=8)
+        dataset = generate_uncertain_dataset(config)
+        assert all(obj.total_probability == pytest.approx(1.0)
+                   for obj in dataset)
+
+    def test_seed_reproducibility(self):
+        config = SyntheticConfig(num_objects=20, max_instances=4, seed=9)
+        first = generate_uncertain_dataset(config)
+        second = generate_uncertain_dataset(config)
+        np.testing.assert_allclose(first.instance_matrix(),
+                                   second.instance_matrix())
+
+    def test_different_seeds_differ(self):
+        first = generate_uncertain_dataset(SyntheticConfig(num_objects=20,
+                                                           seed=1))
+        second = generate_uncertain_dataset(SyntheticConfig(num_objects=20,
+                                                            seed=2))
+        assert not np.allclose(first.instance_matrix()[:5],
+                               second.instance_matrix()[:5])
+
+    def test_region_length_bounds_spread(self):
+        config = SyntheticConfig(num_objects=40, max_instances=6,
+                                 region_length=0.1, seed=10)
+        dataset = generate_uncertain_dataset(config)
+        for obj in dataset:
+            points = np.asarray([inst.values for inst in obj])
+            spread = points.max(axis=0) - points.min(axis=0)
+            assert np.all(spread <= 0.1 + 1e-9)
+
+
+class TestCertainPoints:
+    def test_shape(self):
+        points = generate_certain_points(100, 3, seed=11)
+        assert points.shape == (100, 3)
+
+    def test_distribution_forwarded(self):
+        corr = generate_certain_points(2000, 2, distribution="CORR", seed=12)
+        assert np.corrcoef(corr[:, 0], corr[:, 1])[0, 1] > 0.5

@@ -1,0 +1,103 @@
+"""Tests for the eclipse query algorithms."""
+
+import numpy as np
+import pytest
+
+from repro import WeightRatioConstraints
+from repro.core.rskyline import eclipse as reference_eclipse
+from repro.eclipse import (dual_s_eclipse, fast_skyline, naive_eclipse,
+                           quad_eclipse)
+from repro.eclipse.naive import eclipse_dominates
+
+
+class TestFastSkyline:
+    def test_matches_reference_skyline(self):
+        from repro.core.rskyline import skyline
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(120, 3))
+        assert fast_skyline(points) == sorted(skyline(points))
+
+    def test_empty(self):
+        assert fast_skyline(np.empty((0, 2))) == []
+
+    def test_duplicates_kept(self):
+        points = [(0.1, 0.1), (0.1, 0.1), (0.5, 0.5)]
+        assert fast_skyline(points) == [0, 1]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            fast_skyline(np.zeros(5))
+
+
+class TestEclipseDominates:
+    CONSTRAINTS = WeightRatioConstraints([(0.5, 2.0)])
+
+    def test_strict_dominance(self):
+        assert eclipse_dominates((1.0, 1.0), (2.0, 2.0), self.CONSTRAINTS)
+        assert not eclipse_dominates((2.0, 2.0), (1.0, 1.0), self.CONSTRAINTS)
+
+    def test_duplicates_do_not_dominate_each_other(self):
+        assert not eclipse_dominates((1.0, 1.0), (1.0, 1.0), self.CONSTRAINTS)
+
+    def test_eclipse_dominance_is_weaker_than_needed_for_skyline(self):
+        # Points incomparable under Pareto dominance can eclipse-dominate.
+        assert eclipse_dominates((1.0, 3.0), (2.2, 2.4), self.CONSTRAINTS)
+
+
+class TestEclipseAlgorithmsAgree:
+    @pytest.mark.parametrize("dimension,ranges", [
+        (2, [(0.5, 2.0)]),
+        (3, [(0.36, 2.75), (0.36, 2.75)]),
+        (4, [(0.5, 2.0), (0.5, 2.0), (0.5, 2.0)]),
+    ])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_all_implementations_match_reference(self, dimension, ranges,
+                                                 seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 1, size=(60, dimension))
+        constraints = WeightRatioConstraints(ranges)
+        expected = sorted(reference_eclipse(points, constraints))
+        assert sorted(naive_eclipse(points, constraints)) == expected
+        assert sorted(quad_eclipse(points, constraints)) == expected
+        assert sorted(dual_s_eclipse(points, constraints)) == expected
+
+    def test_certain_points_fixture(self, certain_points_3d):
+        constraints = WeightRatioConstraints([(0.36, 2.75), (0.36, 2.75)])
+        expected = sorted(naive_eclipse(certain_points_3d, constraints))
+        assert sorted(quad_eclipse(certain_points_3d, constraints)) == expected
+        assert sorted(dual_s_eclipse(certain_points_3d,
+                                     constraints)) == expected
+
+    def test_empty_input(self):
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        empty = np.empty((0, 2))
+        assert quad_eclipse(empty, constraints) == []
+        assert dual_s_eclipse(empty, constraints) == []
+
+    def test_dimension_mismatch(self, certain_points_3d):
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        with pytest.raises(ValueError):
+            naive_eclipse(certain_points_3d, constraints)
+        with pytest.raises(ValueError):
+            quad_eclipse(certain_points_3d, constraints)
+        with pytest.raises(ValueError):
+            dual_s_eclipse(certain_points_3d, constraints)
+
+
+class TestEclipseProperties:
+    def test_eclipse_subset_of_skyline(self, certain_points_3d):
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+        eclipse_ids = set(dual_s_eclipse(certain_points_3d, constraints))
+        assert eclipse_ids <= set(fast_skyline(certain_points_3d))
+
+    def test_tighter_range_shrinks_eclipse(self, certain_points_3d):
+        wide = WeightRatioConstraints([(0.18, 5.67), (0.18, 5.67)])
+        narrow = WeightRatioConstraints([(0.84, 1.19), (0.84, 1.19)])
+        assert len(dual_s_eclipse(certain_points_3d, narrow)) <= len(
+            dual_s_eclipse(certain_points_3d, wide))
+
+    def test_duplicate_points_remain(self):
+        points = [(0.1, 0.1), (0.1, 0.1), (0.9, 0.9)]
+        constraints = WeightRatioConstraints([(0.5, 2.0)])
+        assert sorted(dual_s_eclipse(points, constraints)) == [0, 1]
+        assert sorted(quad_eclipse(points, constraints)) == [0, 1]

@@ -1,0 +1,96 @@
+"""Tests for the effectiveness study (Tables I/II, Fig. 4)."""
+
+import pytest
+
+from repro import LinearConstraints, compute_arsp
+from repro.data.real import nba_dataset
+from repro.experiments.effectiveness import (aggregated_rskyline_ids,
+                                             format_ranking_table,
+                                             rank_correlation,
+                                             rskyline_probability_ranking,
+                                             score_distributions,
+                                             skyline_probability_ranking)
+
+
+@pytest.fixture(scope="module")
+def nba():
+    return nba_dataset(num_players=40, max_games=12, num_metrics=3, seed=99)
+
+
+@pytest.fixture(scope="module")
+def constraints():
+    return LinearConstraints.weak_ranking(3)
+
+
+class TestRankings:
+    def test_table1_shape(self, nba, constraints):
+        rows = rskyline_probability_ranking(nba, constraints, top_k=14)
+        assert len(rows) == 14
+        assert all(0.0 <= row.probability <= 1.0 for row in rows)
+        # Sorted by decreasing probability.
+        probabilities = [row.probability for row in rows]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_table1_accepts_precomputed_arsp(self, nba, constraints):
+        arsp = compute_arsp(nba, constraints, algorithm="kdtt+")
+        direct = rskyline_probability_ranking(nba, constraints, top_k=5,
+                                              arsp=arsp)
+        recomputed = rskyline_probability_ranking(nba, constraints, top_k=5)
+        assert [r.object_id for r in direct] == [r.object_id
+                                                 for r in recomputed]
+
+    def test_table2_shape(self, nba):
+        rows = skyline_probability_ranking(nba, top_k=14)
+        assert len(rows) == 14
+        probabilities = [row.probability for row in rows]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_rskyline_probability_below_skyline_probability(self, nba,
+                                                            constraints):
+        """The paper's observation: Pr_rsky(T) <= Pr_sky(T) per object."""
+        rsky = {row.object_id: row.probability
+                for row in rskyline_probability_ranking(nba, constraints,
+                                                        top_k=40)}
+        sky = {row.object_id: row.probability
+               for row in skyline_probability_ranking(nba, top_k=40)}
+        for object_id, value in rsky.items():
+            assert value <= sky[object_id] + 1e-9
+
+    def test_aggregated_rskyline_ids(self, nba, constraints):
+        ids = aggregated_rskyline_ids(nba, constraints)
+        assert len(ids) >= 1
+        assert all(0 <= i < nba.num_objects for i in ids)
+
+    def test_some_aggregated_members_marked(self, nba, constraints):
+        rows = rskyline_probability_ranking(nba, constraints, top_k=14)
+        assert any(row.in_aggregated_rskyline for row in rows)
+
+    def test_rank_correlation_bounds(self, nba, constraints):
+        table1 = rskyline_probability_ranking(nba, constraints, top_k=14)
+        table2 = skyline_probability_ranking(nba, top_k=14)
+        overlap = rank_correlation(table1, table2)
+        assert 0.0 <= overlap <= 1.0
+
+    def test_rank_correlation_identity(self, nba, constraints):
+        table = rskyline_probability_ranking(nba, constraints, top_k=10)
+        assert rank_correlation(table, table) == pytest.approx(1.0)
+
+    def test_rank_correlation_empty(self):
+        assert rank_correlation([], []) == 0.0
+
+
+class TestScoreDistributions:
+    def test_summaries_shape(self, nba, constraints):
+        summaries = score_distributions(nba, constraints, [0, 1])
+        assert set(summaries) == {0, 1}
+        region_vertices = constraints.preference_region().num_vertices
+        assert len(summaries[0]) == region_vertices
+        for summary in summaries[0]:
+            assert summary["min"] <= summary["median"] <= summary["max"]
+            assert summary["q1"] <= summary["q3"]
+
+    def test_formatting(self, nba, constraints):
+        rows = rskyline_probability_ranking(nba, constraints, top_k=3)
+        text = format_ranking_table(rows, "Table I")
+        assert "Table I" in text
+        assert rows[0].label in text

@@ -1,0 +1,138 @@
+"""Tests for the figure sweeps (Figs. 5-8).
+
+These run with very small parameters — the point is to exercise the sweep
+machinery and the qualitative claims (results agree across algorithms, the
+expected monotonicities hold), not to reproduce the paper-scale timings,
+which is the benchmarks' job.
+"""
+
+import pytest
+
+from repro.experiments.figures import (DEFAULT_ALGORITHMS, figure5_sweep,
+                                       figure6_sweep, figure7_dual_ms,
+                                       figure8_sweep, real_dataset,
+                                       synthetic_workload)
+
+SMALL_ALGORITHMS = ("loop", "kdtt+", "bnb")
+
+
+class TestSyntheticWorkload:
+    def test_workload_shapes(self):
+        dataset, constraints = synthetic_workload(num_objects=30,
+                                                  max_instances=3,
+                                                  dimension=3)
+        assert dataset.num_objects == 30
+        assert constraints.dimension == 3
+
+    def test_im_constraints(self):
+        _, constraints = synthetic_workload(num_objects=10, dimension=3,
+                                            constraint_generator="IM",
+                                            num_constraints=4)
+        assert constraints.num_constraints >= 1
+
+    def test_unknown_generator(self):
+        with pytest.raises(ValueError):
+            synthetic_workload(constraint_generator="XX")
+
+
+class TestFigure5:
+    def test_vary_m(self):
+        points = figure5_sweep("m", [10, 20], algorithms=SMALL_ALGORITHMS,
+                               base={"max_instances": 3, "dimension": 3},
+                               check_consistency=True)
+        assert len(points) == 2
+        for point in points:
+            assert all(run.finished for run in point.runs.values())
+            assert all(run.error is None for run in point.runs.values())
+
+    def test_vary_d(self):
+        points = figure5_sweep("d", [2, 3], algorithms=("kdtt+",),
+                               base={"num_objects": 15, "max_instances": 3})
+        assert [p.value for p in points] == [2, 3]
+
+    def test_size_grows_with_cnt(self):
+        points = figure5_sweep("cnt", [2, 6], algorithms=("kdtt+",),
+                               base={"num_objects": 30, "dimension": 3})
+        assert points[1].size() >= points[0].size()
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            figure5_sweep("bogus", [1], algorithms=("kdtt+",))
+
+    def test_default_algorithm_tuple_is_valid(self):
+        from repro.algorithms import list_algorithms
+        assert set(DEFAULT_ALGORITHMS) <= set(list_algorithms())
+
+
+class TestFigure6:
+    def test_real_dataset_lookup(self):
+        assert real_dataset("IIP", num_records=30).num_objects == 30
+        assert real_dataset("CAR", num_models=10).num_objects == 10
+        assert real_dataset("NBA", num_players=10).num_objects == 10
+        with pytest.raises(ValueError):
+            real_dataset("XYZ")
+
+    def test_vary_m_on_iip(self):
+        points = figure6_sweep("IIP", "m", [50, 100],
+                               algorithms=("kdtt+",),
+                               dataset_kwargs={"num_records": 80})
+        assert len(points) == 2
+        assert points[1].size() >= points[0].size()
+
+    def test_vary_d_on_nba(self):
+        points = figure6_sweep("NBA", "d", [2, 3], algorithms=("kdtt+",),
+                               dataset_kwargs={"num_players": 15,
+                                               "max_games": 6})
+        assert [p.value for p in points] == [2, 3]
+
+    def test_vary_c_on_nba(self):
+        points = figure6_sweep("NBA", "c", [1, 2], algorithms=("kdtt+",),
+                               dataset_kwargs={"num_players": 15,
+                                               "max_games": 6,
+                                               "num_metrics": 3})
+        assert all(run.finished for point in points
+                   for run in point.runs.values())
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            figure6_sweep("IIP", "bogus", [1],
+                          dataset_kwargs={"num_records": 10})
+
+
+class TestFigure7:
+    def test_rows_and_monotonicity(self):
+        rows = figure7_dual_ms(fractions=(50, 100), num_records=60)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["dual_ms_preprocess_s"] >= 0.0
+            assert row["dual_ms_query_s"] >= 0.0
+            assert row["kdtt_plus_s"] >= 0.0
+        assert rows[1]["num_instances"] >= rows[0]["num_instances"]
+
+    def test_preprocessing_dominates_query(self):
+        """The qualitative shape of Fig. 7: preprocessing >> query time."""
+        rows = figure7_dual_ms(fractions=(100,), num_records=150)
+        row = rows[0]
+        assert row["dual_ms_preprocess_s"] > row["dual_ms_query_s"]
+
+
+class TestFigure8:
+    def test_vary_n(self):
+        rows = figure8_sweep("n", [128, 256], default_d=3)
+        assert len(rows) == 2
+        assert all(row["results_match"] for row in rows)
+
+    def test_vary_d(self):
+        rows = figure8_sweep("d", [2, 3], default_n=256)
+        assert all(row["results_match"] for row in rows)
+
+    def test_vary_q(self):
+        rows = figure8_sweep("q", [(0.84, 1.19), (0.36, 2.75)],
+                             default_n=256, default_d=3)
+        assert all(row["results_match"] for row in rows)
+        # A wider ratio range admits at least as many eclipse points.
+        assert rows[1]["eclipse_size"] >= rows[0]["eclipse_size"]
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            figure8_sweep("bogus", [1])

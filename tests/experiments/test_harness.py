@@ -1,0 +1,101 @@
+"""Tests for the timing harness and reporting helpers."""
+
+import pytest
+
+from repro import LinearConstraints
+from repro.experiments.harness import (AlgorithmRun, run_algorithms, sweep,
+                                       sweep_to_series, time_call)
+from repro.experiments.reporting import (format_series, format_table,
+                                         merge_series)
+from tests.conftest import make_random_dataset
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+    def test_kwargs_forwarded(self):
+        result, _ = time_call(sorted, [3, 1, 2], reverse=True)
+        assert result == [3, 2, 1]
+
+
+class TestRunAlgorithms:
+    @pytest.fixture
+    def workload(self):
+        dataset = make_random_dataset(seed=80, num_objects=10,
+                                      max_instances=3, dimension=3)
+        return dataset, LinearConstraints.weak_ranking(3)
+
+    def test_runs_all_requested_algorithms(self, workload):
+        runs = run_algorithms(*workload, algorithms=["loop", "kdtt+", "bnb"])
+        assert set(runs) == {"loop", "kdtt+", "bnb"}
+        assert all(run.finished for run in runs.values())
+
+    def test_sizes_agree_across_algorithms(self, workload):
+        runs = run_algorithms(*workload, algorithms=["loop", "kdtt+", "bnb"])
+        sizes = {run.arsp_size for run in runs.values()}
+        assert len(sizes) == 1
+
+    def test_consistency_check_passes(self, workload):
+        runs = run_algorithms(*workload, algorithms=["loop", "kdtt+"],
+                              check_consistency=True)
+        assert all(run.error is None for run in runs.values())
+
+    def test_skip_records_skipped_run(self, workload):
+        runs = run_algorithms(*workload, algorithms=["loop", "enum"],
+                              skip=["enum"])
+        assert runs["enum"].skipped
+        assert runs["enum"].seconds is None
+        assert runs["loop"].finished
+
+    def test_error_recorded_not_raised(self, workload):
+        dataset, _ = workload
+        bad_constraints = LinearConstraints.weak_ranking(4)  # wrong dimension
+        runs = run_algorithms(dataset, bad_constraints, algorithms=["loop"])
+        assert not runs["loop"].finished
+        assert runs["loop"].error
+
+
+class TestSweep:
+    def test_sweep_and_series(self):
+        def factory(num_objects):
+            dataset = make_random_dataset(seed=81, num_objects=num_objects,
+                                          max_instances=2, dimension=2)
+            return dataset, LinearConstraints.weak_ranking(2)
+
+        points = sweep("m", [5, 10], factory, algorithms=["loop", "kdtt+"])
+        assert len(points) == 2
+        assert points[0].parameter == "m"
+        series = sweep_to_series(points, ["loop", "kdtt+"])
+        assert len(series["loop"]) == 2
+        assert len(series["ARSP size"]) == 2
+        assert all(value is not None for value in series["kdtt+"])
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["b", None]],
+                            title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "-" in text  # None rendered as dash
+
+    def test_format_series(self):
+        text = format_series("m", [5, 10],
+                             {"loop": [0.1, 0.2], "kdtt+": [0.05, None]})
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "m"
+        assert len(lines) == 4
+
+    def test_merge_series(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        merged = merge_series(rows, ["a", "b"])
+        assert merged == {"a": [1, 3], "b": [2, None]}
+
+    def test_algorithm_run_finished_flag(self):
+        assert AlgorithmRun("x", seconds=1.0, arsp_size=5).finished
+        assert not AlgorithmRun("x", seconds=None, arsp_size=None).finished
+        assert not AlgorithmRun("x", seconds=1.0, arsp_size=5,
+                                error="boom").finished

@@ -1,0 +1,80 @@
+"""Tests for bounding boxes (repro.index.bbox)."""
+
+import numpy as np
+import pytest
+
+from repro.index.bbox import BoundingBox, union_boxes
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points(np.array([[0.0, 1.0], [2.0, 0.5]]))
+        np.testing.assert_allclose(box.lo, [0.0, 0.5])
+        np.testing.assert_allclose(box.hi, [2.0, 1.0])
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points(np.empty((0, 2)))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoundingBox([1.0, 0.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            BoundingBox([0.0], [1.0, 1.0])
+
+    def test_contains_point(self):
+        box = BoundingBox([0.0, 0.0], [1.0, 1.0])
+        assert box.contains_point([0.5, 0.5])
+        assert box.contains_point([0.0, 1.0])
+        assert not box.contains_point([1.5, 0.5])
+
+    def test_contains_box(self):
+        outer = BoundingBox([0.0, 0.0], [2.0, 2.0])
+        inner = BoundingBox([0.5, 0.5], [1.0, 1.0])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_intersects_box(self):
+        a = BoundingBox([0.0, 0.0], [1.0, 1.0])
+        b = BoundingBox([0.5, 0.5], [2.0, 2.0])
+        c = BoundingBox([1.5, 1.5], [2.0, 2.0])
+        assert a.intersects_box(b)
+        assert not a.intersects_box(c)
+        # Touching boxes intersect (closed boxes).
+        d = BoundingBox([1.0, 1.0], [2.0, 2.0])
+        assert a.intersects_box(d)
+
+    def test_union(self):
+        a = BoundingBox([0.0, 0.0], [1.0, 1.0])
+        b = BoundingBox([2.0, -1.0], [3.0, 0.5])
+        union = a.union(b)
+        np.testing.assert_allclose(union.lo, [0.0, -1.0])
+        np.testing.assert_allclose(union.hi, [3.0, 1.0])
+
+    def test_expanded_to(self):
+        box = BoundingBox([0.0, 0.0], [1.0, 1.0]).expanded_to([2.0, -1.0])
+        np.testing.assert_allclose(box.lo, [0.0, -1.0])
+        np.testing.assert_allclose(box.hi, [2.0, 1.0])
+
+    def test_margin_increase(self):
+        box = BoundingBox([0.0, 0.0], [1.0, 1.0])
+        assert box.margin_increase([0.5, 0.5]) == pytest.approx(0.0)
+        assert box.margin_increase([2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_volume(self):
+        assert BoundingBox([0.0, 0.0], [2.0, 3.0]).volume() == pytest.approx(6.0)
+
+    def test_dimension(self):
+        assert BoundingBox([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]).dimension == 3
+
+
+class TestUnionBoxes:
+    def test_union_of_many(self):
+        boxes = [BoundingBox([i, i], [i + 1, i + 1]) for i in range(3)]
+        union = union_boxes(boxes)
+        np.testing.assert_allclose(union.lo, [0, 0])
+        np.testing.assert_allclose(union.hi, [3, 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_boxes([])

@@ -1,0 +1,155 @@
+"""Tests for the kd-tree index (repro.index.kdtree)."""
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import INSIDE, OUTSIDE, PARTIAL, KDTree
+
+
+def brute_force_range(points, lo, hi):
+    lo = np.asarray(lo)
+    hi = np.asarray(hi)
+    return sorted(i for i, p in enumerate(points)
+                  if np.all(lo <= p) and np.all(p <= hi))
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = KDTree(np.empty((0, 2)))
+        assert len(tree) == 0
+        assert tree.range_indices([0, 0], [1, 1]) == []
+        assert tree.range_weight([0, 0], [1, 1]) == 0.0
+
+    def test_single_point(self):
+        tree = KDTree(np.array([[0.5, 0.5]]))
+        assert tree.range_indices([0, 0], [1, 1]) == [0]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros(5))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)), weights=np.ones(3))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)), data=[1, 2])
+
+    def test_identical_points_terminate(self):
+        points = np.ones((100, 3))
+        tree = KDTree(points, leaf_size=4)
+        assert sorted(tree.range_indices([1, 1, 1], [1, 1, 1])) == list(
+            range(100))
+
+    def test_root_weight_sum(self):
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        tree = KDTree(np.random.default_rng(0).uniform(0, 1, (4, 2)),
+                      weights=weights)
+        assert tree.root.weight_sum == pytest.approx(1.0)
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5])
+    def test_range_indices_match_brute_force(self, seed, dimension):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 1, size=(200, dimension))
+        tree = KDTree(points, leaf_size=7)
+        lo = rng.uniform(0, 0.5, size=dimension)
+        hi = lo + rng.uniform(0, 0.5, size=dimension)
+        assert sorted(tree.range_indices(lo, hi)) == brute_force_range(
+            points, lo, hi)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_range_weight_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        points = rng.uniform(0, 1, size=(150, 3))
+        weights = rng.uniform(0, 1, size=150)
+        tree = KDTree(points, weights=weights, leaf_size=5)
+        lo = rng.uniform(0, 0.5, size=3)
+        hi = lo + rng.uniform(0, 0.5, size=3)
+        expected = sum(weights[i]
+                       for i in brute_force_range(points, lo, hi))
+        assert tree.range_weight(lo, hi) == pytest.approx(expected)
+
+    def test_full_range_returns_everything(self):
+        rng = np.random.default_rng(7)
+        points = rng.uniform(0, 1, size=(50, 2))
+        tree = KDTree(points)
+        assert sorted(tree.range_indices([0, 0], [1, 1])) == list(range(50))
+
+    def test_empty_range(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0, 1, size=(50, 2))
+        tree = KDTree(points)
+        assert tree.range_indices([2, 2], [3, 3]) == []
+
+
+class TestGeneralisedQueries:
+    def halfplane_query(self, tree, points, weights, a, b):
+        """Aggregate weight of points with a·x <= b, via the classifier API."""
+
+        def classifier(lo, hi):
+            # a >= 0 in these tests, so the extremes sit at the corners.
+            if np.dot(a, hi) <= b:
+                return INSIDE
+            if np.dot(a, lo) > b:
+                return OUTSIDE
+            return PARTIAL
+
+        def predicate(point):
+            return np.dot(a, point) <= b
+
+        return tree.aggregate(classifier, predicate)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_halfplane_aggregate_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 1, size=(120, 2))
+        weights = rng.uniform(0, 1, size=120)
+        tree = KDTree(points, weights=weights, leaf_size=6)
+        a = rng.uniform(0, 1, size=2)
+        b = rng.uniform(0.2, 1.2)
+        expected = sum(w for p, w in zip(points, weights)
+                       if np.dot(a, p) <= b)
+        actual = self.halfplane_query(tree, points, weights, a, b)
+        assert actual == pytest.approx(expected)
+
+    def test_report_matches_predicate(self):
+        rng = np.random.default_rng(11)
+        points = rng.uniform(0, 1, size=(80, 2))
+        tree = KDTree(points, leaf_size=4)
+        a = np.array([1.0, 1.0])
+        b = 1.0
+
+        def classifier(lo, hi):
+            if np.dot(a, hi) <= b:
+                return INSIDE
+            if np.dot(a, lo) > b:
+                return OUTSIDE
+            return PARTIAL
+
+        reported = sorted(tree.report(classifier,
+                                      lambda p: np.dot(a, p) <= b))
+        expected = sorted(i for i, p in enumerate(points)
+                          if np.dot(a, p) <= b)
+        assert reported == expected
+
+    def test_any_match_true_and_false(self):
+        points = np.array([[0.9, 0.9], [0.8, 0.95]])
+        tree = KDTree(points)
+
+        def classifier(lo, hi):
+            if np.all(hi <= 0.5):
+                return INSIDE
+            if np.any(lo > 0.5):
+                return OUTSIDE
+            return PARTIAL
+
+        assert not tree.any_match(classifier,
+                                  lambda p: bool(np.all(p <= 0.5)))
+        points2 = np.array([[0.2, 0.3], [0.8, 0.95]])
+        tree2 = KDTree(points2)
+        assert tree2.any_match(classifier,
+                               lambda p: bool(np.all(p <= 0.5)))
+
+    def test_any_match_empty_tree(self):
+        tree = KDTree(np.empty((0, 2)))
+        assert not tree.any_match(lambda lo, hi: PARTIAL, lambda p: True)

@@ -1,0 +1,80 @@
+"""Tests for the quadtree index (repro.index.quadtree)."""
+
+import numpy as np
+import pytest
+
+from repro.index.quadtree import QuadTree
+
+
+def brute_force_range(points, lo, hi):
+    lo = np.asarray(lo)
+    hi = np.asarray(hi)
+    return sorted(i for i, p in enumerate(points)
+                  if np.all(lo <= p) and np.all(p <= hi))
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = QuadTree(np.empty((0, 2)))
+        assert tree.range_indices([0, 0], [1, 1]) == []
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            QuadTree(np.zeros(4))
+
+    def test_identical_points_stop_at_max_depth(self):
+        points = np.full((50, 2), 0.5)
+        tree = QuadTree(points, leaf_size=4, max_depth=6)
+        assert sorted(tree.range_indices([0, 0], [1, 1])) == list(range(50))
+
+    def test_children_count_is_power_of_two(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(100, 3))
+        tree = QuadTree(points, leaf_size=8)
+        assert not tree.root.is_leaf
+        assert len(tree.root.children) == 8
+
+    def test_count_nodes_grows_with_points(self):
+        rng = np.random.default_rng(1)
+        small = QuadTree(rng.uniform(0, 1, size=(20, 2)), leaf_size=4)
+        large = QuadTree(rng.uniform(0, 1, size=(500, 2)), leaf_size=4)
+        assert large.count_nodes() > small.count_nodes()
+
+    def test_explicit_bounds(self):
+        points = np.array([[0.5, 0.5]])
+        tree = QuadTree(points, bounds=([0, 0], [2, 2]))
+        np.testing.assert_allclose(tree.root.lo, [0, 0])
+        np.testing.assert_allclose(tree.root.hi, [2, 2])
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("dimension", [1, 2, 3])
+    def test_range_matches_brute_force(self, seed, dimension):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 1, size=(200, dimension))
+        tree = QuadTree(points, leaf_size=6)
+        lo = rng.uniform(0, 0.5, size=dimension)
+        hi = lo + rng.uniform(0, 0.5, size=dimension)
+        assert sorted(tree.range_indices(lo, hi)) == brute_force_range(
+            points, lo, hi)
+
+    def test_full_range(self):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0, 1, size=(64, 2))
+        tree = QuadTree(points, leaf_size=4)
+        assert sorted(tree.range_indices([0, 0], [1, 1])) == list(range(64))
+
+    def test_all_points_stored_exactly_once(self):
+        rng = np.random.default_rng(10)
+        points = rng.uniform(0, 1, size=(300, 2))
+        tree = QuadTree(points, leaf_size=5)
+        seen = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                seen.extend(node.indices)
+            else:
+                stack.extend(node.children)
+        assert sorted(seen) == list(range(300))

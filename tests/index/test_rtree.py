@@ -1,0 +1,164 @@
+"""Tests for the aggregated R-tree (repro.index.rtree)."""
+
+import numpy as np
+import pytest
+
+from repro.index.rtree import RTree
+
+
+def brute_force_aggregate(points, weights, lo, hi):
+    lo = np.asarray(lo)
+    hi = np.asarray(hi)
+    return sum(w for p, w in zip(points, weights)
+               if np.all(lo <= p) and np.all(p <= hi))
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load(np.empty((0, 3)))
+        assert tree.size == 0
+        assert tree.window_aggregate([0, 0, 0], [1, 1, 1]) == 0.0
+
+    def test_size_and_total_weight(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(100, 2))
+        weights = rng.uniform(0, 1, size=100)
+        tree = RTree.bulk_load(points, weights=weights)
+        assert tree.size == 100
+        assert tree.total_weight() == pytest.approx(weights.sum())
+
+    def test_all_entries_present(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1, size=(75, 3))
+        tree = RTree.bulk_load(points, data=list(range(75)))
+        payloads = sorted(entry.data for entry in tree.iter_entries())
+        assert payloads == list(range(75))
+
+    def test_node_capacity_respected(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 1, size=(200, 2))
+        tree = RTree.bulk_load(points, max_entries=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert len(node) <= 8
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def test_bounds_contain_children(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(120, 3))
+        tree = RTree.bulk_load(points)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    assert np.all(node.lo <= entry.point + 1e-12)
+                    assert np.all(entry.point <= node.hi + 1e-12)
+            else:
+                for child in node.children:
+                    assert np.all(node.lo <= child.lo + 1e-12)
+                    assert np.all(child.hi <= node.hi + 1e-12)
+                stack.extend(node.children)
+
+    def test_aggregate_sums_consistent(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 1, size=(150, 2))
+        weights = rng.uniform(0, 1, size=150)
+        tree = RTree.bulk_load(points, weights=weights)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.weight_sum == pytest.approx(
+                    sum(e.weight for e in node.entries))
+            else:
+                assert node.weight_sum == pytest.approx(
+                    sum(c.weight_sum for c in node.children))
+                stack.extend(node.children)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(np.zeros(5))
+
+
+class TestInsertion:
+    def test_insert_then_query(self):
+        tree = RTree(dimension=2)
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 1, size=(80, 2))
+        weights = rng.uniform(0, 1, size=80)
+        for point, weight in zip(points, weights):
+            tree.insert(point, weight=weight)
+        assert tree.size == 80
+        assert tree.total_weight() == pytest.approx(weights.sum())
+        lo, hi = [0.2, 0.2], [0.7, 0.9]
+        assert tree.window_aggregate(lo, hi) == pytest.approx(
+            brute_force_aggregate(points, weights, lo, hi))
+
+    def test_insert_dimension_check(self):
+        tree = RTree(dimension=3)
+        with pytest.raises(ValueError):
+            tree.insert([1.0, 2.0])
+
+    def test_incremental_vs_bulk_same_aggregates(self):
+        rng = np.random.default_rng(6)
+        points = rng.uniform(0, 1, size=(120, 3))
+        weights = rng.uniform(0, 1, size=120)
+        bulk = RTree.bulk_load(points, weights=weights)
+        incremental = RTree(dimension=3, max_entries=8)
+        for point, weight in zip(points, weights):
+            incremental.insert(point, weight=weight)
+        for _ in range(20):
+            lo = rng.uniform(0, 0.5, size=3)
+            hi = lo + rng.uniform(0, 0.5, size=3)
+            assert incremental.window_aggregate(lo, hi) == pytest.approx(
+                bulk.window_aggregate(lo, hi))
+
+    def test_height_grows(self):
+        tree = RTree(dimension=2, max_entries=4)
+        rng = np.random.default_rng(7)
+        for point in rng.uniform(0, 1, size=(200, 2)):
+            tree.insert(point)
+        assert tree.height() >= 3
+
+    def test_window_entries(self):
+        tree = RTree(dimension=2)
+        tree.insert([0.1, 0.1], data="a")
+        tree.insert([0.9, 0.9], data="b")
+        entries = tree.window_entries([0.0, 0.0], [0.5, 0.5])
+        assert [e.data for e in entries] == ["a"]
+
+
+class TestWindowAggregates:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed + 50)
+        points = rng.uniform(0, 1, size=(200, 3))
+        weights = rng.uniform(0, 1, size=200)
+        tree = RTree.bulk_load(points, weights=weights, max_entries=10)
+        for _ in range(10):
+            lo = rng.uniform(0, 0.6, size=3)
+            hi = lo + rng.uniform(0, 0.6, size=3)
+            assert tree.window_aggregate(lo, hi) == pytest.approx(
+                brute_force_aggregate(points, weights, lo, hi))
+
+    def test_unbounded_window(self):
+        rng = np.random.default_rng(60)
+        points = rng.uniform(0, 1, size=(60, 2))
+        tree = RTree.bulk_load(points)
+        lo = np.full(2, -np.inf)
+        assert tree.window_aggregate(lo, [1.0, 1.0]) == pytest.approx(60.0)
+
+    def test_dominance_window(self):
+        """The exact query shape used by the B&B algorithm."""
+        rng = np.random.default_rng(61)
+        points = rng.uniform(0, 1, size=(100, 2))
+        weights = rng.uniform(0, 1, size=100)
+        tree = RTree.bulk_load(points, weights=weights)
+        target = rng.uniform(0, 1, size=2)
+        lo = np.full(2, -np.inf)
+        expected = sum(w for p, w in zip(points, weights)
+                       if np.all(p <= target))
+        assert tree.window_aggregate(lo, target) == pytest.approx(expected)

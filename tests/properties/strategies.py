@@ -1,0 +1,55 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Coordinates are drawn from a small integer grid on purpose: exact ties are
+the interesting edge case for dominance-based algorithms, and a coarse grid
+makes them common instead of measure-zero.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import UncertainDataset, WeightRatioConstraints
+
+
+def grid_points(dimension: int, grid: int = 6):
+    """A point with integer coordinates in [0, grid]^dimension."""
+    return st.lists(st.integers(min_value=0, max_value=grid),
+                    min_size=dimension, max_size=dimension).map(
+                        lambda values: tuple(float(v) for v in values))
+
+
+@st.composite
+def uncertain_datasets(draw, max_objects: int = 5, max_instances: int = 3,
+                       dimension: int = 2, grid: int = 6):
+    """A small random uncertain dataset (enumerable possible worlds)."""
+    num_objects = draw(st.integers(min_value=1, max_value=max_objects))
+    instance_lists = []
+    probability_lists = []
+    for _ in range(num_objects):
+        count = draw(st.integers(min_value=1, max_value=max_instances))
+        points = [draw(grid_points(dimension, grid)) for _ in range(count)]
+        # Either a complete object (probabilities sum to 1) or an incomplete
+        # one (sum strictly below 1); both occur in the paper's workloads.
+        complete = draw(st.booleans())
+        if complete:
+            probabilities = [1.0 / count] * count
+        else:
+            probabilities = [round(draw(st.floats(min_value=0.05,
+                                                  max_value=0.9 / count)), 3)
+                             for _ in range(count)]
+        instance_lists.append(points)
+        probability_lists.append(probabilities)
+    return UncertainDataset.from_instance_lists(instance_lists,
+                                                probability_lists)
+
+
+@st.composite
+def ratio_constraints(draw, dimension: int = 2):
+    """Weight ratio constraints with moderate, well-separated bounds."""
+    ranges = []
+    for _ in range(dimension - 1):
+        low = draw(st.floats(min_value=0.1, max_value=2.0))
+        high = low + draw(st.floats(min_value=0.0, max_value=3.0))
+        ranges.append((round(low, 3), round(high, 3)))
+    return WeightRatioConstraints(ranges)

@@ -1,0 +1,118 @@
+"""Property-based tests of the ARSP algorithms against the ground truth.
+
+Datasets are drawn from a coarse integer grid so coordinate ties (the hard
+edge case for dominance pruning) occur frequently.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import LinearConstraints
+from repro.algorithms import (branch_and_bound_arsp, dual_arsp, dual_ms_arsp,
+                              kdtree_traversal_arsp, loop_arsp,
+                              quadtree_traversal_arsp)
+from repro.core.numeric import PROB_ATOL
+from repro.core.possible_worlds import brute_force_arsp
+from tests.properties.strategies import ratio_constraints, uncertain_datasets
+
+COMMON_SETTINGS = settings(max_examples=40, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+WR2 = LinearConstraints.weak_ranking(2)
+
+
+def check_against_ground_truth(dataset, constraints, algorithm):
+    expected = brute_force_arsp(dataset, constraints)
+    actual = algorithm(dataset, constraints)
+    assert set(actual) == set(expected)
+    for key, value in expected.items():
+        assert actual[key] == pytest.approx(value, abs=1e-9)
+
+
+class TestAlgorithmsMatchGroundTruth:
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_loop(self, dataset):
+        check_against_ground_truth(dataset, WR2, loop_arsp)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_kdtt_plus(self, dataset):
+        check_against_ground_truth(dataset, WR2, kdtree_traversal_arsp)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_kdtt_non_integrated(self, dataset):
+        check_against_ground_truth(
+            dataset, WR2,
+            lambda d, c: kdtree_traversal_arsp(d, c, integrated=False))
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_qdtt_plus(self, dataset):
+        check_against_ground_truth(dataset, WR2, quadtree_traversal_arsp)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_branch_and_bound(self, dataset):
+        check_against_ground_truth(dataset, WR2, branch_and_bound_arsp)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2), ratio_constraints(dimension=2))
+    def test_dual(self, dataset, constraints):
+        check_against_ground_truth(dataset, constraints, dual_arsp)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2), ratio_constraints(dimension=2))
+    def test_dual_ms(self, dataset, constraints):
+        check_against_ground_truth(dataset, constraints, dual_ms_arsp)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(uncertain_datasets(dimension=3, max_objects=4, max_instances=2),
+           ratio_constraints(dimension=3))
+    def test_three_dimensional_ratio(self, dataset, constraints):
+        check_against_ground_truth(dataset, constraints,
+                                   branch_and_bound_arsp)
+        check_against_ground_truth(dataset, constraints, dual_arsp)
+
+
+class TestARSPInvariants:
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_probability_bounds(self, dataset):
+        result = kdtree_traversal_arsp(dataset, WR2)
+        for instance in dataset.instances:
+            value = result[instance.instance_id]
+            assert -PROB_ATOL <= value <= instance.probability + PROB_ATOL
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_rskyline_bounded_by_skyline(self, dataset):
+        """Restricting the function set can only lower the probability."""
+        from repro.algorithms.asp import compute_skyline_probabilities
+        rsky = kdtree_traversal_arsp(dataset, WR2)
+        sky = compute_skyline_probabilities(dataset)
+        for key in rsky:
+            assert rsky[key] <= sky[key] + 1e-9
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_object_probability_at_most_one(self, dataset):
+        result = kdtree_traversal_arsp(dataset, WR2)
+        for obj in dataset.objects:
+            total = sum(result[inst.instance_id] for inst in obj)
+            assert total <= 1.0 + 1e-9
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2, max_objects=4))
+    def test_tighter_constraints_reduce_probability(self, dataset):
+        """More constraints never shrink F below... the containment goes the
+        other way: a *smaller* preference region means a *larger* F-dominance
+        relation, so probabilities can only drop when the region shrinks from
+        the full simplex to the weak-ranking region."""
+        unconstrained = kdtree_traversal_arsp(
+            dataset, LinearConstraints.unconstrained(2))
+        constrained = kdtree_traversal_arsp(dataset, WR2)
+        for key in unconstrained:
+            assert constrained[key] <= unconstrained[key] + 1e-9

@@ -1,0 +1,111 @@
+"""Property-based tests for the dominance predicates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LinearConstraints
+from repro.core.dominance import (dominates, f_dominates_region,
+                                  strictly_dominates,
+                                  weight_ratio_f_dominates)
+from tests.properties.strategies import grid_points, ratio_constraints
+
+POINTS_2D = grid_points(2)
+POINTS_3D = grid_points(3)
+
+WR_REGION_3 = LinearConstraints.weak_ranking(3).preference_region()
+
+
+class TestClassicalDominanceProperties:
+    @given(POINTS_3D)
+    def test_reflexive_weak(self, point):
+        assert dominates(point, point)
+        assert not strictly_dominates(point, point)
+
+    @given(POINTS_3D, POINTS_3D)
+    def test_strict_dominance_antisymmetric(self, a, b):
+        if strictly_dominates(a, b):
+            assert not strictly_dominates(b, a)
+
+    @given(POINTS_3D, POINTS_3D, POINTS_3D)
+    def test_weak_dominance_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(POINTS_3D, POINTS_3D)
+    def test_strict_implies_weak(self, a, b):
+        if strictly_dominates(a, b):
+            assert dominates(a, b)
+
+
+class TestFDominanceProperties:
+    @given(POINTS_3D, POINTS_3D)
+    def test_pareto_implies_f_dominance(self, a, b):
+        if dominates(a, b):
+            assert f_dominates_region(a, b, WR_REGION_3)
+
+    @given(POINTS_3D, POINTS_3D, POINTS_3D)
+    def test_f_dominance_transitive(self, a, b, c):
+        if (f_dominates_region(a, b, WR_REGION_3)
+                and f_dominates_region(b, c, WR_REGION_3)):
+            assert f_dominates_region(a, c, WR_REGION_3)
+
+    @given(POINTS_3D)
+    def test_f_dominance_reflexive(self, a):
+        assert f_dominates_region(a, a, WR_REGION_3)
+
+
+class TestWeightRatioProperties:
+    @settings(max_examples=150)
+    @given(ratio_constraints(dimension=3), POINTS_3D, POINTS_3D)
+    def test_theorem5_equals_vertex_test(self, constraints, a, b):
+        """Theorem 5's O(d) test agrees with the Theorem 2 vertex test."""
+        region = constraints.preference_region()
+        assert weight_ratio_f_dominates(a, b, constraints) == \
+            f_dominates_region(a, b, region)
+
+    @settings(max_examples=100)
+    @given(ratio_constraints(dimension=2), POINTS_2D, POINTS_2D, POINTS_2D)
+    def test_theorem5_transitive(self, constraints, a, b, c):
+        if (weight_ratio_f_dominates(a, b, constraints)
+                and weight_ratio_f_dominates(b, c, constraints)):
+            assert weight_ratio_f_dominates(a, c, constraints)
+
+    @settings(max_examples=100)
+    @given(ratio_constraints(dimension=2), POINTS_2D, POINTS_2D)
+    def test_pareto_implies_ratio_dominance(self, constraints, a, b):
+        if dominates(a, b):
+            assert weight_ratio_f_dominates(a, b, constraints)
+
+    @settings(max_examples=100)
+    @given(ratio_constraints(dimension=2), POINTS_2D, POINTS_2D)
+    def test_linear_form_agrees(self, constraints, a, b):
+        """The ratio constraints and their Aω <= b form define the same F."""
+        linear_region = constraints.to_linear_constraints().preference_region()
+        assert weight_ratio_f_dominates(a, b, constraints) == \
+            f_dominates_region(a, b, linear_region)
+
+
+class TestPreferenceRegionProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=2, max_value=5),
+           st.integers(min_value=0, max_value=4))
+    def test_weak_ranking_vertices_feasible(self, dimension, extra):
+        num_constraints = min(dimension - 1, extra)
+        constraints = LinearConstraints.weak_ranking(dimension,
+                                                     num_constraints)
+        vertices = constraints.enumerate_vertices()
+        for vertex in vertices:
+            assert constraints.feasible(vertex)
+            assert abs(vertex.sum() - 1.0) < 1e-9
+            assert np.all(vertex >= -1e-9)
+
+    @settings(max_examples=50)
+    @given(ratio_constraints(dimension=3))
+    def test_ratio_vertices_on_simplex(self, constraints):
+        for vertex in constraints.enumerate_vertices():
+            assert abs(vertex.sum() - 1.0) < 1e-9
+            assert np.all(vertex > 0.0)
+            ratios = vertex[:-1] / vertex[-1]
+            for ratio, (low, high) in zip(ratios, constraints.ranges):
+                assert low - 1e-9 <= ratio <= high + 1e-9

@@ -1,0 +1,76 @@
+"""Property-based tests for the eclipse algorithms and certain-data operators."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.rskyline import eclipse as reference_eclipse
+from repro.core.rskyline import rskyline, skyline
+from repro.eclipse import dual_s_eclipse, fast_skyline, naive_eclipse, quad_eclipse
+from tests.properties.strategies import ratio_constraints
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def point_sets(dimension=2, max_points=40):
+    return arrays(dtype=float, shape=st.tuples(
+        st.integers(min_value=1, max_value=max_points), st.just(dimension)),
+        elements=st.floats(min_value=0.0, max_value=1.0, width=16))
+
+
+class TestSkylineProperties:
+    @SETTINGS
+    @given(point_sets())
+    def test_fast_skyline_matches_quadratic_reference(self, points):
+        assert fast_skyline(points) == sorted(skyline(points))
+
+    @SETTINGS
+    @given(point_sets())
+    def test_skyline_members_not_dominated(self, points):
+        members = fast_skyline(points)
+        for i in members:
+            for j in range(len(points)):
+                if j == i:
+                    continue
+                strictly = (np.all(points[j] <= points[i])
+                            and np.any(points[j] < points[i]))
+                assert not strictly
+
+
+class TestEclipseProperties:
+    @SETTINGS
+    @given(point_sets(), ratio_constraints(dimension=2))
+    def test_all_algorithms_agree(self, points, constraints):
+        expected = sorted(reference_eclipse(points, constraints))
+        assert sorted(naive_eclipse(points, constraints)) == expected
+        assert sorted(quad_eclipse(points, constraints)) == expected
+        assert sorted(dual_s_eclipse(points, constraints)) == expected
+
+    @SETTINGS
+    @given(point_sets(), ratio_constraints(dimension=2))
+    def test_eclipse_subset_of_skyline(self, points, constraints):
+        assert set(dual_s_eclipse(points, constraints)) <= set(
+            fast_skyline(points))
+
+    @SETTINGS
+    @given(point_sets(), ratio_constraints(dimension=2))
+    def test_eclipse_nonempty(self, points, constraints):
+        """At least one point is never eclipse-dominated (e.g. a score
+        minimiser under any fixed admissible weight)."""
+        assert len(dual_s_eclipse(points, constraints)) >= 1
+
+    @SETTINGS
+    @given(point_sets(dimension=3, max_points=25),
+           ratio_constraints(dimension=3))
+    def test_three_dimensional_agreement(self, points, constraints):
+        expected = sorted(naive_eclipse(points, constraints))
+        assert sorted(dual_s_eclipse(points, constraints)) == expected
+        assert sorted(quad_eclipse(points, constraints)) == expected
+
+    @SETTINGS
+    @given(point_sets(), ratio_constraints(dimension=2))
+    def test_rskyline_operator_agrees_with_eclipse(self, points, constraints):
+        assert sorted(rskyline(points, constraints)) == sorted(
+            naive_eclipse(points, constraints))

@@ -1,0 +1,99 @@
+"""Property-based tests for the spatial index substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index.kdtree import KDTree
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def point_arrays(max_points=60, dimension=2):
+    return arrays(dtype=float, shape=st.tuples(
+        st.integers(min_value=0, max_value=max_points),
+        st.just(dimension)),
+        elements=st.floats(min_value=0.0, max_value=1.0, width=32))
+
+
+def boxes(dimension=2):
+    return st.tuples(
+        st.lists(st.floats(min_value=0.0, max_value=1.0, width=32),
+                 min_size=dimension, max_size=dimension),
+        st.lists(st.floats(min_value=0.0, max_value=1.0, width=32),
+                 min_size=dimension, max_size=dimension),
+    ).map(lambda pair: (np.minimum(pair[0], pair[1]),
+                        np.maximum(pair[0], pair[1])))
+
+
+def brute_force_indices(points, lo, hi):
+    return sorted(i for i, p in enumerate(points)
+                  if np.all(lo <= p) and np.all(p <= hi))
+
+
+class TestKDTreeProperties:
+    @SETTINGS
+    @given(point_arrays(), boxes())
+    def test_range_query_matches_brute_force(self, points, box):
+        lo, hi = box
+        tree = KDTree(points, leaf_size=4)
+        assert sorted(tree.range_indices(lo, hi)) == brute_force_indices(
+            points, lo, hi)
+
+    @SETTINGS
+    @given(point_arrays(), boxes())
+    def test_range_weight_matches_report(self, points, box):
+        lo, hi = box
+        weights = np.linspace(0.1, 1.0, num=len(points)) if len(points) else []
+        tree = KDTree(points, weights=weights, leaf_size=4)
+        indices = tree.range_indices(lo, hi)
+        assert tree.range_weight(lo, hi) == pytest.approx(
+            sum(weights[i] for i in indices))
+
+
+class TestQuadTreeProperties:
+    @SETTINGS
+    @given(point_arrays(), boxes())
+    def test_range_query_matches_brute_force(self, points, box):
+        lo, hi = box
+        tree = QuadTree(points, leaf_size=4)
+        assert sorted(tree.range_indices(lo, hi)) == brute_force_indices(
+            points, lo, hi)
+
+
+class TestRTreeProperties:
+    @SETTINGS
+    @given(point_arrays(), boxes())
+    def test_bulk_load_window_aggregate(self, points, box):
+        lo, hi = box
+        weights = np.linspace(0.1, 1.0, num=len(points)) if len(points) else []
+        tree = RTree.bulk_load(points, weights=weights, max_entries=6)
+        expected = sum(w for p, w in zip(points, weights)
+                       if np.all(lo <= p) and np.all(p <= hi))
+        assert tree.window_aggregate(lo, hi) == pytest.approx(expected)
+
+    @SETTINGS
+    @given(point_arrays(max_points=40), boxes())
+    def test_insertion_window_aggregate(self, points, box):
+        lo, hi = box
+        tree = RTree(dimension=2, max_entries=5)
+        weights = np.linspace(0.1, 1.0, num=len(points)) if len(points) else []
+        for point, weight in zip(points, weights):
+            tree.insert(point, weight=weight)
+        expected = sum(w for p, w in zip(points, weights)
+                       if np.all(lo <= p) and np.all(p <= hi))
+        assert tree.window_aggregate(lo, hi) == pytest.approx(expected)
+
+    @SETTINGS
+    @given(point_arrays(max_points=40))
+    def test_total_weight_preserved_by_insertion(self, points):
+        tree = RTree(dimension=2, max_entries=4)
+        for point in points:
+            tree.insert(point, weight=0.5)
+        assert tree.total_weight() == pytest.approx(0.5 * len(points))
+        assert tree.size == len(points)
