@@ -17,5 +17,22 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make the `workloads` helper importable regardless of the pytest rootdir.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture(scope="session")
+def quick_bench_payload(tmp_path_factory):
+    """One ``repro bench --quick`` run shared by the harness smoke tests.
+
+    Runs the seconds-scale smoke profile of the bench-regression harness
+    (see PERFORMANCE.md) and returns ``(payload, output_path)``; collected
+    by the plain tier-1 ``pytest`` run, so the harness itself cannot rot.
+    """
+    from repro.experiments.perf import run_bench
+
+    output = tmp_path_factory.mktemp("bench") / "BENCH_arsp.json"
+    payload = run_bench(profile="quick", output_path=str(output))
+    return payload, output

@@ -1,0 +1,58 @@
+"""Tier-1 smoke test for the ``repro bench`` regression harness.
+
+Unlike the ``bench_*`` figure reproductions (which need
+``pytest --benchmark-only`` and minutes of runtime), this file is collected
+by the plain tier-1 ``pytest`` run: it executes the ``quick`` profile of
+the harness end to end — every registered algorithm, parity checks, JSON
+output — in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.algorithms.registry import list_algorithms
+from repro.experiments.perf import PROFILES, SCHEMA, format_bench, run_bench
+
+
+def test_quick_profile_covers_all_algorithms(quick_bench_payload):
+    payload, _ = quick_bench_payload
+    assert payload["schema"] == SCHEMA
+    assert payload["profile"] == "quick"
+    assert sorted(payload["algorithms"]) == list_algorithms()
+    for name, entry in payload["algorithms"].items():
+        assert entry["repeats"] == PROFILES["quick"].repeats
+        assert len(entry["runs_s"]) == entry["repeats"]
+        assert entry["min_s"] <= entry["median_s"], name
+        assert entry["workload"] in payload["workloads"], name
+
+
+def test_quick_profile_results_match_reference(quick_bench_payload):
+    payload, _ = quick_bench_payload
+    assert payload["reference_algorithm"] == "kdtt+"
+    mismatches = {name: entry["parity"]
+                  for name, entry in payload["algorithms"].items()
+                  if entry["parity"] != "ok"}
+    assert not mismatches
+
+
+def test_json_output_round_trips(quick_bench_payload):
+    payload, output = quick_bench_payload
+    on_disk = json.loads(output.read_text(encoding="utf-8"))
+    assert on_disk == json.loads(json.dumps(payload))
+
+
+def test_format_bench_mentions_every_algorithm(quick_bench_payload):
+    payload, _ = quick_bench_payload
+    text = format_bench(payload)
+    for name in payload["algorithms"]:
+        assert name in text
+
+
+def test_algorithm_subset_and_no_check():
+    payload = run_bench(profile="quick", algorithms=["kdtt+", "dual"],
+                        repeats=1, check=False)
+    assert sorted(payload["algorithms"]) == ["dual", "kdtt+"]
+    assert payload["reference_algorithm"] is None
+    for entry in payload["algorithms"].values():
+        assert "parity" not in entry

@@ -13,6 +13,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..core.arsp import arsp_size, object_rskyline_probabilities
 from ..core.dataset import UncertainDataset
 from ..core.numeric import PROB_ATOL, SCORE_ATOL, clamp_probability
 from ..core.preference import PreferenceRegion, resolve_preference_region
@@ -100,18 +101,20 @@ def result_arsp_size(result: Dict[int, float]) -> int:
     """Number of instances with non-zero rskyline probability.
 
     This is the "Size" series reported next to the running times in the
-    paper's Figures 5 and 6.
+    paper's Figures 5 and 6.  Alias of :func:`repro.core.arsp.arsp_size`,
+    which holds the canonical implementation.
     """
-    return sum(1 for value in result.values() if value > PROB_ATOL)
+    return arsp_size(result)
 
 
 def object_probabilities(dataset: UncertainDataset,
                          result: Dict[int, float]) -> Dict[int, float]:
-    """Aggregate instance-level ARSP into per-object rskyline probabilities."""
-    totals: Dict[int, float] = {obj.object_id: 0.0 for obj in dataset.objects}
-    for instance in dataset.instances:
-        totals[instance.object_id] += result[instance.instance_id]
-    return {key: clamp_probability(value) for key, value in totals.items()}
+    """Aggregate instance-level ARSP into per-object rskyline probabilities.
+
+    Alias of :func:`repro.core.arsp.object_rskyline_probabilities`, which
+    holds the canonical implementation.
+    """
+    return object_rskyline_probabilities(dataset, result)
 
 
 def weak_dominates(a: np.ndarray, b: np.ndarray,
@@ -168,6 +171,23 @@ class SaturationTracker:
             self.beta *= (1.0 - old)
         else:
             self.beta *= (1.0 - old) / (1.0 - new)
+
+    def probabilities_for(self, object_ids: np.ndarray,
+                          probabilities: np.ndarray) -> np.ndarray:
+        """Batched :meth:`probability_for` over whole leaf blocks.
+
+        Performs the same case analysis once for the block instead of per
+        instance, so leaf emission in the traversal is a single array write.
+        """
+        object_ids = np.asarray(object_ids)
+        probabilities = np.asarray(probabilities, dtype=float)
+        if len(self.saturated) >= 2:
+            return np.zeros(probabilities.shape)
+        if len(self.saturated) == 1:
+            saturated_object = next(iter(self.saturated))
+            return np.where(object_ids == saturated_object,
+                            probabilities * self.beta, 0.0)
+        return probabilities * self.beta / (1.0 - self.sigma[object_ids])
 
     def probability_for(self, object_id: int, probability: float) -> float:
         """Rskyline probability of an instance of ``object_id`` with ``p``.

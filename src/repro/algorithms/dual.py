@@ -13,10 +13,19 @@ a per-object aggregated kd-tree queried with the half-space predicate:
 * therefore a kd-tree node with box ``[lo, hi]`` contains only dominators of
   ``t`` when ``g(hi) >= 0`` and no dominator when ``g(lo) < 0``,
 
-which gives exactly the ``classifier`` needed by
-:meth:`repro.index.kdtree.KDTree.aggregate`.  The query consequently prunes
-whole subtrees on both sides of the half-space boundary, mirroring the role
-of the point-location structure while remaining practical for any ``d``.
+which gives exactly the box classification the kd-tree aggregate queries
+need.  The query consequently prunes whole subtrees on both sides of the
+half-space boundary, mirroring the role of the point-location structure
+while remaining practical for any ``d``.
+
+The query path is batched end to end (see PERFORMANCE.md): instead of one
+tree walk per (target, object) pair, a full ARSP query classifies the root
+boxes of *all* per-object trees against a whole chunk of targets with one
+corner-margin matrix (:func:`repro.core.kernels.weight_ratio_margins_matrix`),
+resolves every straddling leaf root with a single row-aligned margin batch,
+descends only into the rare straddling internal trees, and folds the σ
+matrix into rskyline probabilities with array arithmetic.  Zero-probability
+target instances skip the index entirely.
 """
 
 from __future__ import annotations
@@ -26,10 +35,20 @@ from typing import Dict, List
 import numpy as np
 
 from ..core.dataset import UncertainDataset
+from ..core.kernels import (classify_boxes_by_margin, weight_ratio_margins,
+                            weight_ratio_margins_matrix,
+                            weight_ratio_margins_rows)
 from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import WeightRatioConstraints
-from ..index.kdtree import INSIDE, OUTSIDE, PARTIAL, KDTree
+from ..index.kdtree import KDTree
 from .base import empty_result, finalize_result
+
+#: Upper bound on the number of (target, tree-root, dimension) floats held
+#: in memory at once — the margin-matrix kernel's largest intermediate is
+#: the (T, K, d-1) absolute-difference tensor.  The query chunks its target
+#: axis accordingly, so memory stays bounded while every chunk still
+#: vectorizes across all objects.
+_CHUNK_BUDGET = 4_000_000
 
 
 class DualIndex:
@@ -39,7 +58,9 @@ class DualIndex:
     coordinates, weighted by the existence probabilities.  The index is
     constraint-independent: the same preprocessing serves any weight ratio
     constraint issued later, which is the preprocessing/query split the
-    paper's Section IV is about.
+    paper's Section IV is about.  Root boxes, point blocks and weights of
+    all trees are additionally stacked into contiguous arrays so a query
+    can classify every object's tree in batched kernel calls.
     """
 
     def __init__(self, dataset: UncertainDataset, leaf_size: int = 16):
@@ -51,34 +72,137 @@ class DualIndex:
                                  dtype=float)
             self.trees.append(KDTree(points, weights=weights,
                                      leaf_size=leaf_size))
+        self._build_batch_views()
+
+    def _build_batch_views(self) -> None:
+        """Stack per-tree state into the arrays the batched query consumes."""
+        dimension = self.dataset.dimension
+        rooted = [j for j, tree in enumerate(self.trees)
+                  if tree.root is not None]
+        self._root_objects = np.asarray(rooted, dtype=int)
+        if rooted:
+            self._root_lo = np.stack([self.trees[j].root.lo for j in rooted])
+            self._root_hi = np.stack([self.trees[j].root.hi for j in rooted])
+            self._root_weights = np.asarray(
+                [self.trees[j].root.weight_sum for j in rooted])
+            self._root_is_leaf = np.asarray(
+                [self.trees[j].root.is_leaf for j in rooted])
+        else:
+            self._root_lo = np.empty((0, dimension))
+            self._root_hi = np.empty((0, dimension))
+            self._root_weights = np.empty(0)
+            self._root_is_leaf = np.empty(0, dtype=bool)
+        # Flat views over every instance point, ordered tree by tree, with
+        # the start offset and size of each tree's block.
+        sizes = [len(tree) for tree in self.trees]
+        self._tree_sizes = np.asarray(sizes, dtype=int)
+        self._tree_offsets = np.concatenate(
+            [[0], np.cumsum(sizes)[:-1]]).astype(int)
+        if self.trees:
+            self._points = np.concatenate([tree.points for tree in self.trees])
+            self._point_weights = np.concatenate(
+                [tree.weights for tree in self.trees])
+        else:
+            self._points = np.empty((0, dimension))
+            self._point_weights = np.empty(0)
+        self._point_objects = np.repeat(
+            np.arange(len(self.trees)), self._tree_sizes)
 
     # ------------------------------------------------------------------
     def dominating_mass(self, target: np.ndarray, object_id: int,
                         constraints: WeightRatioConstraints) -> float:
         """Probability mass of ``object_id`` that F-dominates ``target``."""
-        lows = constraints.lows
-        highs = constraints.highs
-        d = constraints.dimension
-        target = np.asarray(target, dtype=float)
+        return self._tree_mass(np.asarray(target, dtype=float), object_id,
+                               constraints.lows, constraints.highs)
 
-        def margin(point: np.ndarray) -> float:
-            diffs = target[:d - 1] - point[:d - 1]
-            coeffs = np.where(diffs > 0.0, lows, highs)
-            return float(np.dot(coeffs, diffs) + target[d - 1] - point[d - 1])
+    def _tree_mass(self, target: np.ndarray, object_id: int,
+                   lows: np.ndarray, highs: np.ndarray) -> float:
+        """Single-tree frontier walk with batched corner classification."""
 
-        def classifier(lo: np.ndarray, hi: np.ndarray) -> int:
+        def batch_classifier(los: np.ndarray, his: np.ndarray) -> np.ndarray:
             # g is monotone decreasing in every coordinate of the candidate
-            # dominator, so the extremes over the box sit at its corners.
-            if margin(hi) >= -SCORE_ATOL:
-                return INSIDE
-            if margin(lo) < -SCORE_ATOL:
-                return OUTSIDE
-            return PARTIAL
+            # dominator, so the extremes over each box sit at its corners.
+            hi_margins = weight_ratio_margins(target, his, lows, highs)
+            lo_margins = weight_ratio_margins(target, los, lows, highs)
+            return classify_boxes_by_margin(hi_margins, lo_margins)
 
-        def predicate(point: np.ndarray) -> bool:
-            return margin(point) >= -SCORE_ATOL
+        def batch_predicate(points: np.ndarray) -> np.ndarray:
+            return (weight_ratio_margins(target, points, lows, highs)
+                    >= -SCORE_ATOL)
 
-        return self.trees[object_id].aggregate(classifier, predicate)
+        return self.trees[object_id].aggregate_frontier(batch_classifier,
+                                                        batch_predicate)
+
+    # ------------------------------------------------------------------
+    def _sigma_chunk(self, targets: np.ndarray, lows: np.ndarray,
+                     highs: np.ndarray) -> np.ndarray:
+        """σ matrix for a chunk of targets: ``out[t, j]`` is the probability
+        mass of object ``j`` F-dominating ``targets[t]``."""
+        num_targets = targets.shape[0]
+        num_objects = self.dataset.num_objects
+        sigma = np.zeros((num_targets, num_objects))
+        if not len(self._root_objects):
+            return sigma
+
+        # Stage 1: the lo corner carries each box's *maximum* margin, so one
+        # margin matrix rules out every (target, tree root) pair whose box
+        # holds no dominator at all — typically the bulk of the pairs.
+        lo_margins = weight_ratio_margins_matrix(targets, self._root_lo,
+                                                 lows, highs)
+        live_rows, live_cols = np.nonzero(lo_margins >= -SCORE_ATOL)
+        if not len(live_rows):
+            return sigma
+
+        # Stage 2: the hi corner (minimum margin) separates fully-dominating
+        # boxes from straddling ones, evaluated only for the live pairs.
+        hi_margins = weight_ratio_margins_rows(
+            targets[live_rows], self._root_hi[live_cols], lows, highs)
+        inside = hi_margins >= -SCORE_ATOL
+        if np.any(inside):
+            # (target, root) pairs are unique, so the flat indices are too.
+            flat = (live_rows[inside] * num_objects
+                    + self._root_objects[live_cols[inside]])
+            sigma.ravel()[flat] += self._root_weights[live_cols[inside]]
+
+        target_rows = live_rows[~inside]
+        root_cols = live_cols[~inside]
+        if not len(target_rows):
+            return sigma
+
+        # Straddling single-leaf trees: resolve all their points for all
+        # affected targets in one row-aligned margin batch.
+        leaf_pair = self._root_is_leaf[root_cols]
+        if np.any(leaf_pair):
+            pair_targets = target_rows[leaf_pair]
+            pair_objects = self._root_objects[root_cols[leaf_pair]]
+            lengths = self._tree_sizes[pair_objects]
+            starts = self._tree_offsets[pair_objects]
+            # Expand [start, start + length) for every pair into one flat
+            # index vector.
+            ends = np.cumsum(lengths)
+            flat_offsets = np.arange(ends[-1]) - np.repeat(
+                ends - lengths, lengths)
+            point_rows = np.repeat(starts, lengths) + flat_offsets
+            margin_rows = np.repeat(pair_targets, lengths)
+            margins = weight_ratio_margins_rows(
+                targets[margin_rows], self._points[point_rows], lows, highs)
+            mask = margins >= -SCORE_ATOL
+            if np.any(mask):
+                flat_sigma = (margin_rows[mask]
+                              * self.dataset.num_objects
+                              + self._point_objects[point_rows[mask]])
+                np.add.at(sigma.ravel(), flat_sigma,
+                          self._point_weights[point_rows[mask]])
+
+        # Straddling multi-node trees are rare (the half-space boundary has
+        # to cross the root box); walk each one with the batched frontier.
+        deep_pair = ~leaf_pair
+        for target_row, root_col in zip(target_rows[deep_pair].tolist(),
+                                        root_cols[deep_pair].tolist()):
+            object_id = int(self._root_objects[root_col])
+            sigma[target_row, object_id] += self._tree_mass(
+                targets[target_row], object_id, lows, highs)
+        return sigma
 
     # ------------------------------------------------------------------
     def query(self, constraints: WeightRatioConstraints) -> Dict[int, float]:
@@ -88,19 +212,37 @@ class DualIndex:
                 "constraints are defined for dimension %d but the dataset "
                 "has dimension %d"
                 % (constraints.dimension, self.dataset.dimension))
+        lows = constraints.lows
+        highs = constraints.highs
         result = empty_result(self.dataset)
-        for instance in self.dataset.instances:
-            probability = instance.probability
-            target = instance.as_array()
-            for other in range(self.dataset.num_objects):
-                if other == instance.object_id or probability == 0.0:
-                    continue
-                sigma = self.dominating_mass(target, other, constraints)
-                if sigma >= 1.0 - PROB_ATOL:
-                    probability = 0.0
-                    break
-                probability *= 1.0 - sigma
-            result[instance.instance_id] = probability
+        instances = self.dataset.instances
+        if not instances:
+            return finalize_result(result)
+        targets = self.dataset.instance_matrix()
+        probabilities = self.dataset.probability_vector()
+        object_ids = self.dataset.object_ids()
+        instance_ids = np.asarray(
+            [instance.instance_id for instance in instances], dtype=int)
+
+        # Zero-probability instances never touch the index: their rskyline
+        # probability is zero regardless of the constraints.
+        live = np.flatnonzero(probabilities != 0.0)
+        entries_per_target = (max(1, len(self._root_objects))
+                              * max(1, self.dataset.dimension - 1))
+        chunk = max(1, _CHUNK_BUDGET // entries_per_target)
+        for begin in range(0, len(live), chunk):
+            rows = live[begin:begin + chunk]
+            sigma = self._sigma_chunk(targets[rows], lows, highs)
+            # The owning object's mass never counts against its own
+            # instances; zeroing its column makes the factor exactly 1.
+            sigma[np.arange(len(rows)), object_ids[rows]] = 0.0
+            saturated = np.any(sigma >= 1.0 - PROB_ATOL, axis=1)
+            values = np.where(saturated, 0.0,
+                              probabilities[rows]
+                              * np.prod(1.0 - sigma, axis=1))
+            for instance_id, value in zip(instance_ids[rows].tolist(),
+                                          values.tolist()):
+                result[instance_id] = value
         return finalize_result(result)
 
 

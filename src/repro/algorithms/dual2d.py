@@ -51,34 +51,26 @@ class Dual2DIndex:
         object_ids = self.dataset.object_ids()
         n = len(points)
         for i in range(n):
-            angles: List[float] = []
-            objects: List[int] = []
-            probs: List[float] = []
-            coincident: List[Tuple[int, float]] = []
-            xi, yi = points[i]
-            for j in range(n):
-                if object_ids[j] == object_ids[i]:
-                    continue
-                dx = points[j, 0] - xi
-                dy = points[j, 1] - yi
-                if abs(dx) <= SCORE_ATOL and abs(dy) <= SCORE_ATOL:
-                    coincident.append((int(object_ids[j]),
-                                       float(probabilities[j])))
-                    continue
-                angle = math.atan2(dy, dx)
-                if angle < 0.0:
-                    angle += 2.0 * math.pi
-                angles.append(angle)
-                objects.append(int(object_ids[j]))
-                probs.append(float(probabilities[j]))
-            order = np.argsort(angles, kind="stable") if angles else []
-            self._angles.append(np.asarray(angles)[order]
-                                if len(angles) else np.empty(0))
-            self._angle_objects.append(np.asarray(objects, dtype=int)[order]
-                                       if len(objects) else np.empty(0, int))
-            self._angle_probs.append(np.asarray(probs)[order]
-                                     if len(probs) else np.empty(0))
-            self._coincident.append(coincident)
+            # One broadcast pass per pivot: deltas, coincidence detection and
+            # angles for every other-object instance at once.
+            other = object_ids != object_ids[i]
+            dx = points[:, 0] - points[i, 0]
+            dy = points[:, 1] - points[i, 1]
+            coincident_mask = other & ((np.abs(dx) <= SCORE_ATOL)
+                                       & (np.abs(dy) <= SCORE_ATOL))
+            angular_mask = other & ~coincident_mask
+            angles = np.arctan2(dy[angular_mask], dx[angular_mask])
+            angles = np.where(angles < 0.0, angles + 2.0 * math.pi, angles)
+            order = np.argsort(angles, kind="stable")
+            self._angles.append(angles[order])
+            self._angle_objects.append(
+                np.asarray(object_ids[angular_mask], dtype=int)[order])
+            self._angle_probs.append(
+                np.asarray(probabilities[angular_mask], dtype=float)[order])
+            self._coincident.append(
+                [(int(obj), float(prob))
+                 for obj, prob in zip(object_ids[coincident_mask],
+                                      probabilities[coincident_mask])])
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -99,24 +91,21 @@ class Dual2DIndex:
 
         for position, instance in enumerate(instances):
             angles = self._angles[position]
-            sigma: Dict[int, float] = {}
+            sigma = np.zeros(num_objects)
             if len(angles):
                 lo = bisect.bisect_left(angles, start - SCORE_ATOL)
                 hi = bisect.bisect_right(angles, end + SCORE_ATOL)
-                objects = self._angle_objects[position]
-                probs = self._angle_probs[position]
-                for k in range(lo, hi):
-                    obj = int(objects[k])
-                    sigma[obj] = sigma.get(obj, 0.0) + float(probs[k])
+                np.add.at(sigma, self._angle_objects[position][lo:hi],
+                          self._angle_probs[position][lo:hi])
             for obj, prob in self._coincident[position]:
-                sigma[obj] = sigma.get(obj, 0.0) + prob
+                sigma[obj] += prob
 
-            probability = instance.probability
-            for obj, mass in sigma.items():
-                if mass >= 1.0 - PROB_ATOL:
-                    probability = 0.0
-                    break
-                probability *= 1.0 - mass
+            if np.any(sigma >= 1.0 - PROB_ATOL):
+                probability = 0.0
+            else:
+                contributing = sigma > 0.0
+                probability = (instance.probability
+                               * float(np.prod(1.0 - sigma[contributing])))
             result[instance.instance_id] = probability
 
         return finalize_result(result)

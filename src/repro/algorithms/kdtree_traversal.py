@@ -11,7 +11,9 @@ variants are exposed, matching the paper's experimental study:
   rskyline probability are never built.
 
 Time complexity: ``O(c^2 + d d' n + n^{2 - 1/d'})`` where ``d'`` is the
-number of vertices of the preference region.
+number of vertices of the preference region.  The underlying engine runs on
+the batched kernels of :mod:`repro.core.kernels`; ``repro bench`` tracks its
+throughput in ``BENCH_arsp.json`` (see PERFORMANCE.md).
 """
 
 from __future__ import annotations

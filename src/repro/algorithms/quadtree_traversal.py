@@ -4,7 +4,10 @@ The remark at the end of Section III-B observes that kd-ASP* works with any
 space-partitioning tree; the experimental study includes a quadtree variant
 which recursively splits every dimension of the score space at the node's
 centre.  It performs well in low-dimensional score spaces and degrades when
-``d'`` grows (Fig. 5(s)-(t)), which the benchmarks reproduce.
+``d'`` grows (Fig. 5(s)-(t)), which the benchmarks reproduce.  The orthant
+split is a single broadcast comparison against the box centre (see
+:func:`repro.core.kernels.orthant_codes`); ``repro bench`` tracks the
+algorithm's throughput in ``BENCH_arsp.json``.
 """
 
 from __future__ import annotations

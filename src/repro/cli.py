@@ -16,6 +16,10 @@ without writing code:
 
 ``python -m repro algorithms``
     List the registered ARSP algorithms.
+
+``python -m repro bench``
+    Run the bench-regression harness over the registered algorithms and
+    write ``BENCH_arsp.json`` (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from .experiments.effectiveness import (format_ranking_table,
                                         skyline_probability_ranking)
 from .experiments.figures import figure5_sweep, figure6_sweep, figure8_sweep
 from .experiments.harness import sweep_to_series
+from .experiments.perf import DEFAULT_OUTPUT, PROFILES, format_bench, run_bench
 from .experiments.reporting import format_series, format_table
 
 #: Figure identifiers accepted by ``python -m repro figure --id ...`` mapped
@@ -71,6 +76,25 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("effectiveness",
                           help="Tables I/II on the simulated NBA data")
     subparsers.add_parser("algorithms", help="list registered algorithms")
+
+    bench = subparsers.add_parser(
+        "bench", help="run the bench-regression harness (BENCH_arsp.json)")
+    bench.add_argument("--profile", default="default",
+                       choices=sorted(PROFILES),
+                       help="workload scale (default: default)")
+    bench.add_argument("--quick", action="store_true",
+                       help="shorthand for --profile quick")
+    bench.add_argument("--algorithms", default=None,
+                       help="comma-separated registry names "
+                            "(default: all registered algorithms)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="override the profile's repeat count")
+    bench.add_argument("--output", default=DEFAULT_OUTPUT,
+                       help="JSON output path (default: %s); "
+                            "'-' skips writing" % DEFAULT_OUTPUT)
+    bench.add_argument("--no-check", action="store_true",
+                       help="skip the parity check against the reference "
+                            "algorithm")
     return parser
 
 
@@ -174,6 +198,21 @@ def run_effectiveness() -> str:
     ])
 
 
+def run_bench_command(args: argparse.Namespace) -> str:
+    profile = "quick" if args.quick else args.profile
+    algorithms = (None if args.algorithms is None
+                  else [name.strip() for name in args.algorithms.split(",")
+                        if name.strip()])
+    output_path = None if args.output == "-" else args.output
+    payload = run_bench(profile=profile, algorithms=algorithms,
+                        repeats=args.repeats, output_path=output_path,
+                        check=not args.no_check)
+    lines = [format_bench(payload)]
+    if output_path:
+        lines.append("wrote %s" % output_path)
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -191,6 +230,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "effectiveness":
         print(run_effectiveness())
+        return 0
+    if args.command == "bench":
+        print(run_bench_command(args))
         return 0
     parser.error("unknown command %r" % args.command)
     return 2

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from .dataset import UncertainDataset
-from .numeric import PROB_ATOL
+from .numeric import PROB_ATOL, clamp_probability
 from .preference import WeightRatioConstraints
 
 
@@ -54,12 +54,17 @@ def compute_arsp(dataset: UncertainDataset, constraints,
 def object_rskyline_probabilities(dataset: UncertainDataset,
                                   instance_probabilities: Dict[int, float]
                                   ) -> Dict[int, float]:
-    """Aggregate instance-level ARSP into per-object probabilities."""
+    """Aggregate instance-level ARSP into per-object probabilities.
+
+    This is the canonical implementation shared with
+    ``repro.algorithms.base.object_probabilities``; sums are clamped into
+    ``[0, 1]`` to absorb accumulated float noise.
+    """
     totals: Dict[int, float] = {obj.object_id: 0.0 for obj in dataset.objects}
     for instance in dataset.instances:
         totals[instance.object_id] += instance_probabilities[
             instance.instance_id]
-    return totals
+    return {key: clamp_probability(value) for key, value in totals.items()}
 
 
 def top_k_objects(dataset: UncertainDataset,

@@ -1,0 +1,226 @@
+"""Bench-regression harness for the ARSP hot paths.
+
+``repro bench`` times every registered algorithm on the paper's default
+synthetic workload (scaled down exactly like ``benchmarks/workloads.py``)
+and writes the per-algorithm medians to ``BENCH_arsp.json``.  The file is
+the performance trajectory of the repository: every perf-affecting PR reruns
+the harness and records before/after medians in PERFORMANCE.md, so
+regressions show up as a diff instead of an anecdote.
+
+Profiles
+--------
+``default``
+    The scaled-down counterpart of the paper's default setting
+    (m = 192 objects, cnt = 4, d = 4, WR constraints with c = d - 1);
+    minutes of seed-era runtime, seconds after the kernel layer.
+``quick``
+    A seconds-scale smoke profile used by the benchmark suite's tier-1
+    test so the harness itself cannot rot.
+
+Algorithms whose constraint class differs from the generic linear WR set
+get a matching workload: DUAL receives the equivalent weight-ratio box,
+DUAL-MS a 2-dimensional variant, and ENUM a tiny dataset whose possible
+worlds stay enumerable.  Every result is checked against KDTT+ on the same
+workload, so the file doubles as an end-to-end parity check.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.registry import get_algorithm, list_algorithms
+from ..core.arsp import arsp_size
+from ..core.dataset import UncertainDataset
+from ..core.preference import WeightRatioConstraints
+from ..data.constraints import weak_ranking_constraints
+from ..data.synthetic import SyntheticConfig, generate_uncertain_dataset
+from .harness import _compare
+
+#: Schema tag written into the JSON payload so future harness versions can
+#: evolve the format without ambiguity.
+SCHEMA = "repro-bench/1"
+
+#: Default output file, written at the repository root by ``repro bench``.
+DEFAULT_OUTPUT = "BENCH_arsp.json"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One named workload scale for the harness."""
+
+    name: str
+    num_objects: int
+    max_instances: int
+    dimension: int
+    region_length: float = 0.2
+    distribution: str = "IND"
+    seed: int = 2024
+    repeats: int = 5
+    #: ENUM is exponential in the number of objects; it gets its own tiny
+    #: dataset so the harness can still time it.
+    enum_objects: int = 7
+    enum_instances: int = 2
+
+
+PROFILES: Dict[str, BenchProfile] = {
+    "default": BenchProfile(name="default", num_objects=192, max_instances=4,
+                            dimension=4, repeats=5),
+    "quick": BenchProfile(name="quick", num_objects=32, max_instances=3,
+                          dimension=3, repeats=2, enum_objects=5),
+}
+
+
+def _make_dataset(profile: BenchProfile, num_objects: int, max_instances: int,
+                  dimension: int) -> UncertainDataset:
+    config = SyntheticConfig(num_objects=num_objects,
+                             max_instances=max_instances,
+                             dimension=dimension,
+                             region_length=profile.region_length,
+                             distribution=profile.distribution,
+                             seed=profile.seed)
+    return generate_uncertain_dataset(config)
+
+
+def _build_workloads(profile: BenchProfile) -> Dict[str, Tuple[
+        UncertainDataset, object, Dict[str, object]]]:
+    """The named (dataset, constraints, description) workloads of a profile."""
+    d = profile.dimension
+    base = _make_dataset(profile, profile.num_objects, profile.max_instances,
+                         d)
+    ratio = WeightRatioConstraints([(0.5, 2.0)] * (d - 1))
+    flat = _make_dataset(profile, profile.num_objects, profile.max_instances,
+                         2)
+    tiny = _make_dataset(profile, profile.enum_objects,
+                         profile.enum_instances, d)
+    workloads = {
+        "synthetic-wr": (base, weak_ranking_constraints(d),
+                         {"constraints": "WR(c=%d)" % (d - 1)}),
+        "synthetic-ratio": (base, ratio,
+                            {"constraints": "ratio[0.5,2]^%d" % (d - 1)}),
+        "synthetic-ratio-2d": (flat, WeightRatioConstraints([(0.5, 2.0)]),
+                               {"constraints": "ratio[0.5,2]"}),
+        "synthetic-tiny-wr": (tiny, weak_ranking_constraints(d),
+                              {"constraints": "WR(c=%d)" % (d - 1)}),
+    }
+    return workloads
+
+
+#: Which named workload each registered algorithm runs on.
+_WORKLOAD_FOR_ALGORITHM = {
+    "enum": "synthetic-tiny-wr",
+    "dual": "synthetic-ratio",
+    "dual-ms": "synthetic-ratio-2d",
+}
+
+#: Reference algorithm used for the parity check of every workload.
+_REFERENCE_ALGORITHM = "kdtt+"
+
+
+def run_bench(profile: str = "default",
+              algorithms: Optional[Sequence[str]] = None,
+              repeats: Optional[int] = None,
+              output_path: Optional[str] = None,
+              check: bool = True) -> Dict[str, object]:
+    """Time the registered algorithms and return (and optionally write)
+    the ``BENCH_arsp.json`` payload.
+
+    Parameters
+    ----------
+    profile:
+        Name of a :data:`PROFILES` entry (``default`` or ``quick``).
+    algorithms:
+        Registry names to time; all registered algorithms by default.
+    repeats:
+        Override the profile's repeat count (the median is reported).
+    output_path:
+        When given, the payload is written there as JSON.
+    check:
+        Compare every result against the reference algorithm on the same
+        workload and record the outcome in the payload.
+    """
+    if profile not in PROFILES:
+        raise KeyError("unknown bench profile %r; available: %s"
+                       % (profile, ", ".join(sorted(PROFILES))))
+    resolved = PROFILES[profile]
+    rounds = repeats if repeats is not None else resolved.repeats
+    if rounds < 1:
+        raise ValueError("repeats must be at least 1")
+    names = list(algorithms) if algorithms else list_algorithms()
+
+    workloads = _build_workloads(resolved)
+    references: Dict[str, Dict[int, float]] = {}
+    entries: Dict[str, dict] = {}
+    for name in names:
+        workload_key = _WORKLOAD_FOR_ALGORITHM.get(name, "synthetic-wr")
+        dataset, constraints, _ = workloads[workload_key]
+        implementation = get_algorithm(name)
+        runs: List[float] = []
+        result: Dict[int, float] = {}
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = implementation(dataset, constraints)
+            runs.append(time.perf_counter() - start)
+        entry = {
+            "workload": workload_key,
+            "repeats": rounds,
+            "runs_s": [round(value, 6) for value in runs],
+            "median_s": round(statistics.median(runs), 6),
+            "min_s": round(min(runs), 6),
+            "arsp_size": arsp_size(result),
+        }
+        if check:
+            if workload_key not in references:
+                if name == _REFERENCE_ALGORITHM:
+                    references[workload_key] = result
+                else:
+                    reference = get_algorithm(_REFERENCE_ALGORITHM)
+                    references[workload_key] = reference(dataset, constraints)
+            mismatch = _compare(references[workload_key], result)
+            entry["parity"] = mismatch if mismatch else "ok"
+        entries[name] = entry
+
+    payload = {
+        "schema": SCHEMA,
+        "created_unix": int(time.time()),
+        "profile": resolved.name,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "reference_algorithm": _REFERENCE_ALGORITHM if check else None,
+        "workloads": {
+            key: dict(meta,
+                      num_objects=dataset.num_objects,
+                      num_instances=dataset.num_instances,
+                      dimension=dataset.dimension)
+            for key, (dataset, _, meta) in workloads.items()
+        },
+        "algorithms": entries,
+    }
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return payload
+
+
+def format_bench(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_bench` payload."""
+    lines = ["bench profile %r (median of %s)" % (
+        payload["profile"],
+        ", ".join(sorted({str(entry["repeats"]) + " runs"
+                          for entry in payload["algorithms"].values()})))]
+    width = max(len(name) for name in payload["algorithms"])
+    for name in sorted(payload["algorithms"]):
+        entry = payload["algorithms"][name]
+        parity = entry.get("parity")
+        suffix = "" if parity in (None, "ok") else "  PARITY: %s" % parity
+        lines.append("%-*s  %9.4f s  (min %.4f, ARSP size %d, %s)%s"
+                     % (width, name, entry["median_s"], entry["min_s"],
+                        entry["arsp_size"], entry["workload"], suffix))
+    return "\n".join(lines)

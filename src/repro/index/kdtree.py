@@ -24,6 +24,12 @@ PARTIAL = 0
 NodeClassifier = Callable[[np.ndarray, np.ndarray], int]
 PointPredicate = Callable[[np.ndarray], bool]
 
+#: Batched variants: a batch classifier maps stacked ``(k, d)`` lo/hi corner
+#: arrays to a ``(k,)`` verdict array and a batch predicate maps a ``(k, d)``
+#: point block to a ``(k,)`` boolean mask.
+BatchNodeClassifier = Callable[[np.ndarray, np.ndarray], np.ndarray]
+BatchPointPredicate = Callable[[np.ndarray], np.ndarray]
+
 
 class KDTreeNode:
     """One node of the kd-tree (leaf or internal)."""
@@ -142,18 +148,26 @@ class KDTree:
         def predicate(point: np.ndarray) -> bool:
             return bool(np.all(lo <= point) and np.all(point <= hi))
 
-        return self.aggregate(classifier, predicate)
+        def batch_predicate(points: np.ndarray) -> np.ndarray:
+            return np.all((lo <= points) & (points <= hi), axis=1)
+
+        return self.aggregate(classifier, predicate,
+                              batch_predicate=batch_predicate)
 
     # ------------------------------------------------------------------
     # Generalised queries
     # ------------------------------------------------------------------
     def aggregate(self, classifier: NodeClassifier,
-                  predicate: PointPredicate) -> float:
+                  predicate: PointPredicate,
+                  batch_predicate: Optional[BatchPointPredicate] = None
+                  ) -> float:
         """Total weight of points satisfying ``predicate``.
 
         ``classifier(lo, hi)`` must be conservative: return ``INSIDE`` only
         when every point of the box satisfies the predicate and ``OUTSIDE``
-        only when none can.
+        only when none can.  When ``batch_predicate`` is given, PARTIAL
+        leaves are resolved by scoring all their points in one call instead
+        of evaluating ``predicate`` point by point.
         """
         if self.root is None:
             return 0.0
@@ -168,12 +182,58 @@ class KDTree:
                 total += node.weight_sum
                 continue
             if node.is_leaf:
-                for index in node.indices:
-                    if predicate(self.points[index]):
-                        total += self.weights[index]
+                if batch_predicate is not None:
+                    mask = batch_predicate(self.points[node.indices])
+                    total += float(self.weights[node.indices][mask].sum())
+                else:
+                    for index in node.indices:
+                        if predicate(self.points[index]):
+                            total += self.weights[index]
             else:
                 stack.append(node.left)
                 stack.append(node.right)
+        return total
+
+    def aggregate_frontier(self, batch_classifier: BatchNodeClassifier,
+                           batch_predicate: BatchPointPredicate) -> float:
+        """Batched :meth:`aggregate`: classify whole frontier levels at once.
+
+        The traversal proceeds level by level; at each level the lo/hi
+        corners of every live node are stacked and handed to
+        ``batch_classifier`` in a single call.  PARTIAL leaves are collected
+        and their points scored with one ``batch_predicate`` call at the
+        end.  This trades the per-node Python closure calls of
+        :meth:`aggregate` for a handful of vectorized kernel evaluations,
+        which is what the DUAL hot path needs (see PERFORMANCE.md).
+        """
+        if self.root is None:
+            return 0.0
+        total = 0.0
+        frontier: List[KDTreeNode] = [self.root]
+        pending_points: List[np.ndarray] = []
+        pending_weights: List[np.ndarray] = []
+        while frontier:
+            los = np.stack([node.lo for node in frontier])
+            his = np.stack([node.hi for node in frontier])
+            verdicts = batch_classifier(los, his)
+            next_frontier: List[KDTreeNode] = []
+            for node, verdict in zip(frontier, verdicts):
+                if verdict == OUTSIDE:
+                    continue
+                if verdict == INSIDE:
+                    total += node.weight_sum
+                elif node.is_leaf:
+                    pending_points.append(self.points[node.indices])
+                    pending_weights.append(self.weights[node.indices])
+                else:
+                    next_frontier.append(node.left)
+                    next_frontier.append(node.right)
+            frontier = next_frontier
+        if pending_points:
+            points = np.concatenate(pending_points)
+            weights = np.concatenate(pending_weights)
+            mask = np.asarray(batch_predicate(points))
+            total += float(weights[mask].sum())
         return total
 
     def report(self, classifier: NodeClassifier,

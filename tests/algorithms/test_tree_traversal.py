@@ -59,6 +59,24 @@ class TestSaturationTracker:
         assert tracker.probability_for(1, 0.5) == 0.0
         assert tracker.probability_for(0, 0.5) == pytest.approx(0.5)
 
+    @pytest.mark.parametrize("additions", [
+        [],
+        [(0, 0.5), (1, 0.25)],
+        [(0, 1.0)],
+        [(0, 1.0), (1, 1.0)],
+        [(0, 0.6), (0, 0.4), (2, 0.3)],
+    ])
+    def test_probabilities_for_matches_scalar(self, additions):
+        tracker = SaturationTracker(3)
+        for object_id, probability in additions:
+            tracker.add(object_id, probability)
+        object_ids = np.array([0, 1, 2, 0, 1])
+        probabilities = np.array([0.5, 0.25, 1.0, 0.1, 0.9])
+        batched = tracker.probabilities_for(object_ids, probabilities)
+        for k in range(len(object_ids)):
+            assert batched[k] == tracker.probability_for(
+                int(object_ids[k]), float(probabilities[k]))
+
 
 class TestPartitions:
     def test_kd_partition_splits_in_two(self):

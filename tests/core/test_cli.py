@@ -72,3 +72,27 @@ class TestCommands:
     def test_effectiveness_output(self):
         text = run_effectiveness()
         assert "Table I" in text and "Table II" in text
+
+    def test_bench_quick_subset(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_arsp.json"
+        code = main(["bench", "--quick", "--algorithms", "kdtt+,dual",
+                     "--repeats", "1", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench profile 'quick'" in out
+        assert "kdtt+" in out and "dual" in out
+        assert output.exists()
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.profile == "default"
+        assert not args.quick
+        assert args.output == "BENCH_arsp.json"
+
+    def test_bench_stdout_only(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--quick", "--algorithms", "kdtt+",
+                     "--repeats", "1", "--output", "-", "--no-check"])
+        assert code == 0
+        assert not (tmp_path / "BENCH_arsp.json").exists()

@@ -153,3 +153,57 @@ class TestGeneralisedQueries:
     def test_any_match_empty_tree(self):
         tree = KDTree(np.empty((0, 2)))
         assert not tree.any_match(lambda lo, hi: PARTIAL, lambda p: True)
+
+
+class TestBatchedQueries:
+    def make_halfplane(self, a, b):
+        def batch_classifier(los, his):
+            hi_values = his @ a
+            lo_values = los @ a
+            return np.where(hi_values <= b, INSIDE,
+                            np.where(lo_values > b, OUTSIDE, PARTIAL))
+
+        def batch_predicate(points):
+            return points @ a <= b
+
+        return batch_classifier, batch_predicate
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_aggregate_frontier_matches_scalar_aggregate(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 1, size=(150, 2))
+        weights = rng.uniform(0, 1, size=150)
+        tree = KDTree(points, weights=weights, leaf_size=6)
+        a = rng.uniform(0, 1, size=2)
+        b = rng.uniform(0.2, 1.2)
+        batch_classifier, batch_predicate = self.make_halfplane(a, b)
+
+        def classifier(lo, hi):
+            return int(batch_classifier(lo[None, :], hi[None, :])[0])
+
+        scalar = tree.aggregate(classifier, lambda p: np.dot(a, p) <= b)
+        frontier = tree.aggregate_frontier(batch_classifier, batch_predicate)
+        assert frontier == pytest.approx(scalar)
+
+    def test_aggregate_with_batch_predicate_matches_pointwise(self):
+        rng = np.random.default_rng(17)
+        points = rng.uniform(0, 1, size=(100, 3))
+        weights = rng.uniform(0, 1, size=100)
+        tree = KDTree(points, weights=weights, leaf_size=5)
+        a = rng.uniform(0, 1, size=3)
+        b = 1.0
+        batch_classifier, batch_predicate = self.make_halfplane(a, b)
+
+        def classifier(lo, hi):
+            return int(batch_classifier(lo[None, :], hi[None, :])[0])
+
+        pointwise = tree.aggregate(classifier, lambda p: np.dot(a, p) <= b)
+        batched = tree.aggregate(classifier, lambda p: np.dot(a, p) <= b,
+                                 batch_predicate=batch_predicate)
+        assert batched == pytest.approx(pointwise)
+
+    def test_aggregate_frontier_empty_tree(self):
+        tree = KDTree(np.empty((0, 2)))
+        assert tree.aggregate_frontier(
+            lambda los, his: np.full(len(los), PARTIAL),
+            lambda points: np.ones(len(points), dtype=bool)) == 0.0

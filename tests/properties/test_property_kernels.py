@@ -1,0 +1,175 @@
+"""Parity properties: batch kernels versus the scalar reference predicates.
+
+The vectorized kernels of :mod:`repro.core.kernels` are the hot-path
+implementations; the scalar predicates in :mod:`repro.core.dominance`
+remain the readable specification.  These tests draw random point blocks
+from the tie-heavy integer grid and assert the two agree — bit-identically
+for the pure comparison kernels, within float tolerance for the margin
+kernels whose summation order may differ.
+
+A second class pins the refactored index algorithms (KDTT+, QDTT+, DUAL)
+to the possible-world ENUM baseline end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import LinearConstraints
+from repro.algorithms.dual import dual_arsp
+from repro.algorithms.enum_baseline import enum_arsp
+from repro.algorithms.kdtree_traversal import kdtree_traversal_arsp
+from repro.algorithms.quadtree_traversal import quadtree_traversal_arsp
+from repro.core.dominance import (dominates, strictly_dominates,
+                                  weight_ratio_min_margin)
+from repro.core.kernels import (BOX_INSIDE, BOX_OUTSIDE, BOX_PARTIAL,
+                                classify_against_box, classify_boxes_by_margin,
+                                dominates_corner, orthant_codes,
+                                strict_dominance_matrix, weak_dominance_matrix,
+                                weight_ratio_margins,
+                                weight_ratio_margins_matrix,
+                                weight_ratio_margins_rows)
+from tests.properties.strategies import (grid_points, ratio_constraints,
+                                         uncertain_datasets)
+
+COMMON_SETTINGS = settings(max_examples=40, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+def point_blocks(dimension: int, max_points: int = 8):
+    """A non-empty (k, dimension) block of tie-heavy grid points."""
+    return st.lists(grid_points(dimension), min_size=1,
+                    max_size=max_points).map(lambda rows: np.asarray(rows))
+
+
+class TestDominanceKernelParity:
+    @COMMON_SETTINGS
+    @given(point_blocks(3), point_blocks(3))
+    def test_weak_dominance_matrix_matches_scalar(self, a, b):
+        matrix = weak_dominance_matrix(a, b)
+        for i, row in enumerate(a):
+            for j, col in enumerate(b):
+                assert matrix[i, j] == dominates(row, col)
+
+    @COMMON_SETTINGS
+    @given(point_blocks(3), point_blocks(3))
+    def test_strict_dominance_matrix_matches_scalar(self, a, b):
+        matrix = strict_dominance_matrix(a, b)
+        for i, row in enumerate(a):
+            for j, col in enumerate(b):
+                assert matrix[i, j] == strictly_dominates(row, col)
+
+    @COMMON_SETTINGS
+    @given(point_blocks(3), grid_points(3))
+    def test_dominates_corner_matches_scalar(self, points, corner):
+        mask = dominates_corner(points, np.asarray(corner))
+        for i, point in enumerate(points):
+            assert mask[i] == dominates(point, corner)
+
+    @COMMON_SETTINGS
+    @given(point_blocks(3), grid_points(3), grid_points(3))
+    def test_classify_against_box_matches_scalar(self, points, a, b):
+        pmin = np.minimum(np.asarray(a), np.asarray(b))
+        pmax = np.maximum(np.asarray(a), np.asarray(b))
+        dominates_min, dominates_max = classify_against_box(points, pmin,
+                                                            pmax)
+        for i, point in enumerate(points):
+            assert dominates_min[i] == dominates(point, pmin)
+            assert dominates_max[i] == dominates(point, pmax)
+
+
+class TestWeightRatioKernelParity:
+    @COMMON_SETTINGS
+    @given(ratio_constraints(dimension=3), grid_points(3), point_blocks(3))
+    def test_margins_match_scalar_min_margin(self, constraints, target,
+                                             points):
+        margins = weight_ratio_margins(np.asarray(target), points,
+                                       constraints.lows, constraints.highs)
+        for i, point in enumerate(points):
+            expected = weight_ratio_min_margin(point, target, constraints)
+            assert margins[i] == pytest.approx(expected, abs=1e-12)
+
+    @COMMON_SETTINGS
+    @given(ratio_constraints(dimension=3), point_blocks(3), point_blocks(3))
+    def test_rows_and_matrix_agree_with_single_target_kernel(
+            self, constraints, targets, points):
+        lows, highs = constraints.lows, constraints.highs
+        matrix = weight_ratio_margins_matrix(targets, points, lows, highs)
+        assert matrix.shape == (len(targets), len(points))
+        for t, target in enumerate(targets):
+            reference = weight_ratio_margins(target, points, lows, highs)
+            np.testing.assert_allclose(matrix[t], reference, atol=1e-9)
+            rows = weight_ratio_margins_rows(
+                np.repeat(target[None, :], len(points), axis=0), points,
+                lows, highs)
+            np.testing.assert_allclose(rows, reference, atol=1e-12)
+
+    @COMMON_SETTINGS
+    @given(ratio_constraints(dimension=3), grid_points(3), point_blocks(3),
+           point_blocks(3))
+    def test_box_classification_is_conservative(self, constraints, target,
+                                                a_corners, b_corners):
+        size = min(len(a_corners), len(b_corners))
+        los = np.minimum(a_corners[:size], b_corners[:size])
+        his = np.maximum(a_corners[:size], b_corners[:size])
+        target = np.asarray(target, dtype=float)
+        lows, highs = constraints.lows, constraints.highs
+        hi_margins = weight_ratio_margins(target, his, lows, highs)
+        lo_margins = weight_ratio_margins(target, los, lows, highs)
+        verdicts = classify_boxes_by_margin(hi_margins, lo_margins)
+        for k, verdict in enumerate(verdicts):
+            # Both corners are points of the box, so INSIDE forces both
+            # margins non-negative and OUTSIDE forces both negative.
+            assert verdict in (BOX_INSIDE, BOX_PARTIAL, BOX_OUTSIDE)
+            if verdict == BOX_INSIDE:
+                assert lo_margins[k] >= hi_margins[k] >= -1e-12
+            if verdict == BOX_OUTSIDE:
+                assert hi_margins[k] <= lo_margins[k] < 1e-12
+
+
+class TestOrthantCodes:
+    @COMMON_SETTINGS
+    @given(point_blocks(3), grid_points(3))
+    def test_matches_per_dimension_loop(self, points, center):
+        codes = orthant_codes(points, np.asarray(center, dtype=float))
+        for k, point in enumerate(points):
+            expected = 0
+            for dim in range(len(center)):
+                expected = (expected << 1) | int(point[dim] >= center[dim])
+            assert codes[k] == expected
+
+
+class TestIndexAlgorithmsMatchEnumBaseline:
+    """End-to-end parity of the refactored hot paths against ENUM."""
+
+    WR2 = LinearConstraints.weak_ranking(2)
+
+    def check(self, dataset, constraints, algorithm):
+        expected = enum_arsp(dataset, constraints)
+        actual = algorithm(dataset, constraints)
+        assert set(actual) == set(expected)
+        for key, value in expected.items():
+            assert actual[key] == pytest.approx(value, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_kdtt_plus_matches_enum(self, dataset):
+        self.check(dataset, self.WR2, kdtree_traversal_arsp)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_qdtt_plus_matches_enum(self, dataset):
+        self.check(dataset, self.WR2, quadtree_traversal_arsp)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2), ratio_constraints(dimension=2))
+    def test_dual_matches_enum(self, dataset, constraints):
+        self.check(dataset, constraints, dual_arsp)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(uncertain_datasets(dimension=3, max_objects=4, max_instances=2),
+           ratio_constraints(dimension=3))
+    def test_dual_matches_enum_3d(self, dataset, constraints):
+        self.check(dataset, constraints, dual_arsp)
