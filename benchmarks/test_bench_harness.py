@@ -12,7 +12,8 @@ from __future__ import annotations
 import json
 
 from repro.algorithms.registry import list_algorithms
-from repro.experiments.perf import PROFILES, SCHEMA, format_bench, run_bench
+from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA,
+                                    format_bench, run_bench)
 
 
 def test_quick_profile_covers_all_algorithms(quick_bench_payload):
@@ -25,6 +26,24 @@ def test_quick_profile_covers_all_algorithms(quick_bench_payload):
         assert len(entry["runs_s"]) == entry["repeats"]
         assert entry["min_s"] <= entry["median_s"], name
         assert entry["workload"] in payload["workloads"], name
+
+
+def test_quick_profile_covers_extra_paths(quick_bench_payload):
+    """The eclipse and continuous hot paths ride along in ``extras``."""
+    payload, _ = quick_bench_payload
+    assert sorted(payload["extras"]) == sorted(EXTRA_PATHS)
+    for name, entry in payload["extras"].items():
+        assert entry["repeats"] == PROFILES["quick"].repeats
+        assert len(entry["runs_s"]) == entry["repeats"]
+        assert entry["min_s"] <= entry["median_s"], name
+        assert entry["workload"] in payload["workloads"], name
+        assert entry["result_size"] >= 0, name
+
+
+def test_quick_profile_eclipse_extras_match_naive(quick_bench_payload):
+    payload, _ = quick_bench_payload
+    for name in ("eclipse-quad", "eclipse-dual-s"):
+        assert payload["extras"][name]["parity"] == "ok", name
 
 
 def test_quick_profile_results_match_reference(quick_bench_payload):
@@ -56,3 +75,5 @@ def test_algorithm_subset_and_no_check():
     assert payload["reference_algorithm"] is None
     for entry in payload["algorithms"].values():
         assert "parity" not in entry
+    # An explicit subset is a request to time just that subset.
+    assert payload["extras"] == {}

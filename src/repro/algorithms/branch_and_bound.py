@@ -17,6 +17,15 @@ maps instances on the fly.  Two structures make it fast:
 
 Expected time complexity ``O(m n log n)``.
 
+The per-node dominance and bound tests run through the kernel layer
+(docs/ARCHITECTURE.md): the pruning set is kept as a stacked corner matrix
+tested with :func:`repro.core.kernels.dominates_corner` /
+:func:`repro.core.kernels.weak_dominance_matrix`, a node's children are
+score-mapped and pruned with one matrix product per expansion, and tied
+batches map all their instances with a single block product.  The
+comparisons are identical to the former per-corner Python loops, so results
+are unchanged.
+
 Instances with identical scores under the sort vertex are processed as one
 batch (all of them are inserted into their aggregated R-trees before any of
 them is queried) so that weak dominance between tied instances is accounted
@@ -32,6 +41,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..core.dataset import UncertainDataset
+from ..core.kernels import dominates_corner, weak_dominance_matrix
 from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import resolve_preference_region
 from ..index.rtree import RTree
@@ -39,6 +49,49 @@ from .base import empty_result, finalize_result
 
 _NODE = 0
 _INSTANCE = 1
+
+
+class _PruningSet:
+    """The pruning set ``P`` as a lazily stacked corner matrix.
+
+    Membership tests are the B&B per-node dominance tests; keeping the
+    corners in one ``(k, d')`` array lets a single kernel call decide a
+    whole block of score vectors instead of looping corner by corner.
+    Insertions append to a list in O(1); the stacked matrix is rebuilt only
+    when the next test observes new corners.
+    """
+
+    __slots__ = ("_pending", "_corners")
+
+    def __init__(self, dimension: int):
+        self._pending: List[np.ndarray] = []
+        self._corners = np.empty((0, dimension))
+
+    def add(self, corner: np.ndarray) -> None:
+        self._pending.append(corner.copy())
+
+    def _matrix(self) -> np.ndarray:
+        if self._pending:
+            self._corners = np.concatenate(
+                [self._corners, np.stack(self._pending)])
+            self._pending = []
+        return self._corners
+
+    def prunes(self, score_vector: np.ndarray) -> bool:
+        """Does any pruning corner weakly dominate ``score_vector``?"""
+        corners = self._matrix()
+        if not len(corners):
+            return False
+        return bool(dominates_corner(corners, score_vector,
+                                     atol=SCORE_ATOL).any())
+
+    def prunes_block(self, score_vectors: np.ndarray) -> np.ndarray:
+        """Batched :meth:`prunes` over a ``(b, d')`` score block."""
+        corners = self._matrix()
+        if not len(corners) or not len(score_vectors):
+            return np.zeros(len(score_vectors), dtype=bool)
+        return weak_dominance_matrix(corners, score_vectors,
+                                     atol=SCORE_ATOL).any(axis=0)
 
 
 def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
@@ -70,6 +123,8 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
     vertices = region.vertices
     sort_vertex = vertices[0]
     mapped_dimension = region.num_vertices
+    # Heap keys of all instances in one product instead of one dot per push.
+    instance_keys = points @ sort_vertex
 
     index = RTree.bulk_load(points,
                             weights=probabilities,
@@ -80,15 +135,11 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
                                for _ in range(dataset.num_objects)]
     window_lo = np.full(mapped_dimension, -np.inf)
 
-    pruning_set: List[np.ndarray] = []
+    pruning_set = _PruningSet(mapped_dimension)
     processed_mass = np.zeros(dataset.num_objects)
     object_totals = np.asarray(
         [obj.total_probability for obj in dataset.objects])
     max_corners = np.full((dataset.num_objects, mapped_dimension), -np.inf)
-
-    def pruned(score_vector: np.ndarray) -> bool:
-        return any(np.all(corner <= score_vector + SCORE_ATOL)
-                   for corner in pruning_set)
 
     counter = itertools.count()
     heap: List[Tuple[float, int, int, object]] = []
@@ -98,8 +149,8 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
         heapq.heappush(heap, (key, next(counter), _NODE, node))
 
     def push_instance(position: int) -> None:
-        key = float(np.dot(sort_vertex, points[position]))
-        heapq.heappush(heap, (key, next(counter), _INSTANCE, position))
+        heapq.heappush(heap, (float(instance_keys[position]), next(counter),
+                              _INSTANCE, position))
 
     def expand(node) -> None:
         """Open an R-tree node, pruning children dominated by ``P``."""
@@ -107,20 +158,24 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
             for entry in node.entries:
                 push_instance(int(entry.data))
         else:
-            for child in node.children:
-                child_scores = vertices @ child.lo
-                if not pruned(child_scores):
+            # Score-map all children's min corners with one product and test
+            # them against the pruning set with one kernel call.
+            child_scores = np.stack([child.lo for child in node.children
+                                     ]) @ vertices.T
+            pruned = pruning_set.prunes_block(child_scores)
+            for child, skip in zip(node.children, pruned.tolist()):
+                if not skip:
                     push_node(child)
 
     root_scores = vertices @ index.root.lo
-    if index.size and not pruned(root_scores):
+    if index.size and not pruning_set.prunes(root_scores):
         push_node(index.root)
 
     while heap:
         key, _, kind, payload = heapq.heappop(heap)
         if kind == _NODE:
             node_scores = vertices @ payload.lo
-            if not pruned(node_scores):
+            if not pruning_set.prunes(node_scores):
                 expand(payload)
             continue
 
@@ -131,18 +186,20 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
             _, _, other_kind, other_payload = heapq.heappop(heap)
             if other_kind == _NODE:
                 node_scores = vertices @ other_payload.lo
-                if not pruned(node_scores):
+                if not pruning_set.prunes(node_scores):
                     expand(other_payload)
             else:
                 batch.append(other_payload)
 
-        # First pass: compute score vectors and discard instances already
-        # known to have zero probability (Theorem 3 makes this safe).
-        survivors: List[Tuple[int, np.ndarray]] = []
-        for position in batch:
-            score_vector = vertices @ points[position]
-            if not pruned(score_vector):
-                survivors.append((position, score_vector))
+        # First pass: map the whole batch into score space with one block
+        # product and discard instances already known to have zero
+        # probability (Theorem 3 makes this safe).
+        batch_scores = points[batch] @ vertices.T
+        pruned_batch = pruning_set.prunes_block(batch_scores)
+        survivors: List[Tuple[int, np.ndarray]] = [
+            (position, batch_scores[row])
+            for row, position in enumerate(batch)
+            if not pruned_batch[row]]
 
         # Second pass: insert all survivors before querying any of them so
         # tied instances see each other in the window aggregates.
@@ -172,6 +229,6 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
             if (object_totals[owner] >= 1.0 - PROB_ATOL
                     and processed_mass[owner] >= 1.0 - PROB_ATOL
                     and len(dataset.objects[owner]) > 0):
-                pruning_set.append(max_corners[owner].copy())
+                pruning_set.add(max_corners[owner])
 
     return finalize_result(result)

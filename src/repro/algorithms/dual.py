@@ -26,6 +26,11 @@ resolves every straddling leaf root with a single row-aligned margin batch,
 descends only into the rare straddling internal trees, and folds the σ
 matrix into rskyline probabilities with array arithmetic.  Zero-probability
 target instances skip the index entirely.
+
+Preprocessing is bulk too: the per-object tree forest comes from one
+:func:`repro.index.kdtree.build_forest` pass over the flat instance matrix,
+and repeated queries reuse per-constraint caches of the root-corner margin
+terms and of full results (see :class:`DualIndex`).
 """
 
 from __future__ import annotations
@@ -35,12 +40,13 @@ from typing import Dict, List
 import numpy as np
 
 from ..core.dataset import UncertainDataset
-from ..core.kernels import (classify_boxes_by_margin, weight_ratio_margins,
-                            weight_ratio_margins_matrix,
+from ..core.kernels import (MarginTerms, classify_boxes_by_margin,
+                            margin_matrix_terms, weight_ratio_margins,
+                            weight_ratio_margins_matrix_from_terms,
                             weight_ratio_margins_rows)
 from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import WeightRatioConstraints
-from ..index.kdtree import KDTree
+from ..index.kdtree import KDTree, build_forest
 from .base import empty_result, finalize_result
 
 #: Upper bound on the number of (target, tree-root, dimension) floats held
@@ -50,29 +56,61 @@ from .base import empty_result, finalize_result
 #: vectorizes across all objects.
 _CHUNK_BUDGET = 4_000_000
 
+#: Bounds on the per-constraint caches of :class:`DualIndex`.  Results are
+#: O(num_instances) dicts, so only a handful are retained; margin terms are
+#: O(num_objects) arrays and afford a larger window.  Both evict FIFO.
+_RESULT_CACHE_LIMIT = 8
+_TERM_CACHE_LIMIT = 64
+
+
+def _bounded_insert(cache: Dict, key, value, limit: int) -> None:
+    """Insert into a FIFO-bounded dict cache, evicting the oldest entry."""
+    if key not in cache and len(cache) >= limit:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
 
 class DualIndex:
     """Preprocessing state of the DUAL algorithm.
 
     One aggregated kd-tree per uncertain object, over the raw instance
-    coordinates, weighted by the existence probabilities.  The index is
-    constraint-independent: the same preprocessing serves any weight ratio
-    constraint issued later, which is the preprocessing/query split the
-    paper's Section IV is about.  Root boxes, point blocks and weights of
-    all trees are additionally stacked into contiguous arrays so a query
-    can classify every object's tree in batched kernel calls.
+    coordinates, weighted by the existence probabilities.  The whole forest
+    is built with one bulk pass (:func:`repro.index.kdtree.build_forest`)
+    over the flat instance matrix instead of per-object Python loops.  The
+    index is constraint-independent: the same preprocessing serves any
+    weight ratio constraint issued later, which is the preprocessing/query
+    split the paper's Section IV is about.  Root boxes, point blocks and
+    weights of all trees are additionally stacked into contiguous arrays so
+    a query can classify every object's tree in batched kernel calls.
+
+    Repeated queries are served from two per-constraint caches keyed by
+    ``constraints.ranges``: the target-independent root-corner margin terms
+    (:func:`repro.core.kernels.margin_matrix_terms`) are computed once per
+    constraint box and reused across target chunks and queries, and a full
+    repeat of an already-answered constraint box returns the memoised
+    result without touching the index (``query_cache_hits`` counts these).
+    Both caches are FIFO-bounded so long constraint sweeps stay within a
+    fixed memory footprint.
     """
 
     def __init__(self, dataset: UncertainDataset, leaf_size: int = 16):
         self.dataset = dataset
-        self.trees: List[KDTree] = []
-        for obj in dataset.objects:
-            points = np.asarray([inst.values for inst in obj], dtype=float)
-            weights = np.asarray([inst.probability for inst in obj],
-                                 dtype=float)
-            self.trees.append(KDTree(points, weights=weights,
-                                     leaf_size=leaf_size))
+        # The flat instance views are constraint-independent; materialise
+        # them once here and share them between the forest build and every
+        # query instead of re-walking the Python instance objects per query.
+        self._targets = dataset.instance_matrix()
+        self._target_objects = dataset.object_ids()
+        self._target_probabilities = dataset.probability_vector()
+        self._target_instance_ids = np.asarray(
+            [instance.instance_id for instance in dataset.instances],
+            dtype=int)
+        self.trees: List[KDTree] = build_forest(
+            self._targets, self._target_objects, dataset.num_objects,
+            weights=self._target_probabilities, leaf_size=leaf_size)
         self._build_batch_views()
+        self._root_term_cache: Dict[tuple, MarginTerms] = {}
+        self._result_cache: Dict[tuple, Dict[int, float]] = {}
+        self.query_cache_hits = 0
 
     def _build_batch_views(self) -> None:
         """Stack per-tree state into the arrays the batched query consumes."""
@@ -133,9 +171,26 @@ class DualIndex:
         return self.trees[object_id].aggregate_frontier(batch_classifier,
                                                         batch_predicate)
 
+    def _root_terms(self, constraints: WeightRatioConstraints) -> MarginTerms:
+        """Cached target-independent margin terms of the root lo corners.
+
+        Keyed by ``constraints.ranges`` — the class's canonical hashable
+        identity — and bounded by FIFO eviction so a long constraint sweep
+        cannot grow the cache without limit.
+        """
+        key = constraints.ranges
+        terms = self._root_term_cache.get(key)
+        if terms is None:
+            terms = margin_matrix_terms(self._root_lo, constraints.lows,
+                                        constraints.highs)
+            _bounded_insert(self._root_term_cache, key, terms,
+                            _TERM_CACHE_LIMIT)
+        return terms
+
     # ------------------------------------------------------------------
     def _sigma_chunk(self, targets: np.ndarray, lows: np.ndarray,
-                     highs: np.ndarray) -> np.ndarray:
+                     highs: np.ndarray,
+                     root_lo_terms: MarginTerms) -> np.ndarray:
         """σ matrix for a chunk of targets: ``out[t, j]`` is the probability
         mass of object ``j`` F-dominating ``targets[t]``."""
         num_targets = targets.shape[0]
@@ -146,9 +201,10 @@ class DualIndex:
 
         # Stage 1: the lo corner carries each box's *maximum* margin, so one
         # margin matrix rules out every (target, tree root) pair whose box
-        # holds no dominator at all — typically the bulk of the pairs.
-        lo_margins = weight_ratio_margins_matrix(targets, self._root_lo,
-                                                 lows, highs)
+        # holds no dominator at all — typically the bulk of the pairs.  The
+        # per-corner terms are constraint-cached and shared across chunks.
+        lo_margins = weight_ratio_margins_matrix_from_terms(targets,
+                                                            root_lo_terms)
         live_rows, live_cols = np.nonzero(lo_margins >= -SCORE_ATOL)
         if not len(live_rows):
             return sigma
@@ -212,17 +268,21 @@ class DualIndex:
                 "constraints are defined for dimension %d but the dataset "
                 "has dimension %d"
                 % (constraints.dimension, self.dataset.dimension))
+        key = constraints.ranges
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self.query_cache_hits += 1
+            return dict(cached)
         lows = constraints.lows
         highs = constraints.highs
         result = empty_result(self.dataset)
-        instances = self.dataset.instances
-        if not instances:
+        if not self.dataset.instances:
             return finalize_result(result)
-        targets = self.dataset.instance_matrix()
-        probabilities = self.dataset.probability_vector()
-        object_ids = self.dataset.object_ids()
-        instance_ids = np.asarray(
-            [instance.instance_id for instance in instances], dtype=int)
+        root_lo_terms = self._root_terms(constraints)
+        targets = self._targets
+        probabilities = self._target_probabilities
+        object_ids = self._target_objects
+        instance_ids = self._target_instance_ids
 
         # Zero-probability instances never touch the index: their rskyline
         # probability is zero regardless of the constraints.
@@ -232,7 +292,8 @@ class DualIndex:
         chunk = max(1, _CHUNK_BUDGET // entries_per_target)
         for begin in range(0, len(live), chunk):
             rows = live[begin:begin + chunk]
-            sigma = self._sigma_chunk(targets[rows], lows, highs)
+            sigma = self._sigma_chunk(targets[rows], lows, highs,
+                                      root_lo_terms)
             # The owning object's mass never counts against its own
             # instances; zeroing its column makes the factor exactly 1.
             sigma[np.arange(len(rows)), object_ids[rows]] = 0.0
@@ -243,7 +304,9 @@ class DualIndex:
             for instance_id, value in zip(instance_ids[rows].tolist(),
                                           values.tolist()):
                 result[instance_id] = value
-        return finalize_result(result)
+        final = finalize_result(result)
+        _bounded_insert(self._result_cache, key, final, _RESULT_CACHE_LIMIT)
+        return dict(final)
 
 
 def dual_arsp(dataset: UncertainDataset,

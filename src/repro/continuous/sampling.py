@@ -12,6 +12,19 @@ in the package:
   object), compute its rskyline with the certain-data operator, repeat.  It
   returns the estimate together with its standard error, so callers can pick
   the trial count for a target accuracy.
+
+The Monte Carlo path runs through the kernel layer (docs/ARCHITECTURE.md):
+all appearance flags are drawn as one ``(trials, objects)`` matrix, every
+object contributes one ``(trials, d)`` sample matrix, and whole batches of
+possible worlds are scored with a single
+:func:`repro.core.kernels.weak_dominance_tensor` evaluation per chunk
+(:func:`count_world_hits`) instead of the former per-trial, per-pair scalar
+loop.  The dominance comparisons match the scalar
+:func:`repro.core.dominance.f_dominates_scores` exactly; the property tests
+pin the batched world scoring to a scalar re-count of the same worlds.
+Note the vectorized sampler consumes the random stream in a different order
+than the former per-trial loop, so estimates for a fixed seed differ (both
+are unbiased draws from the same distributions).
 """
 
 from __future__ import annotations
@@ -23,9 +36,14 @@ import numpy as np
 
 from ..core.arsp import compute_arsp, object_rskyline_probabilities
 from ..core.dataset import UncertainDataset
-from ..core.dominance import f_dominates_scores
+from ..core.kernels import weak_dominance_tensor
+from ..core.numeric import SCORE_ATOL
 from ..core.preference import resolve_preference_region
 from .model import ContinuousUncertainObject
+
+#: Upper bound on the number of dominance-tensor entries held in memory at
+#: once; :func:`count_world_hits` chunks its trial axis accordingly.
+_CHUNK_BUDGET = 4_000_000
 
 
 def discretize(objects: Sequence[ContinuousUncertainObject],
@@ -82,6 +100,10 @@ def monte_carlo_object_arsp(objects: Sequence[ContinuousUncertainObject],
     and, if it appears, materialises as a single draw from its distribution;
     the objects whose draws are not F-dominated by another appearing object's
     draw score a hit.
+
+    All trials are drawn and scored as whole matrices: one appearance draw,
+    one sample matrix per object, one score-space mapping, and batched world
+    scoring through :func:`count_world_hits`.
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
@@ -92,31 +114,69 @@ def monte_carlo_object_arsp(objects: Sequence[ContinuousUncertainObject],
                          "objects have dimension %d"
                          % (region.dimension, objects[0].dimension))
     rng = np.random.default_rng(seed)
-    hits = {obj.object_id: 0 for obj in objects}
+    num_objects = len(objects)
+    appearance = np.asarray([obj.appearance_probability for obj in objects])
 
-    for _ in range(num_trials):
-        appearing = [obj for obj in objects
-                     if rng.random() < obj.appearance_probability]
-        if not appearing:
-            continue
-        points = np.vstack([obj.sample(rng, 1)[0] for obj in appearing])
-        scores = region.score_matrix(points)
-        for i, obj in enumerate(appearing):
-            dominated = False
-            for j in range(len(appearing)):
-                if i != j and f_dominates_scores(scores[j], scores[i]):
-                    dominated = True
-                    break
-            if not dominated:
-                hits[obj.object_id] += 1
-
+    # Draw, score and count whole trial chunks; the chunk bound covers both
+    # the (chunk, m, d') sample/score tensors and the (chunk, m, m)
+    # dominance tensor of the world scoring.
+    entries_per_trial = num_objects * num_objects * max(
+        1, region.num_vertices, objects[0].dimension)
+    chunk = max(1, _CHUNK_BUDGET // entries_per_trial)
+    hits = np.zeros(num_objects, dtype=np.int64)
+    for begin in range(0, num_trials, chunk):
+        count = min(num_trials, begin + chunk) - begin
+        appearing = rng.random((count, num_objects)) < appearance
+        # One (count, d) sample matrix per object, stacked to (count, m, d).
+        samples = np.stack([obj.sample(rng, count) for obj in objects],
+                           axis=1)
+        dimension = samples.shape[2]
+        scores = region.score_matrix(
+            samples.reshape(count * num_objects, dimension)).reshape(
+                count, num_objects, -1)
+        hits += count_world_hits(scores, appearing)
     estimates: Dict[int, Tuple[float, float]] = {}
-    for obj in objects:
-        probability = hits[obj.object_id] / num_trials
+    for position, obj in enumerate(objects):
+        probability = int(hits[position]) / num_trials
         standard_error = math.sqrt(max(probability * (1.0 - probability), 0.0)
                                    / num_trials)
         estimates[obj.object_id] = (probability, standard_error)
     return estimates
+
+
+def count_world_hits(scores: np.ndarray, appearing: np.ndarray,
+                     atol: float = SCORE_ATOL) -> np.ndarray:
+    """Per-object rskyline hit counts over a batch of possible worlds.
+
+    ``scores`` is the ``(trials, m, d')`` tensor of score vectors and
+    ``appearing`` the ``(trials, m)`` boolean appearance matrix.  An object
+    scores a hit in a trial when it appears and no *other* appearing
+    object's score vector weakly dominates its own — the same rule the
+    former per-trial loop applied with
+    :func:`repro.core.dominance.f_dominates_scores`.  Whole trial chunks
+    are resolved with one :func:`repro.core.kernels.weak_dominance_tensor`
+    call each; chunk size is bounded by the kernel's ``O(b m^2 d')``
+    memory.  Returns the ``(m,)`` integer hit counts.
+    """
+    num_trials, num_objects = appearing.shape
+    hits = np.zeros(num_objects, dtype=np.int64)
+    if num_trials == 0 or num_objects == 0:
+        return hits
+    entries_per_trial = num_objects * num_objects * max(1, scores.shape[2])
+    chunk = max(1, _CHUNK_BUDGET // entries_per_trial)
+    eye = np.eye(num_objects, dtype=bool)
+    for begin in range(0, num_trials, chunk):
+        end = min(num_trials, begin + chunk)
+        block_scores = scores[begin:end]
+        block_appearing = appearing[begin:end]
+        # dominates[t, j, i]: appearing object j weakly dominates object i
+        # in trial t (self-pairs removed).
+        dominates = weak_dominance_tensor(block_scores, atol=atol)
+        dominates &= block_appearing[:, :, None]
+        dominates &= ~eye[None, :, :]
+        dominated = dominates.any(axis=1)
+        hits += (block_appearing & ~dominated).sum(axis=0)
+    return hits
 
 
 def _validate_objects(objects: Sequence[ContinuousUncertainObject]) -> None:

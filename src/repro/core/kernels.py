@@ -9,11 +9,21 @@ scalar predicates in :mod:`repro.core.dominance` remain the readable
 reference implementations, and the property tests assert the two agree on
 random inputs.
 
+Every algorithm layer hot path runs through this module (see
+docs/ARCHITECTURE.md for the layer contract): the kd-ASP*/DUAL family since
+PR 1 and, since the vectorization sweep, LOOP (:func:`weak_dominance_matrix`
+over sorted prefixes), B&B (:func:`dominates_corner` against the pruning
+set), the eclipse algorithms (:func:`weight_ratio_margins_matrix` /
+:func:`eclipse_dominance_matrix`) and the continuous Monte Carlo sampler
+(:func:`weak_dominance_tensor` over whole possible-world batches).
+
 Design rules:
 
 * Kernels are pure functions over ``ndarray`` inputs; no algorithm state.
 * Each kernel performs exactly the comparisons of its scalar counterpart
   (same tolerance, same operand order) so results match to float precision.
+  The one documented exception is :func:`weight_ratio_margins_matrix`, whose
+  separable decomposition may differ from the scalar margin by a few ulp.
 * Box classification verdicts reuse the integer convention of
   :mod:`repro.index.kdtree` (``INSIDE = 1``, ``PARTIAL = 0``,
   ``OUTSIDE = -1``) without importing it, keeping ``core`` free of index
@@ -22,7 +32,7 @@ Design rules:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 import numpy as np
 
@@ -68,6 +78,21 @@ def dominates_corner(points: np.ndarray, corner: np.ndarray,
     """``out[k]`` iff ``points[k]`` weakly dominates the single ``corner``."""
     points = np.asarray(points, dtype=float)
     return np.all(points <= np.asarray(corner, dtype=float) + atol, axis=1)
+
+
+def weak_dominance_tensor(points: np.ndarray,
+                          atol: float = SCORE_ATOL) -> np.ndarray:
+    """Per-batch pairwise weak dominance over a ``(b, n, d)`` stack.
+
+    ``out[t, i, j]`` iff ``points[t, i]`` weakly dominates ``points[t, j]`` —
+    one :func:`weak_dominance_matrix` evaluation per batch element ``t``, in
+    a single broadcast.  Used by the continuous Monte Carlo sampler, where
+    every batch element is one sampled possible world.  Memory is
+    ``O(b * n^2 * d)``; callers chunk the batch axis.
+    """
+    points = np.asarray(points, dtype=float)
+    return np.all(points[:, :, None, :] <= points[:, None, :, :] + atol,
+                  axis=3)
 
 
 def classify_against_box(points: np.ndarray, pmin: np.ndarray,
@@ -129,6 +154,50 @@ def weight_ratio_margins_rows(targets: np.ndarray, points: np.ndarray,
                                            - points[:, d - 1])
 
 
+class MarginTerms(NamedTuple):
+    """Precomputed per-point state of :func:`weight_ratio_margins_matrix`.
+
+    The separable decomposition of the margin matrix splits into a
+    constraint-only part (``mid``, ``half``), a per-point linear score
+    (``point_linear``, shape ``(K,)``) and the raw leading coordinates
+    (``points_head``, shape ``(K, d-1)``).  All four depend only on the
+    candidate points and the constraint box, not on the targets, so callers
+    that classify the *same* point block against many target chunks — or
+    against repeated queries with the same constraints — compute them once
+    with :func:`margin_matrix_terms` and reuse them.
+    """
+
+    mid: np.ndarray
+    half: np.ndarray
+    point_linear: np.ndarray
+    points_head: np.ndarray
+
+
+def margin_matrix_terms(points: np.ndarray, lows: np.ndarray,
+                        highs: np.ndarray) -> MarginTerms:
+    """Precompute the target-independent terms of the margin matrix."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    d = points.shape[1]
+    lows = np.asarray(lows, dtype=float)
+    highs = np.asarray(highs, dtype=float)
+    mid = (lows + highs) / 2.0
+    half = (highs - lows) / 2.0
+    point_linear = points[:, : d - 1] @ mid + points[:, d - 1]
+    return MarginTerms(mid=mid, half=half, point_linear=point_linear,
+                       points_head=points[:, : d - 1])
+
+
+def weight_ratio_margins_matrix_from_terms(targets: np.ndarray,
+                                           terms: MarginTerms) -> np.ndarray:
+    """:func:`weight_ratio_margins_matrix` with precomputed point terms."""
+    targets = np.asarray(targets, dtype=float)
+    d = targets.shape[1]
+    target_linear = targets[:, : d - 1] @ terms.mid + targets[:, d - 1]
+    spread = np.abs(targets[:, None, : d - 1]
+                    - terms.points_head[None, :, :]) @ terms.half
+    return target_linear[:, None] - terms.point_linear[None, :] - spread
+
+
 def weight_ratio_margins_matrix(targets: np.ndarray, points: np.ndarray,
                                 lows: np.ndarray, highs: np.ndarray
                                 ) -> np.ndarray:
@@ -144,19 +213,34 @@ def weight_ratio_margins_matrix(targets: np.ndarray, points: np.ndarray,
     ``mid`` part is separable into per-target and per-point linear scores,
     leaving only the absolute-difference term as genuine ``(T, K, d)`` work.
     Rounding can differ from :func:`weight_ratio_margins` by a few ulp.
+    The per-point terms are target-independent; callers reusing the same
+    point block across chunks precompute them with
+    :func:`margin_matrix_terms` and call
+    :func:`weight_ratio_margins_matrix_from_terms` instead.
     """
-    targets = np.asarray(targets, dtype=float)
+    return weight_ratio_margins_matrix_from_terms(
+        targets, margin_matrix_terms(points, lows, highs))
+
+
+def eclipse_dominance_matrix(points: np.ndarray, lows: np.ndarray,
+                             highs: np.ndarray,
+                             atol: float = SCORE_ATOL) -> np.ndarray:
+    """Pairwise strict eclipse dominance over one ``(n, d)`` point block.
+
+    ``out[i, j]`` iff ``points[i]`` eclipse-dominates ``points[j]`` in the
+    strict (non-mutual) sense of :func:`repro.eclipse.naive.eclipse_dominates`:
+    ``i`` F-dominates ``j`` under the weight ratio box but ``j`` does not
+    F-dominate ``i``.  The diagonal is always ``False``.  One margin-matrix
+    evaluation replaces the ``O(n^2)`` scalar verification loop of the
+    eclipse algorithms; memory is ``O(n^2 * d)``.
+    """
     points = np.atleast_2d(np.asarray(points, dtype=float))
-    d = targets.shape[1]
-    lows = np.asarray(lows, dtype=float)
-    highs = np.asarray(highs, dtype=float)
-    mid = (lows + highs) / 2.0
-    half = (highs - lows) / 2.0
-    target_linear = targets[:, : d - 1] @ mid + targets[:, d - 1]
-    point_linear = points[:, : d - 1] @ mid + points[:, d - 1]
-    spread = np.abs(targets[:, None, : d - 1]
-                    - points[None, :, : d - 1]) @ half
-    return target_linear[:, None] - point_linear[None, :] - spread
+    margins = weight_ratio_margins_matrix(points, points, lows, highs)
+    # margins[t, k] is the margin of k dominating t, so the forward test for
+    # the (i, j) pair reads the transposed entry.
+    dominates = (margins.T >= -atol) & (margins < -atol)
+    np.fill_diagonal(dominates, False)
+    return dominates
 
 
 def classify_boxes_by_margin(hi_margins: np.ndarray, lo_margins: np.ndarray,

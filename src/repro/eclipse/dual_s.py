@@ -13,6 +13,20 @@ The half-space emptiness query uses the same monotone margin bound as the
 DUAL ARSP algorithm: the margin of Theorem 5 is monotonically decreasing in
 the coordinates of the candidate dominator, so a kd-tree node can be
 discarded as soon as the margin evaluated at its min corner is negative.
+
+The query path runs through the kernel layer (docs/ARCHITECTURE.md): all
+candidates share a single tree traversal in which every node prunes its
+still-open candidates with one :func:`repro.core.kernels.weight_ratio_margins_rows`
+evaluation of the min-corner margin, and each leaf settles its survivors
+with one batched forward/backward margin matrix instead of a per-point
+``eclipse_dominates`` loop.  A candidate found dominated drops out of every
+later node visit, preserving the early-exit behaviour of the former
+per-candidate search at node granularity.  The margin comparisons equal
+those of the scalar predicate, and self-exclusion is by index — the naive
+algorithm's ``i != j`` rule — rather than the former value-closeness test,
+which misclassified genuine dominators as ties at large coordinate
+magnitudes.  The property tests pin agreement with
+:func:`repro.eclipse.naive.naive_eclipse`.
 """
 
 from __future__ import annotations
@@ -21,10 +35,11 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..core.kernels import (weight_ratio_margins_matrix,
+                            weight_ratio_margins_rows)
 from ..core.numeric import SCORE_ATOL
 from ..core.preference import WeightRatioConstraints
-from ..index.kdtree import OUTSIDE, PARTIAL, KDTree
-from .naive import eclipse_dominates
+from ..index.kdtree import KDTree
 from .skyline import fast_skyline
 
 
@@ -42,35 +57,49 @@ def dual_s_eclipse(points: Sequence[Sequence[float]],
     if array.shape[0] == 0:
         return []
 
-    candidates = fast_skyline(array)
+    candidates = np.asarray(fast_skyline(array), dtype=int)
     candidate_points = array[candidates]
     tree = KDTree(candidate_points, leaf_size=leaf_size)
     lows = constraints.lows
     highs = constraints.highs
-    d = constraints.dimension
 
-    result: List[int] = []
-    for position, index in enumerate(candidates):
-        target = array[index]
-
-        def margin(point: np.ndarray) -> float:
-            diffs = target[:d - 1] - point[:d - 1]
-            coeffs = np.where(diffs > 0.0, lows, highs)
-            return float(np.dot(coeffs, diffs) + target[d - 1] - point[d - 1])
-
-        def classifier(lo: np.ndarray, hi: np.ndarray) -> int:
-            # The margin is monotone decreasing in the dominator's
-            # coordinates, so if even the node's min corner fails the test
-            # nothing inside the node can dominate the target.
-            if margin(lo) < -SCORE_ATOL:
-                return OUTSIDE
-            return PARTIAL
-
-        def predicate(point: np.ndarray) -> bool:
-            if np.allclose(point, target, atol=SCORE_ATOL):
-                return False
-            return eclipse_dominates(point, target, constraints)
-
-        if not tree.any_match(classifier, predicate):
-            result.append(index)
-    return sorted(result)
+    num_candidates = len(candidates)
+    dominated = np.zeros(num_candidates, dtype=bool)
+    stack = [(tree.root, np.arange(num_candidates))]
+    while stack:
+        node, open_rows = stack.pop()
+        open_rows = open_rows[~dominated[open_rows]]
+        if not len(open_rows):
+            continue
+        # The margin is monotone decreasing in the dominator's coordinates,
+        # so its maximum over the node box sits at the min corner; targets
+        # for which even that fails cannot find a dominator inside.
+        corner_margins = weight_ratio_margins_rows(
+            candidate_points[open_rows],
+            np.broadcast_to(node.lo, (len(open_rows), node.lo.shape[0])),
+            lows, highs)
+        live = open_rows[corner_margins >= -SCORE_ATOL]
+        if not len(live):
+            continue
+        if node.is_leaf:
+            member_rows = np.asarray(node.indices)
+            members = candidate_points[member_rows]
+            targets = candidate_points[live]
+            # forward[t, k]: margin of leaf member k F-dominating target t;
+            # backward[t, k]: the reverse direction.  Strict eclipse
+            # dominance requires the first and forbids the second; the
+            # target itself is excluded by row identity, and exact
+            # duplicates never pass the strict test (their backward margin
+            # is zero), matching the naive algorithm's i != j rule.
+            forward = weight_ratio_margins_matrix(targets, members, lows,
+                                                  highs)
+            backward = weight_ratio_margins_matrix(members, targets, lows,
+                                                   highs).T
+            self_pair = member_rows[None, :] == live[:, None]
+            hit = ((forward >= -SCORE_ATOL) & (backward < -SCORE_ATOL)
+                   & ~self_pair)
+            dominated[live] |= hit.any(axis=1)
+        else:
+            stack.append((node.left, live))
+            stack.append((node.right, live))
+    return sorted(int(index) for index in candidates[~dominated])

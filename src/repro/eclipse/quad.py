@@ -16,6 +16,15 @@ implementation, so this baseline reproduces its *behaviour* (DESIGN.md §5):
 
 This matches the complexity the paper attributes to QUAD and scales poorly
 with dimensionality, which is exactly the contrast Fig. 8 draws with DUAL-S.
+
+Both stages run through the kernel layer (docs/ARCHITECTURE.md) while
+keeping the QUAD access pattern: all window queries share one quadtree
+traversal whose node classification and leaf resolution are single batched
+kernel calls over the queries still alive at each node, and the quadratic
+verification is one :func:`repro.core.kernels.eclipse_dominance_matrix`
+call (with a memory-bounded chunked fallback for very large skylines) —
+still ``O(s^2)`` work, just without the per-pair Python dispatch.  The
+property tests pin agreement with :func:`repro.eclipse.naive.naive_eclipse`.
 """
 
 from __future__ import annotations
@@ -24,37 +33,52 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..core.kernels import (eclipse_dominance_matrix, margin_matrix_terms,
+                            strict_dominance_matrix,
+                            weight_ratio_margins_matrix_from_terms)
 from ..core.numeric import SCORE_ATOL
 from ..core.preference import WeightRatioConstraints
 from ..index.quadtree import QuadTree
-from .naive import eclipse_dominates
 
-
-def _has_dominator(array: np.ndarray, tree: QuadTree, index: int) -> bool:
-    """Early-exit quadtree search for a point strictly dominating ``index``."""
-    point = array[index]
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        if np.any(node.lo > point + SCORE_ATOL):
-            continue
-        if node.is_leaf:
-            for other in node.indices:
-                if other == index:
-                    continue
-                other_point = array[other]
-                if np.all(other_point <= point + SCORE_ATOL) and np.any(
-                        other_point < point - SCORE_ATOL):
-                    return True
-        else:
-            stack.extend(node.children)
-    return False
+#: Upper bound on the number of margin-matrix entries per verification
+#: chunk, matching the budget discipline of the other vectorized paths.
+_CHUNK_BUDGET = 4_000_000
 
 
 def _skyline_via_quadtree(array: np.ndarray, tree: QuadTree) -> List[int]:
-    """Skyline candidates found with window queries on the quadtree."""
-    return [index for index in range(array.shape[0])
-            if not _has_dominator(array, tree, index)]
+    """Skyline candidates found with window queries on the quadtree.
+
+    All ``n`` window queries share one traversal: every node carries the
+    set of query points whose dominance window still overlaps it, the
+    window test (``node.lo`` must not exceed the query point anywhere) is
+    one broadcast over that set, and each leaf settles its surviving
+    queries with a single :func:`repro.core.kernels.strict_dominance_matrix`
+    call.  Queries already known to be dominated drop out of every later
+    node visit, preserving the early-exit behaviour of the former per-point
+    search at node granularity.
+    """
+    n = array.shape[0]
+    dominated = np.zeros(n, dtype=bool)
+    stack = [(tree.root, np.arange(n))]
+    while stack:
+        node, queries = stack.pop()
+        queries = queries[~dominated[queries]]
+        if not len(queries):
+            continue
+        live = queries[~np.any(node.lo[None, :]
+                               > array[queries] + SCORE_ATOL, axis=1)]
+        if not len(live):
+            continue
+        if node.is_leaf:
+            if node.indices:
+                members = np.asarray(node.indices, dtype=int)
+                strict = strict_dominance_matrix(array[members], array[live])
+                strict &= members[:, None] != live[None, :]
+                dominated[live] |= strict.any(axis=0)
+        else:
+            for child in node.children:
+                stack.append((child, live))
+    return [int(index) for index in np.flatnonzero(~dominated)]
 
 
 def quad_eclipse(points: Sequence[Sequence[float]],
@@ -72,13 +96,45 @@ def quad_eclipse(points: Sequence[Sequence[float]],
         return []
     tree = QuadTree(array, leaf_size=leaf_size)
     candidates = _skyline_via_quadtree(array, tree)
-    result: List[int] = []
-    for i in candidates:
-        dominated = False
-        for j in candidates:
-            if i != j and eclipse_dominates(array[j], array[i], constraints):
-                dominated = True
-                break
-        if not dominated:
-            result.append(i)
-    return sorted(result)
+    dominated = _verify_candidates(array[np.asarray(candidates, dtype=int)],
+                                   constraints)
+    return sorted(int(candidates[i]) for i in np.flatnonzero(~dominated))
+
+
+def _verify_candidates(candidate_points: np.ndarray,
+                       constraints: WeightRatioConstraints) -> np.ndarray:
+    """The O(s^2) verification over the skyline candidates.
+
+    ``out[i]`` iff some other candidate strictly eclipse-dominates
+    candidate ``i``.  When the full pairwise matrix fits the module
+    budget — the common case — this is one
+    :func:`repro.core.kernels.eclipse_dominance_matrix` call; large
+    (e.g. anti-correlated) skylines fall back to evaluating the same
+    comparisons in target chunks, with the per-point margin terms of the
+    full candidate block computed once and shared by every chunk.
+    """
+    size = candidate_points.shape[0]
+    dominated = np.zeros(size, dtype=bool)
+    if size < 2:
+        return dominated
+    lows = constraints.lows
+    highs = constraints.highs
+    head = max(1, constraints.dimension - 1)
+    if size * size * head <= _CHUNK_BUDGET:
+        return eclipse_dominance_matrix(candidate_points, lows,
+                                        highs).any(axis=0)
+    all_terms = margin_matrix_terms(candidate_points, lows, highs)
+    chunk = max(1, _CHUNK_BUDGET // (size * head))
+    for begin in range(0, size, chunk):
+        end = min(size, begin + chunk)
+        block = candidate_points[begin:end]
+        # forward[t, k]: margin of candidate k dominating target begin + t;
+        # backward[k, t]: the reverse direction.
+        forward = weight_ratio_margins_matrix_from_terms(block, all_terms)
+        backward = weight_ratio_margins_matrix_from_terms(
+            candidate_points, margin_matrix_terms(block, lows, highs))
+        hit = (forward >= -SCORE_ATOL) & (backward.T < -SCORE_ATOL)
+        rows = np.arange(begin, end)
+        hit[rows - begin, rows] = False
+        dominated[begin:end] = hit.any(axis=1)
+    return dominated

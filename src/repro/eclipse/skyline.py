@@ -7,6 +7,13 @@ used here processes points in increasing order of their coordinate sum and
 compares each point only against the skyline found so far, which is the
 standard ``O(n s)`` method and fast in practice for the independent data of
 Figure 8.
+
+The filter runs through the kernel layer (docs/ARCHITECTURE.md): points are
+processed in sorted blocks, each block is tested against the accepted
+skyline members with one :func:`repro.core.kernels.strict_dominance_matrix`
+call, and the block's survivors are settled with an accept-and-mark pass
+over the intra-block dominance matrix.  The comparison set of every point
+is identical to the former per-point loop, so results are unchanged.
 """
 
 from __future__ import annotations
@@ -15,7 +22,10 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..core.numeric import SCORE_ATOL
+from ..core.kernels import strict_dominance_matrix
+
+#: Points per batched filter block.
+_BLOCK = 512
 
 
 def fast_skyline(points: Sequence[Sequence[float]]) -> List[int]:
@@ -27,20 +37,32 @@ def fast_skyline(points: Sequence[Sequence[float]]) -> List[int]:
     if n == 0:
         return []
     order = np.argsort(array.sum(axis=1), kind="stable")
-    skyline_indices: List[int] = []
-    skyline_points: List[np.ndarray] = []
-    for index in order:
-        candidate = array[index]
-        dominated = False
-        for point in skyline_points:
-            # A point earlier in the sum-order cannot have a larger sum, so
-            # weak dominance plus a strict improvement somewhere is Pareto
-            # dominance.
-            if np.all(point <= candidate + SCORE_ATOL) and np.any(
-                    point < candidate - SCORE_ATOL):
-                dominated = True
-                break
-        if not dominated:
-            skyline_indices.append(int(index))
-            skyline_points.append(candidate)
-    return sorted(skyline_indices)
+    sorted_points = array[order]
+
+    skyline_rows: List[int] = []
+    for begin in range(0, n, _BLOCK):
+        end = min(n, begin + _BLOCK)
+        block = sorted_points[begin:end]
+        # A point earlier in the sum-order cannot have a larger sum, so weak
+        # dominance plus a strict improvement somewhere is Pareto dominance.
+        # Members accepted before this block are settled; one kernel call
+        # rules the whole block against them.
+        if skyline_rows:
+            members = sorted_points[np.asarray(skyline_rows, dtype=int)]
+            alive = ~strict_dominance_matrix(members, block).any(axis=0)
+        else:
+            alive = np.ones(end - begin, dtype=bool)
+        # Survivors still need comparing against members accepted within the
+        # same block.  Accept-and-mark reproduces the sequential rule
+        # exactly — the earliest live point is always a member, and
+        # accepting one excludes precisely the points it dominates — with
+        # one dominance row per accepted member instead of a full
+        # intra-block matrix.
+        excluded = ~alive
+        for offset in range(end - begin):
+            if excluded[offset]:
+                continue
+            skyline_rows.append(begin + offset)
+            excluded |= strict_dominance_matrix(block[offset][None],
+                                                block)[0]
+    return sorted(int(order[row]) for row in skyline_rows)

@@ -22,6 +22,13 @@ get a matching workload: DUAL receives the equivalent weight-ratio box,
 DUAL-MS a 2-dimensional variant, and ENUM a tiny dataset whose possible
 worlds stay enumerable.  Every result is checked against KDTT+ on the same
 workload, so the file doubles as an end-to-end parity check.
+
+Beyond the registered ARSP algorithms, an ``extras`` section times the
+kernel-layer paths that live outside the registry: the eclipse query
+algorithms (QUAD and DUAL-S on a certain-point workload, parity-checked
+against the naive eclipse) and the continuous-uncertainty Monte Carlo
+sampler.  Extras run whenever no explicit ``--algorithms`` subset is
+requested, so the default bench file tracks every vectorized hot path.
 """
 
 from __future__ import annotations
@@ -36,11 +43,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..algorithms.registry import get_algorithm, list_algorithms
+from ..continuous.model import UniformBoxObject
+from ..continuous.sampling import monte_carlo_object_arsp
 from ..core.arsp import arsp_size
 from ..core.dataset import UncertainDataset
 from ..core.preference import WeightRatioConstraints
 from ..data.constraints import weak_ranking_constraints
-from ..data.synthetic import SyntheticConfig, generate_uncertain_dataset
+from ..data.synthetic import (SyntheticConfig, generate_certain_points,
+                              generate_uncertain_dataset)
+from ..eclipse import dual_s_eclipse, naive_eclipse, quad_eclipse
 from .harness import _compare
 
 #: Schema tag written into the JSON payload so future harness versions can
@@ -67,13 +78,21 @@ class BenchProfile:
     #: dataset so the harness can still time it.
     enum_objects: int = 7
     enum_instances: int = 2
+    #: Certain-point workload of the eclipse extras (Fig. 8 shape).
+    eclipse_points: int = 1024
+    eclipse_dimension: int = 3
+    #: Continuous Monte Carlo extras workload.
+    mc_objects: int = 16
+    mc_trials: int = 400
 
 
 PROFILES: Dict[str, BenchProfile] = {
     "default": BenchProfile(name="default", num_objects=192, max_instances=4,
                             dimension=4, repeats=5),
     "quick": BenchProfile(name="quick", num_objects=32, max_instances=3,
-                          dimension=3, repeats=2, enum_objects=5),
+                          dimension=3, repeats=2, enum_objects=5,
+                          eclipse_points=192, eclipse_dimension=2,
+                          mc_objects=8, mc_trials=100),
 }
 
 
@@ -121,6 +140,79 @@ _WORKLOAD_FOR_ALGORITHM = {
 
 #: Reference algorithm used for the parity check of every workload.
 _REFERENCE_ALGORITHM = "kdtt+"
+
+#: Names of the non-registry hot paths timed in the ``extras`` section.
+EXTRA_PATHS = ("eclipse-quad", "eclipse-dual-s", "continuous-mc")
+
+
+def _continuous_workload(profile: BenchProfile):
+    """Random uniform-box objects for the Monte Carlo extras entry."""
+    rng = np.random.default_rng(profile.seed)
+    dimension = profile.eclipse_dimension
+    objects = []
+    for object_id in range(profile.mc_objects):
+        lo = rng.uniform(0.0, 0.8, size=dimension)
+        hi = lo + rng.uniform(0.05, 0.2, size=dimension)
+        objects.append(UniformBoxObject(
+            object_id, lo, hi,
+            appearance_probability=float(rng.uniform(0.5, 1.0))))
+    return objects
+
+
+def _run_extras(profile: BenchProfile, rounds: int, check: bool
+                ) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+    """Time the eclipse and continuous paths; returns (entries, workloads)."""
+    d = profile.eclipse_dimension
+    points = generate_certain_points(profile.eclipse_points, d,
+                                     distribution=profile.distribution,
+                                     seed=profile.seed)
+    ratio = WeightRatioConstraints([(0.5, 2.0)] * (d - 1))
+    objects = _continuous_workload(profile)
+
+    workloads = {
+        "eclipse-ind": {"constraints": "ratio[0.5,2]^%d" % (d - 1),
+                        "num_points": profile.eclipse_points,
+                        "dimension": d},
+        "continuous-boxes": {"constraints": "ratio[0.5,2]^%d" % (d - 1),
+                             "num_objects": profile.mc_objects,
+                             "trials": profile.mc_trials,
+                             "dimension": d},
+    }
+    runners = {
+        "eclipse-quad": ("eclipse-ind",
+                         lambda: quad_eclipse(points, ratio)),
+        "eclipse-dual-s": ("eclipse-ind",
+                           lambda: dual_s_eclipse(points, ratio)),
+        "continuous-mc": ("continuous-boxes",
+                          lambda: monte_carlo_object_arsp(
+                              objects, ratio, num_trials=profile.mc_trials,
+                              seed=profile.seed)),
+    }
+    reference_eclipse = sorted(naive_eclipse(points, ratio)) if check else None
+
+    entries: Dict[str, dict] = {}
+    for name in EXTRA_PATHS:
+        workload_key, runner = runners[name]
+        runs: List[float] = []
+        result = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = runner()
+            runs.append(time.perf_counter() - start)
+        entry = {
+            "workload": workload_key,
+            "repeats": rounds,
+            "runs_s": [round(value, 6) for value in runs],
+            "median_s": round(statistics.median(runs), 6),
+            "min_s": round(min(runs), 6),
+            "result_size": len(result),
+        }
+        if check and name.startswith("eclipse"):
+            entry["parity"] = ("ok" if sorted(result) == reference_eclipse
+                               else "eclipse result differs from the naive "
+                                    "reference")
+        entries[name] = entry
+    return entries, workloads
 
 
 def run_bench(profile: str = "default",
@@ -186,6 +278,13 @@ def run_bench(profile: str = "default",
             entry["parity"] = mismatch if mismatch else "ok"
         entries[name] = entry
 
+    # The extras cover the vectorized paths outside the algorithm registry;
+    # an explicit --algorithms subset is a request to time just that subset.
+    extras: Dict[str, dict] = {}
+    extra_workloads: Dict[str, dict] = {}
+    if algorithms is None:
+        extras, extra_workloads = _run_extras(resolved, rounds, check)
+
     payload = {
         "schema": SCHEMA,
         "created_unix": int(time.time()),
@@ -193,14 +292,15 @@ def run_bench(profile: str = "default",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "reference_algorithm": _REFERENCE_ALGORITHM if check else None,
-        "workloads": {
-            key: dict(meta,
-                      num_objects=dataset.num_objects,
-                      num_instances=dataset.num_instances,
-                      dimension=dataset.dimension)
-            for key, (dataset, _, meta) in workloads.items()
-        },
+        "workloads": dict(
+            {key: dict(meta,
+                       num_objects=dataset.num_objects,
+                       num_instances=dataset.num_instances,
+                       dimension=dataset.dimension)
+             for key, (dataset, _, meta) in workloads.items()},
+            **extra_workloads),
         "algorithms": entries,
+        "extras": extras,
     }
     if output_path:
         with open(output_path, "w", encoding="utf-8") as handle:
@@ -215,7 +315,9 @@ def format_bench(payload: Dict[str, object]) -> str:
         payload["profile"],
         ", ".join(sorted({str(entry["repeats"]) + " runs"
                           for entry in payload["algorithms"].values()})))]
-    width = max(len(name) for name in payload["algorithms"])
+    extras = payload.get("extras") or {}
+    width = max(len(name) for name in
+                list(payload["algorithms"]) + list(extras))
     for name in sorted(payload["algorithms"]):
         entry = payload["algorithms"][name]
         parity = entry.get("parity")
@@ -223,4 +325,11 @@ def format_bench(payload: Dict[str, object]) -> str:
         lines.append("%-*s  %9.4f s  (min %.4f, ARSP size %d, %s)%s"
                      % (width, name, entry["median_s"], entry["min_s"],
                         entry["arsp_size"], entry["workload"], suffix))
+    for name in sorted(extras):
+        entry = extras[name]
+        parity = entry.get("parity")
+        suffix = "" if parity in (None, "ok") else "  PARITY: %s" % parity
+        lines.append("%-*s  %9.4f s  (min %.4f, size %d, %s)%s"
+                     % (width, name, entry["median_s"], entry["min_s"],
+                        entry["result_size"], entry["workload"], suffix))
     return "\n".join(lines)

@@ -293,3 +293,76 @@ class KDTree:
                 stack.append(current.left)
                 stack.append(current.right)
         return indices
+
+
+def build_forest(points: np.ndarray, object_ids: np.ndarray,
+                 num_objects: int,
+                 weights: Optional[Sequence[float]] = None,
+                 leaf_size: int = 16) -> List["KDTree"]:
+    """One bulk construction of the per-object kd-tree forest.
+
+    Builds the ``num_objects`` trees the DUAL index needs — one tree over
+    each object's instances — from the flat ``(n, d)`` instance matrix in a
+    single pass: the points are grouped by ``object_ids`` with one stable
+    sort, and the bounding box and weight aggregate of every single-leaf
+    tree (the common case, since per-object instance counts are small) come
+    from three ``ufunc.reduceat`` sweeps over the grouped arrays instead of
+    per-object Python reductions.  Only objects with more instances than
+    ``leaf_size`` fall back to the recursive :class:`KDTree` build.  The
+    resulting trees are exactly those of constructing each ``KDTree``
+    separately (leaf point order follows the grouped instance order, which
+    no aggregate query observes).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must be an (n, d) array")
+    n, dimension = points.shape
+    object_ids = np.asarray(object_ids)
+    if object_ids.shape != (n,):
+        raise ValueError("object_ids must have one entry per point")
+    weights = (np.ones(n) if weights is None
+               else np.asarray(weights, dtype=float))
+    if weights.shape != (n,):
+        raise ValueError("weights must have one entry per point")
+    leaf_size = max(1, int(leaf_size))
+
+    order = np.argsort(object_ids, kind="stable")
+    grouped_points = points[order]
+    grouped_weights = weights[order]
+    counts = np.bincount(object_ids, minlength=num_objects)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(int)
+
+    occupied = np.flatnonzero(counts)
+    box_lo = np.empty((num_objects, dimension))
+    box_hi = np.empty((num_objects, dimension))
+    weight_sums = np.zeros(num_objects)
+    if len(occupied):
+        segment_starts = starts[occupied]
+        box_lo[occupied] = np.minimum.reduceat(grouped_points,
+                                               segment_starts, axis=0)
+        box_hi[occupied] = np.maximum.reduceat(grouped_points,
+                                               segment_starts, axis=0)
+        weight_sums[occupied] = np.add.reduceat(grouped_weights,
+                                                segment_starts)
+
+    forest: List[KDTree] = []
+    for object_id in range(num_objects):
+        count = int(counts[object_id])
+        begin = int(starts[object_id])
+        segment_points = grouped_points[begin:begin + count]
+        segment_weights = grouped_weights[begin:begin + count]
+        if count > leaf_size:
+            forest.append(KDTree(segment_points, weights=segment_weights,
+                                 leaf_size=leaf_size))
+            continue
+        tree = KDTree.__new__(KDTree)
+        tree.points = segment_points
+        tree.weights = segment_weights
+        tree.data = None
+        tree.leaf_size = leaf_size
+        tree.root = (KDTreeNode(box_lo[object_id], box_hi[object_id],
+                                np.arange(count),
+                                float(weight_sums[object_id]))
+                     if count else None)
+        forest.append(tree)
+    return forest

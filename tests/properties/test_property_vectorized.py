@@ -1,0 +1,224 @@
+"""Parity properties for the kernel-layer vectorization sweep.
+
+Every path ported onto :mod:`repro.core.kernels` keeps (or is pinned
+against) its pre-port scalar behaviour: LOOP against the retained scalar
+reference, the continuous world scoring against a per-world recount with
+the scalar predicate, the new kernels against their scalar counterparts,
+and the bulk-built DUAL forest against per-object tree construction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import LinearConstraints
+from repro.algorithms.dual import DualIndex
+from repro.algorithms.loop_baseline import loop_arsp, loop_arsp_scalar
+from repro.continuous.sampling import count_world_hits
+from repro.core.dominance import f_dominates_scores
+from repro.core.kernels import (eclipse_dominance_matrix, margin_matrix_terms,
+                                weak_dominance_matrix, weak_dominance_tensor,
+                                weight_ratio_margins_matrix,
+                                weight_ratio_margins_matrix_from_terms)
+from repro.eclipse import dual_s_eclipse, naive_eclipse, quad_eclipse
+from repro.eclipse.naive import eclipse_dominates
+from repro.eclipse.skyline import fast_skyline
+from repro.index.kdtree import KDTree, build_forest
+from tests.properties.strategies import (grid_points, ratio_constraints,
+                                         uncertain_datasets)
+
+COMMON_SETTINGS = settings(max_examples=30, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+WR2 = LinearConstraints.weak_ranking(2)
+
+
+def point_blocks(dimension: int, max_points: int = 8):
+    return st.lists(grid_points(dimension), min_size=1,
+                    max_size=max_points).map(lambda rows: np.asarray(rows))
+
+
+class TestLoopParity:
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_vectorized_matches_scalar_reference(self, dataset):
+        expected = loop_arsp_scalar(dataset, WR2)
+        actual = loop_arsp(dataset, WR2)
+        assert set(actual) == set(expected)
+        for key, value in expected.items():
+            assert actual[key] == pytest.approx(value, abs=1e-12)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_chunked_sweep_matches_single_chunk(self, dataset):
+        # Force multi-chunk processing so the prefix logic is exercised even
+        # on small datasets.
+        from repro.algorithms import loop_baseline
+        original = loop_baseline._CHUNK_BUDGET
+        try:
+            loop_baseline._CHUNK_BUDGET = max(1, dataset.num_instances)
+            chunked = loop_arsp(dataset, WR2)
+        finally:
+            loop_baseline._CHUNK_BUDGET = original
+        expected = loop_arsp_scalar(dataset, WR2)
+        for key, value in expected.items():
+            assert chunked[key] == pytest.approx(value, abs=1e-12)
+
+
+class TestWorldScoringParity:
+    """The batched possible-world scoring of the continuous sampler."""
+
+    @staticmethod
+    def scalar_hits(scores, appearing):
+        trials, num_objects = appearing.shape
+        hits = np.zeros(num_objects, dtype=np.int64)
+        for world in range(trials):
+            present = np.flatnonzero(appearing[world])
+            for i in present:
+                dominated = any(
+                    f_dominates_scores(scores[world, j], scores[world, i])
+                    for j in present if j != i)
+                if not dominated:
+                    hits[i] += 1
+        return hits
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=5),
+           st.data())
+    def test_batched_hits_match_scalar_recount(self, trials, num_objects,
+                                               data):
+        scores = data.draw(arrays(
+            dtype=float, shape=(trials, num_objects, 3),
+            elements=st.integers(min_value=0, max_value=4).map(float)))
+        appearing = data.draw(arrays(dtype=bool,
+                                     shape=(trials, num_objects)))
+        expected = self.scalar_hits(scores, appearing)
+        np.testing.assert_array_equal(count_world_hits(scores, appearing),
+                                      expected)
+
+    def test_chunked_scoring_matches_unchunked(self):
+        rng = np.random.default_rng(11)
+        scores = rng.integers(0, 4, size=(64, 6, 3)).astype(float)
+        appearing = rng.random((64, 6)) < 0.7
+        from repro.continuous import sampling
+        expected = count_world_hits(scores, appearing)
+        original = sampling._CHUNK_BUDGET
+        try:
+            sampling._CHUNK_BUDGET = 1
+            chunked = count_world_hits(scores, appearing)
+        finally:
+            sampling._CHUNK_BUDGET = original
+        np.testing.assert_array_equal(chunked, expected)
+
+
+class TestKernelAdditions:
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=1, max_value=4), st.data())
+    def test_weak_dominance_tensor_matches_matrix(self, batches, data):
+        blocks = [data.draw(point_blocks(3, max_points=4)) for _ in
+                  range(batches)]
+        size = min(len(block) for block in blocks)
+        stacked = np.stack([block[:size] for block in blocks])
+        tensor = weak_dominance_tensor(stacked)
+        for index in range(batches):
+            np.testing.assert_array_equal(
+                tensor[index],
+                weak_dominance_matrix(stacked[index], stacked[index]))
+
+    @COMMON_SETTINGS
+    @given(point_blocks(3), ratio_constraints(dimension=3))
+    def test_eclipse_dominance_matrix_matches_scalar(self, points,
+                                                     constraints):
+        matrix = eclipse_dominance_matrix(points, constraints.lows,
+                                          constraints.highs)
+        for i, t in enumerate(points):
+            for j, s in enumerate(points):
+                if i == j:
+                    assert not matrix[i, j]
+                else:
+                    assert matrix[i, j] == eclipse_dominates(t, s,
+                                                             constraints)
+
+    @COMMON_SETTINGS
+    @given(point_blocks(3), point_blocks(3), ratio_constraints(dimension=3))
+    def test_margin_terms_reproduce_direct_matrix(self, targets, points,
+                                                  constraints):
+        direct = weight_ratio_margins_matrix(targets, points,
+                                             constraints.lows,
+                                             constraints.highs)
+        terms = margin_matrix_terms(points, constraints.lows,
+                                    constraints.highs)
+        np.testing.assert_array_equal(
+            weight_ratio_margins_matrix_from_terms(targets, terms), direct)
+
+
+class TestDualForestAndCaches:
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2))
+    def test_build_forest_matches_per_object_trees(self, dataset):
+        forest = build_forest(dataset.instance_matrix(),
+                              dataset.object_ids(), dataset.num_objects,
+                              weights=dataset.probability_vector())
+        assert len(forest) == dataset.num_objects
+        for obj, tree in zip(dataset.objects, forest):
+            points = np.asarray([inst.values for inst in obj], dtype=float)
+            weights = np.asarray([inst.probability for inst in obj],
+                                 dtype=float)
+            reference = KDTree(points, weights=weights)
+            assert len(tree) == len(reference)
+            if reference.root is None:
+                assert tree.root is None
+                continue
+            np.testing.assert_allclose(tree.root.lo, reference.root.lo)
+            np.testing.assert_allclose(tree.root.hi, reference.root.hi)
+            assert tree.root.weight_sum == pytest.approx(
+                reference.root.weight_sum)
+
+    @COMMON_SETTINGS
+    @given(uncertain_datasets(dimension=2), ratio_constraints(dimension=2))
+    def test_repeated_query_served_from_cache(self, dataset, constraints):
+        index = DualIndex(dataset)
+        first = index.query(constraints)
+        assert index.query_cache_hits == 0
+        second = index.query(constraints)
+        assert index.query_cache_hits == 1
+        assert first == second
+        # The cached copy must be isolated from caller mutation.
+        second[next(iter(second), 0)] = 123.0
+        assert index.query(constraints) == first
+
+
+class TestEclipseAtScale:
+    """Deterministic larger inputs exercising the blocked code paths."""
+
+    def test_fast_skyline_crosses_block_boundary(self):
+        rng = np.random.default_rng(5)
+        points = rng.integers(0, 30, size=(1300, 3)).astype(float)
+        strict = (np.all(points[:, None, :] <= points[None, :, :], axis=2)
+                  & np.any(points[:, None, :] < points[None, :, :], axis=2))
+        expected = sorted(np.flatnonzero(~strict.any(axis=0)).tolist())
+        assert fast_skyline(points) == expected
+
+    def test_eclipse_algorithms_agree_on_larger_input(self):
+        from repro import WeightRatioConstraints
+        rng = np.random.default_rng(6)
+        points = rng.random((600, 3))
+        constraints = WeightRatioConstraints([(0.4, 1.5), (0.8, 2.5)])
+        expected = sorted(naive_eclipse(points, constraints))
+        assert sorted(quad_eclipse(points, constraints)) == expected
+        assert sorted(dual_s_eclipse(points, constraints)) == expected
+
+    def test_eclipse_agreement_at_large_magnitudes(self):
+        """Self-exclusion must be by index: nearby large-coordinate points
+        are genuine dominators, not ties (regression for the former
+        value-closeness test)."""
+        from repro import WeightRatioConstraints
+        points = np.asarray([[1e6, 1e6, 1e6],
+                             [1e6 - 8.0, 1e6 + 1.0, 1e6 + 1.0]])
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+        expected = sorted(naive_eclipse(points, constraints))
+        assert sorted(dual_s_eclipse(points, constraints)) == expected
+        assert sorted(quad_eclipse(points, constraints)) == expected
