@@ -28,8 +28,10 @@ def quick_bench_payload(tmp_path_factory):
     """One ``repro bench --quick`` run shared by the harness smoke tests.
 
     Runs the seconds-scale smoke profile of the bench-regression harness
-    (see PERFORMANCE.md) and returns ``(payload, output_path)``; collected
-    by the plain tier-1 ``pytest`` run, so the harness itself cannot rot.
+    (see PERFORMANCE.md) — the quick workload matrix: IND, ANTI and the
+    IIP real-data stand-in — and returns ``(payload, output_path)``;
+    collected by the plain tier-1 ``pytest`` run, so the harness itself
+    cannot rot.
     """
     from repro.experiments.perf import run_bench
 

@@ -3,29 +3,60 @@
 Unlike the ``bench_*`` figure reproductions (which need
 ``pytest --benchmark-only`` and minutes of runtime), this file is collected
 by the plain tier-1 ``pytest`` run: it executes the ``quick`` profile of
-the harness end to end — every registered algorithm, parity checks, JSON
-output — in a couple of seconds.
+the harness end to end — every registered algorithm on the quick workload
+matrix (IND, ANTI and the IIP real-data stand-in), parity checks, JSON
+output — in a couple of seconds.  The *full* six-workload matrix rides
+behind the ``bench`` marker (``pytest -m bench``).
 """
 
 from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.algorithms.registry import list_algorithms
-from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA,
-                                    format_bench, run_bench)
+from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA, SCHEMA_V1,
+                                    format_bench, load_bench, run_bench,
+                                    upgrade_payload)
+from repro.experiments.workloads import (VARIANTS, available_workloads,
+                                         variant_for_algorithm)
 
 
-def test_quick_profile_covers_all_algorithms(quick_bench_payload):
+def test_quick_profile_covers_the_smoke_matrix(quick_bench_payload):
+    """The tier-1 smoke matrix includes a non-IND and a real-data cell."""
     payload, _ = quick_bench_payload
     assert payload["schema"] == SCHEMA
     assert payload["profile"] == "quick"
-    assert sorted(payload["algorithms"]) == list_algorithms()
-    for name, entry in payload["algorithms"].items():
-        assert entry["repeats"] == PROFILES["quick"].repeats
-        assert len(entry["runs_s"]) == entry["repeats"]
-        assert entry["min_s"] <= entry["median_s"], name
-        assert entry["workload"] in payload["workloads"], name
+    assert payload["workload_axis"] == ["ind", "anti", "iip"]
+    assert sorted(payload["matrix"]) == sorted(payload["workload_axis"])
+    kinds = {section["kind"] for section in payload["matrix"].values()}
+    assert kinds == {"synthetic", "real"}
+
+
+def test_every_section_times_every_algorithm(quick_bench_payload):
+    payload, _ = quick_bench_payload
+    for workload_name, section in payload["matrix"].items():
+        assert sorted(section["algorithms"]) == list_algorithms()
+        assert sorted(section["datasets"]) == sorted(VARIANTS)
+        for name, entry in section["algorithms"].items():
+            cell = (workload_name, name)
+            assert entry["variant"] == variant_for_algorithm(name), cell
+            assert entry["variant"] in section["datasets"], cell
+            assert entry["repeats"] == PROFILES["quick"].repeats, cell
+            assert len(entry["runs_s"]) == entry["repeats"], cell
+            assert entry["min_s"] <= entry["median_s"], cell
+            assert entry["arsp_size"] >= 0, cell
+
+
+def test_every_cell_is_parity_checked(quick_bench_payload):
+    payload, _ = quick_bench_payload
+    assert payload["reference_algorithm"] == "kdtt+"
+    mismatches = {(workload_name, name): entry.get("parity")
+                  for workload_name, section in payload["matrix"].items()
+                  for name, entry in section["algorithms"].items()
+                  if entry.get("parity") != "ok"}
+    assert not mismatches
 
 
 def test_quick_profile_covers_extra_paths(quick_bench_payload):
@@ -36,44 +67,110 @@ def test_quick_profile_covers_extra_paths(quick_bench_payload):
         assert entry["repeats"] == PROFILES["quick"].repeats
         assert len(entry["runs_s"]) == entry["repeats"]
         assert entry["min_s"] <= entry["median_s"], name
-        assert entry["workload"] in payload["workloads"], name
+        assert entry["workload"] in payload["extra_workloads"], name
         assert entry["result_size"] >= 0, name
-
-
-def test_quick_profile_eclipse_extras_match_naive(quick_bench_payload):
-    payload, _ = quick_bench_payload
     for name in ("eclipse-quad", "eclipse-dual-s"):
         assert payload["extras"][name]["parity"] == "ok", name
 
 
-def test_quick_profile_results_match_reference(quick_bench_payload):
-    payload, _ = quick_bench_payload
-    assert payload["reference_algorithm"] == "kdtt+"
-    mismatches = {name: entry["parity"]
-                  for name, entry in payload["algorithms"].items()
-                  if entry["parity"] != "ok"}
-    assert not mismatches
-
-
 def test_json_output_round_trips(quick_bench_payload):
+    """The v2 schema survives the write → load_bench → compare loop."""
     payload, output = quick_bench_payload
     on_disk = json.loads(output.read_text(encoding="utf-8"))
     assert on_disk == json.loads(json.dumps(payload))
+    assert load_bench(str(output)) == on_disk
 
 
-def test_format_bench_mentions_every_algorithm(quick_bench_payload):
+def test_v1_payloads_are_upgraded():
+    v1 = {
+        "schema": SCHEMA_V1,
+        "profile": "default",
+        "reference_algorithm": "kdtt+",
+        "workloads": {
+            "synthetic-wr": {"constraints": "WR(c=3)", "num_objects": 192,
+                             "num_instances": 500, "dimension": 4},
+            "eclipse-ind": {"num_points": 1024, "dimension": 3},
+        },
+        "algorithms": {
+            "kdtt+": {"workload": "synthetic-wr", "repeats": 5,
+                      "runs_s": [0.01], "median_s": 0.01, "min_s": 0.01,
+                      "arsp_size": 39, "parity": "ok"},
+        },
+        "extras": {
+            "eclipse-quad": {"workload": "eclipse-ind", "repeats": 5,
+                             "runs_s": [0.02], "median_s": 0.02,
+                             "min_s": 0.02, "result_size": 3,
+                             "parity": "ok"},
+        },
+    }
+    upgraded = upgrade_payload(v1)
+    assert upgraded["schema"] == SCHEMA
+    assert upgraded["workload_axis"] == ["ind"]
+    section = upgraded["matrix"]["ind"]
+    assert section["kind"] == "synthetic"
+    assert section["algorithms"]["kdtt+"]["variant"] == "wr"
+    assert "workload" not in section["algorithms"]["kdtt+"]
+    assert section["datasets"]["wr"]["num_objects"] == 192
+    assert upgraded["extras"] == v1["extras"]
+    assert upgraded["extra_workloads"] == {"eclipse-ind":
+                                           v1["workloads"]["eclipse-ind"]}
+    # Idempotent on current payloads, loud on unknown schemas.
+    assert upgrade_payload(upgraded) is upgraded
+    with pytest.raises(ValueError, match="schema"):
+        upgrade_payload({"schema": "repro-bench/99"})
+
+
+def test_format_bench_mentions_every_cell(quick_bench_payload):
     payload, _ = quick_bench_payload
     text = format_bench(payload)
-    for name in payload["algorithms"]:
+    for workload_name, section in payload["matrix"].items():
+        assert "[%s]" % workload_name in text
+        for name in section["algorithms"]:
+            assert name in text
+    for name in payload["extras"]:
         assert name in text
 
 
-def test_algorithm_subset_and_no_check():
+def test_algorithm_and_workload_subset_and_no_check():
     payload = run_bench(profile="quick", algorithms=["kdtt+", "dual"],
-                        repeats=1, check=False)
-    assert sorted(payload["algorithms"]) == ["dual", "kdtt+"]
+                        workloads=["anti"], repeats=1, check=False)
+    assert payload["workload_axis"] == ["anti"]
+    section = payload["matrix"]["anti"]
+    assert sorted(section["algorithms"]) == ["dual", "kdtt+"]
     assert payload["reference_algorithm"] is None
-    for entry in payload["algorithms"].values():
+    for entry in section["algorithms"].values():
         assert "parity" not in entry
     # An explicit subset is a request to time just that subset.
     assert payload["extras"] == {}
+
+
+def test_axes_are_canonicalized_and_validated_up_front():
+    """Aliases land on their matching variant, typos fail before timing,
+    duplicates collapse, and empty selections mean the defaults."""
+    payload = run_bench(profile="quick", algorithms=["DUALMS", "kdtt+"],
+                        workloads=["ANTI", "anti"], repeats=1)
+    assert payload["workload_axis"] == ["anti"]
+    section = payload["matrix"]["anti"]
+    assert sorted(section["algorithms"]) == ["dual-ms", "kdtt+"]
+    assert section["algorithms"]["dual-ms"]["variant"] == "ratio-2d"
+    assert section["algorithms"]["dual-ms"]["parity"] == "ok"
+    with pytest.raises(KeyError, match="unknown ARSP algorithm"):
+        run_bench(profile="quick", algorithms=["kdtt+", "kdt"], repeats=1)
+    with pytest.raises(KeyError, match="unknown workload"):
+        run_bench(profile="quick", workloads=["ind", "tpch"], repeats=1)
+    empty = run_bench(profile="quick", algorithms=["kdtt+"], workloads=[],
+                      repeats=1, check=False)
+    assert empty["workload_axis"] == list(PROFILES["quick"].workload_names)
+
+
+@pytest.mark.bench
+def test_full_matrix_parity_sweep():
+    """Opt-in (``pytest -m bench``): every algorithm on all six workloads
+    at the quick scale, every cell parity-checked against KDTT+."""
+    payload = run_bench(profile="quick", workloads=available_workloads(),
+                        repeats=1)
+    assert payload["workload_axis"] == available_workloads()
+    for workload_name, section in payload["matrix"].items():
+        assert sorted(section["algorithms"]) == list_algorithms()
+        for name, entry in section["algorithms"].items():
+            assert entry["parity"] == "ok", (workload_name, name)

@@ -48,14 +48,19 @@ _ALIASES: Dict[str, str] = {
 }
 
 
-def get_algorithm(name: str) -> Callable:
-    """Look up an algorithm by (case-insensitive) name or alias."""
+def canonical_name(name: str) -> str:
+    """Canonical registry name for ``name`` (case- and alias-tolerant)."""
     key = name.strip().lower()
     canonical = _ALIASES.get(key, key)
     if canonical not in ALGORITHMS:
         raise KeyError("unknown ARSP algorithm %r; available: %s"
                        % (name, ", ".join(sorted(ALGORITHMS))))
-    return ALGORITHMS[canonical]
+    return canonical
+
+
+def get_algorithm(name: str) -> Callable:
+    """Look up an algorithm by (case-insensitive) name or alias."""
+    return ALGORITHMS[canonical_name(name)]
 
 
 def list_algorithms() -> List[str]:

@@ -18,8 +18,10 @@ without writing code:
     List the registered ARSP algorithms.
 
 ``python -m repro bench``
-    Run the bench-regression harness over the registered algorithms and
-    write ``BENCH_arsp.json`` (see PERFORMANCE.md).
+    Run the bench-regression harness over the algorithm × workload matrix
+    (IND/ANTI/CORR synthetic distributions plus the IIP/CAR/NBA real-data
+    stand-ins, selectable via ``--workloads``) and write
+    ``BENCH_arsp.json`` (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from .experiments.effectiveness import (format_ranking_table,
 from .experiments.figures import figure5_sweep, figure6_sweep, figure8_sweep
 from .experiments.harness import sweep_to_series
 from .experiments.perf import DEFAULT_OUTPUT, PROFILES, format_bench, run_bench
+from .experiments.workloads import available_workloads
 from .experiments.reporting import format_series, format_table
 
 #: Figure identifiers accepted by ``python -m repro figure --id ...`` mapped
@@ -87,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--algorithms", default=None,
                        help="comma-separated registry names "
                             "(default: all registered algorithms)")
+    bench.add_argument("--workloads", default=None,
+                       help="comma-separated workload names out of %s "
+                            "(default: the profile's workload axis)"
+                            % ",".join(available_workloads()))
     bench.add_argument("--repeats", type=int, default=None,
                        help="override the profile's repeat count")
     bench.add_argument("--output", default=DEFAULT_OUTPUT,
@@ -198,13 +205,18 @@ def run_effectiveness() -> str:
     ])
 
 
+def _parse_names(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
 def run_bench_command(args: argparse.Namespace) -> str:
     profile = "quick" if args.quick else args.profile
-    algorithms = (None if args.algorithms is None
-                  else [name.strip() for name in args.algorithms.split(",")
-                        if name.strip()])
     output_path = None if args.output == "-" else args.output
-    payload = run_bench(profile=profile, algorithms=algorithms,
+    payload = run_bench(profile=profile,
+                        algorithms=_parse_names(args.algorithms),
+                        workloads=_parse_names(args.workloads),
                         repeats=args.repeats, output_path=output_path,
                         check=not args.no_check)
     lines = [format_bench(payload)]

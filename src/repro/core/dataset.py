@@ -286,24 +286,52 @@ class UncertainDataset:
                           else "object-%d" % obj.object_id)
         return UncertainDataset.from_certain_points(points, labels=labels)
 
+    @staticmethod
+    def _rebuild(objects: Sequence[UncertainObject],
+                 max_instances: Optional[int] = None,
+                 dimensions: Optional[Sequence[int]] = None
+                 ) -> "UncertainDataset":
+        """Re-number the given objects through ``from_instance_lists``,
+        optionally truncating every instance list and/or restricting the
+        attributes — the shared tail of all derived-dataset builders."""
+        limit = slice(max_instances)
+
+        def values(inst: Instance) -> Tuple[float, ...]:
+            if dimensions is None:
+                return inst.values
+            return tuple(inst.values[k] for k in dimensions)
+
+        instance_lists = [[values(inst) for inst in obj.instances[limit]]
+                          for obj in objects]
+        probability_lists = [[inst.probability
+                              for inst in obj.instances[limit]]
+                             for obj in objects]
+        labels = [obj.label if obj.label is not None
+                  else "object-%d" % obj.object_id for obj in objects]
+        return UncertainDataset.from_instance_lists(
+            instance_lists, probability_lists, labels=labels)
+
     def project(self, dimensions: Sequence[int]) -> "UncertainDataset":
         """Return a new dataset restricted to a subset of the attributes.
 
         Used by the experiments that vary the dimensionality of the real
-        datasets (Fig. 6(d)).
+        datasets (Fig. 6(d)) and by the workload matrix's 2-d DUAL-MS
+        variants.
         """
-        dims = list(dimensions)
-        instance_lists: List[List[Tuple[float, ...]]] = []
-        probability_lists: List[List[float]] = []
-        labels: List[str] = []
-        for obj in self._objects:
-            instance_lists.append(
-                [tuple(inst.values[k] for k in dims) for inst in obj])
-            probability_lists.append([inst.probability for inst in obj])
-            labels.append(obj.label if obj.label is not None
-                          else "object-%d" % obj.object_id)
-        return UncertainDataset.from_instance_lists(
-            instance_lists, probability_lists, labels=labels)
+        return self._rebuild(self._objects, dimensions=list(dimensions))
+
+    def truncate_instances(self, max_instances: int) -> "UncertainDataset":
+        """Return a dataset where every object keeps at most ``max_instances``
+        of its instances (in storage order).
+
+        The surviving instances keep their original existence probabilities,
+        so truncated objects simply become incomplete (total probability
+        below one) — still a valid dataset.  The bench harness uses this to
+        derive an enumerable ENUM variant from any workload.
+        """
+        if max_instances < 1:
+            raise ValueError("max_instances must be positive")
+        return self._rebuild(self._objects, max_instances=max_instances)
 
     def subset(self, object_ids: Iterable[int]) -> "UncertainDataset":
         """Return a dataset containing only the selected objects.
@@ -312,14 +340,7 @@ class UncertainDataset:
         what the per-figure experiments that sample ``m%`` of a real dataset
         expect.
         """
-        selected = [self._objects[i] for i in object_ids]
-        instance_lists = [[inst.values for inst in obj] for obj in selected]
-        probability_lists = [[inst.probability for inst in obj]
-                             for obj in selected]
-        labels = [obj.label if obj.label is not None
-                  else "object-%d" % obj.object_id for obj in selected]
-        return UncertainDataset.from_instance_lists(
-            instance_lists, probability_lists, labels=labels)
+        return self._rebuild([self._objects[i] for i in object_ids])
 
     # ------------------------------------------------------------------
     # Validation and summaries

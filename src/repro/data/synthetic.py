@@ -11,8 +11,11 @@ probabilistic skylines:
 3. draw the number of instances of the object uniformly from ``[1, cnt]``
    and place the instances uniformly inside the rectangle, each with
    existence probability ``1/n_i``;
-4. finally remove one instance from the first ``φ·m`` objects so that those
-   objects have total probability below one.
+4. finally remove exactly one instance from each of the first ``⌈φ·m⌉``
+   objects so that those objects have total probability below one.  (So the
+   removal is always possible, those objects draw their instance count from
+   ``[2, cnt]``; when ``cnt = 1`` no removal can happen and the dataset
+   stays complete.)
 
 Default parameter values mirror the paper: ``m = 16K``, ``cnt = 400``,
 ``d = 4``, ``l = 0.2`` and ``φ = 0`` (the benchmarks scale ``m`` and ``cnt``
@@ -21,6 +24,7 @@ down so the pure-Python algorithms finish in reasonable time).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -92,8 +96,15 @@ def generate_centers(num_objects: int, dimension: int, distribution: str,
     return centers
 
 
-def generate_uncertain_dataset(config: SyntheticConfig) -> UncertainDataset:
-    """Generate an uncertain dataset following the paper's procedure."""
+def generate_uncertain_dataset(config: SyntheticConfig,
+                               return_regions: bool = False):
+    """Generate an uncertain dataset following the paper's procedure.
+
+    With ``return_regions=True`` the per-object instance rectangles are
+    returned alongside the dataset as an ``(m, 2, d)`` array of ``[lo, hi]``
+    corners, so callers (and the property tests) can verify that every
+    instance lies inside the hyper-rectangle it was drawn from.
+    """
     config.validate()
     rng = np.random.default_rng(config.seed)
     centers = generate_centers(config.num_objects, config.dimension,
@@ -101,8 +112,9 @@ def generate_uncertain_dataset(config: SyntheticConfig) -> UncertainDataset:
 
     instance_lists = []
     probability_lists = []
-    num_incomplete = int(round(config.incomplete_fraction
-                               * config.num_objects))
+    regions = np.empty((config.num_objects, 2, config.dimension))
+    num_incomplete = int(math.ceil(config.incomplete_fraction
+                                   * config.num_objects))
 
     for object_index in range(config.num_objects):
         # Edge length ~ Normal(l/2, l/8) clipped into [0, l].
@@ -111,20 +123,30 @@ def generate_uncertain_dataset(config: SyntheticConfig) -> UncertainDataset:
                              0.0, config.region_length))
         lo = np.clip(centers[object_index] - edge / 2.0, 0.0, 1.0)
         hi = np.clip(centers[object_index] + edge / 2.0, 0.0, 1.0)
+        regions[object_index, 0] = lo
+        regions[object_index, 1] = hi
 
-        count = int(rng.integers(1, config.max_instances + 1))
+        incomplete = (object_index < num_incomplete
+                      and config.max_instances >= 2)
+        # Objects that must lose an instance draw their count from [2, cnt]
+        # so exactly one removal is always possible.
+        count = int(rng.integers(2 if incomplete else 1,
+                                 config.max_instances + 1))
         probability = 1.0 / count
         points = rng.uniform(lo, hi, size=(count, config.dimension))
 
-        if object_index < num_incomplete and count > 1:
+        if incomplete:
             # Remove one instance but keep the original probabilities, so the
             # object's total probability drops below one (φ in the paper).
             points = points[:-1]
         instance_lists.append([tuple(point) for point in points])
         probability_lists.append([probability] * len(points))
 
-    return UncertainDataset.from_instance_lists(instance_lists,
-                                                probability_lists)
+    dataset = UncertainDataset.from_instance_lists(instance_lists,
+                                                   probability_lists)
+    if return_regions:
+        return dataset, regions
+    return dataset
 
 
 def generate_certain_points(num_points: int, dimension: int,

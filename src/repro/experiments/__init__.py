@@ -2,23 +2,31 @@
 
 * :mod:`repro.experiments.harness` — timing utilities and the runner that
   executes a set of ARSP algorithms on one workload.
+* :mod:`repro.experiments.workloads` — the workload-matrix registry naming
+  every paper workload (IND/ANTI/CORR, IIP/CAR/NBA) with their
+  constraint-matched variants.
 * :mod:`repro.experiments.perf` — the ``repro bench`` regression harness
-  that writes ``BENCH_arsp.json`` (see PERFORMANCE.md).
+  that times the algorithm × workload matrix and writes
+  ``BENCH_arsp.json`` (see PERFORMANCE.md).
 * :mod:`repro.experiments.effectiveness` — Table I, Table II and Fig. 4.
 * :mod:`repro.experiments.figures` — the parameter sweeps of Figs. 5-8.
 * :mod:`repro.experiments.reporting` — plain-text table/series formatting.
 """
 
 from .harness import AlgorithmRun, SweepPoint, run_algorithms, time_call
-from .perf import format_bench, run_bench
+from .perf import format_bench, load_bench, run_bench
 from .reporting import format_series, format_table
+from .workloads import available_workloads, build_workload
 
 __all__ = [
     "AlgorithmRun",
     "SweepPoint",
+    "available_workloads",
+    "build_workload",
     "format_bench",
     "format_series",
     "format_table",
+    "load_bench",
     "run_algorithms",
     "run_bench",
     "time_call",

@@ -1,34 +1,43 @@
 """Bench-regression harness for the ARSP hot paths.
 
-``repro bench`` times every registered algorithm on the paper's default
-synthetic workload (scaled down exactly like ``benchmarks/workloads.py``)
-and writes the per-algorithm medians to ``BENCH_arsp.json``.  The file is
-the performance trajectory of the repository: every perf-affecting PR reruns
-the harness and records before/after medians in PERFORMANCE.md, so
-regressions show up as a diff instead of an anecdote.
+``repro bench`` times every registered algorithm on the full **workload
+matrix** of the paper's evaluation — the IND/ANTI/CORR synthetic
+distributions plus the IIP/CAR/NBA real-data stand-ins, each at the
+profile's scaled default size (see :mod:`repro.experiments.workloads`) —
+and writes the per-workload medians to ``BENCH_arsp.json``.  The file is
+the performance trajectory of the repository: every perf-affecting PR
+reruns the harness and records before/after medians in PERFORMANCE.md, so
+regressions show up as a diff instead of an anecdote, on every
+distribution rather than only the independent one.
 
 Profiles
 --------
 ``default``
     The scaled-down counterpart of the paper's default setting
-    (m = 192 objects, cnt = 4, d = 4, WR constraints with c = d - 1);
-    minutes of seed-era runtime, seconds after the kernel layer.
+    (m = 192 objects, cnt = 4, d = 4, WR constraints with c = d - 1) on
+    all six workloads.
 ``quick``
     A seconds-scale smoke profile used by the benchmark suite's tier-1
-    test so the harness itself cannot rot.
+    test; it covers IND, ANTI and the IIP real-data stand-in so the smoke
+    run already exercises a non-IND and a real-data cell.
 
 Algorithms whose constraint class differs from the generic linear WR set
-get a matching workload: DUAL receives the equivalent weight-ratio box,
-DUAL-MS a 2-dimensional variant, and ENUM a tiny dataset whose possible
-worlds stay enumerable.  Every result is checked against KDTT+ on the same
-workload, so the file doubles as an end-to-end parity check.
+get a matching variant of the *same* workload: DUAL receives the
+equivalent weight-ratio box, DUAL-MS the 2-d projection, and ENUM a
+shrunk prefix whose possible worlds stay enumerable.  Every cell is
+checked against KDTT+ on the same (dataset, constraints) pair, so the
+file doubles as an end-to-end parity sweep across the whole matrix.
 
 Beyond the registered ARSP algorithms, an ``extras`` section times the
 kernel-layer paths that live outside the registry: the eclipse query
 algorithms (QUAD and DUAL-S on a certain-point workload, parity-checked
 against the naive eclipse) and the continuous-uncertainty Monte Carlo
 sampler.  Extras run whenever no explicit ``--algorithms`` subset is
-requested, so the default bench file tracks every vectorized hot path.
+requested.
+
+The JSON schema is ``repro-bench/2`` (per-workload ``matrix`` sections);
+:func:`upgrade_payload` / :func:`load_bench` still read the flat
+``repro-bench/1`` files written before the matrix existed.
 """
 
 from __future__ import annotations
@@ -42,21 +51,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..algorithms.registry import get_algorithm, list_algorithms
+from ..algorithms.registry import (canonical_name, get_algorithm,
+                                   list_algorithms)
 from ..continuous.model import UniformBoxObject
 from ..continuous.sampling import monte_carlo_object_arsp
 from ..core.arsp import arsp_size
-from ..core.dataset import UncertainDataset
 from ..core.preference import WeightRatioConstraints
-from ..data.constraints import weak_ranking_constraints
-from ..data.synthetic import (SyntheticConfig, generate_certain_points,
-                              generate_uncertain_dataset)
+from ..data.synthetic import generate_certain_points
 from ..eclipse import dual_s_eclipse, naive_eclipse, quad_eclipse
 from .harness import _compare
+from .workloads import (WORKLOAD_AXIS, Workload, WorkloadScale,
+                        build_workload, get_workload_spec,
+                        variant_for_algorithm)
 
 #: Schema tag written into the JSON payload so future harness versions can
 #: evolve the format without ambiguity.
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
+
+#: The flat single-workload schema written before the workload matrix.
+SCHEMA_V1 = "repro-bench/1"
 
 #: Default output file, written at the repository root by ``repro bench``.
 DEFAULT_OUTPUT = "BENCH_arsp.json"
@@ -64,20 +77,13 @@ DEFAULT_OUTPUT = "BENCH_arsp.json"
 
 @dataclass(frozen=True)
 class BenchProfile:
-    """One named workload scale for the harness."""
+    """One named scale of the harness: workload sizes plus repeat count."""
 
     name: str
-    num_objects: int
-    max_instances: int
-    dimension: int
-    region_length: float = 0.2
-    distribution: str = "IND"
-    seed: int = 2024
+    scale: WorkloadScale
     repeats: int = 5
-    #: ENUM is exponential in the number of objects; it gets its own tiny
-    #: dataset so the harness can still time it.
-    enum_objects: int = 7
-    enum_instances: int = 2
+    #: Workloads timed when ``--workloads`` is not given.
+    workload_names: Tuple[str, ...] = WORKLOAD_AXIS
     #: Certain-point workload of the eclipse extras (Fig. 8 shape).
     eclipse_points: int = 1024
     eclipse_dimension: int = 3
@@ -87,67 +93,85 @@ class BenchProfile:
 
 
 PROFILES: Dict[str, BenchProfile] = {
-    "default": BenchProfile(name="default", num_objects=192, max_instances=4,
-                            dimension=4, repeats=5),
-    "quick": BenchProfile(name="quick", num_objects=32, max_instances=3,
-                          dimension=3, repeats=2, enum_objects=5,
-                          eclipse_points=192, eclipse_dimension=2,
-                          mc_objects=8, mc_trials=100),
+    "default": BenchProfile(
+        name="default",
+        scale=WorkloadScale(num_objects=192, max_instances=4, dimension=4),
+        repeats=5),
+    "quick": BenchProfile(
+        name="quick",
+        scale=WorkloadScale(num_objects=32, max_instances=3, dimension=3,
+                            enum_objects=5, iip_records=48, car_models=16,
+                            car_instances=4, nba_players=12, nba_games=5),
+        repeats=2,
+        workload_names=("ind", "anti", "iip"),
+        eclipse_points=192, eclipse_dimension=2,
+        mc_objects=8, mc_trials=100),
 }
 
-
-def _make_dataset(profile: BenchProfile, num_objects: int, max_instances: int,
-                  dimension: int) -> UncertainDataset:
-    config = SyntheticConfig(num_objects=num_objects,
-                             max_instances=max_instances,
-                             dimension=dimension,
-                             region_length=profile.region_length,
-                             distribution=profile.distribution,
-                             seed=profile.seed)
-    return generate_uncertain_dataset(config)
-
-
-def _build_workloads(profile: BenchProfile) -> Dict[str, Tuple[
-        UncertainDataset, object, Dict[str, object]]]:
-    """The named (dataset, constraints, description) workloads of a profile."""
-    d = profile.dimension
-    base = _make_dataset(profile, profile.num_objects, profile.max_instances,
-                         d)
-    ratio = WeightRatioConstraints([(0.5, 2.0)] * (d - 1))
-    flat = _make_dataset(profile, profile.num_objects, profile.max_instances,
-                         2)
-    tiny = _make_dataset(profile, profile.enum_objects,
-                         profile.enum_instances, d)
-    workloads = {
-        "synthetic-wr": (base, weak_ranking_constraints(d),
-                         {"constraints": "WR(c=%d)" % (d - 1)}),
-        "synthetic-ratio": (base, ratio,
-                            {"constraints": "ratio[0.5,2]^%d" % (d - 1)}),
-        "synthetic-ratio-2d": (flat, WeightRatioConstraints([(0.5, 2.0)]),
-                               {"constraints": "ratio[0.5,2]"}),
-        "synthetic-tiny-wr": (tiny, weak_ranking_constraints(d),
-                              {"constraints": "WR(c=%d)" % (d - 1)}),
-    }
-    return workloads
-
-
-#: Which named workload each registered algorithm runs on.
-_WORKLOAD_FOR_ALGORITHM = {
-    "enum": "synthetic-tiny-wr",
-    "dual": "synthetic-ratio",
-    "dual-ms": "synthetic-ratio-2d",
-}
-
-#: Reference algorithm used for the parity check of every workload.
+#: Reference algorithm used for the parity check of every matrix cell.
 _REFERENCE_ALGORITHM = "kdtt+"
 
 #: Names of the non-registry hot paths timed in the ``extras`` section.
 EXTRA_PATHS = ("eclipse-quad", "eclipse-dual-s", "continuous-mc")
 
 
+def _time_runs(runner, rounds: int) -> Tuple[object, List[float]]:
+    """Run ``runner`` ``rounds`` times; return (last result, timings)."""
+    runs: List[float] = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = runner()
+        runs.append(time.perf_counter() - start)
+    return result, runs
+
+
+def _timing_fields(runs: Sequence[float]) -> Dict[str, object]:
+    return {
+        "repeats": len(runs),
+        "runs_s": [round(value, 6) for value in runs],
+        "median_s": round(statistics.median(runs), 6),
+        "min_s": round(min(runs), 6),
+    }
+
+
+def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
+                  check: bool) -> Dict[str, object]:
+    """Time the named algorithms on one workload; one matrix section."""
+    references: Dict[str, Dict[int, float]] = {}
+    entries: Dict[str, dict] = {}
+    for name in names:
+        variant_key = variant_for_algorithm(name)
+        variant = workload.variants[variant_key]
+        implementation = get_algorithm(name)
+        result, runs = _time_runs(
+            lambda: implementation(variant.dataset, variant.constraints),
+            rounds)
+        entry = dict({"variant": variant_key}, **_timing_fields(runs))
+        entry["arsp_size"] = arsp_size(result)
+        if check:
+            if variant_key not in references:
+                if name == _REFERENCE_ALGORITHM:
+                    references[variant_key] = result
+                else:
+                    reference = get_algorithm(_REFERENCE_ALGORITHM)
+                    references[variant_key] = reference(variant.dataset,
+                                                        variant.constraints)
+            mismatch = _compare(references[variant_key], result)
+            entry["parity"] = mismatch if mismatch else "ok"
+        entries[name] = entry
+    return {
+        "kind": workload.kind,
+        "description": workload.description,
+        "datasets": {key: variant.describe()
+                     for key, variant in workload.variants.items()},
+        "algorithms": entries,
+    }
+
+
 def _continuous_workload(profile: BenchProfile):
     """Random uniform-box objects for the Monte Carlo extras entry."""
-    rng = np.random.default_rng(profile.seed)
+    rng = np.random.default_rng(profile.scale.seed)
     dimension = profile.eclipse_dimension
     objects = []
     for object_id in range(profile.mc_objects):
@@ -164,8 +188,8 @@ def _run_extras(profile: BenchProfile, rounds: int, check: bool
     """Time the eclipse and continuous paths; returns (entries, workloads)."""
     d = profile.eclipse_dimension
     points = generate_certain_points(profile.eclipse_points, d,
-                                     distribution=profile.distribution,
-                                     seed=profile.seed)
+                                     distribution="IND",
+                                     seed=profile.scale.seed)
     ratio = WeightRatioConstraints([(0.5, 2.0)] * (d - 1))
     objects = _continuous_workload(profile)
 
@@ -186,27 +210,16 @@ def _run_extras(profile: BenchProfile, rounds: int, check: bool
         "continuous-mc": ("continuous-boxes",
                           lambda: monte_carlo_object_arsp(
                               objects, ratio, num_trials=profile.mc_trials,
-                              seed=profile.seed)),
+                              seed=profile.scale.seed)),
     }
     reference_eclipse = sorted(naive_eclipse(points, ratio)) if check else None
 
     entries: Dict[str, dict] = {}
     for name in EXTRA_PATHS:
         workload_key, runner = runners[name]
-        runs: List[float] = []
-        result = None
-        for _ in range(rounds):
-            start = time.perf_counter()
-            result = runner()
-            runs.append(time.perf_counter() - start)
-        entry = {
-            "workload": workload_key,
-            "repeats": rounds,
-            "runs_s": [round(value, 6) for value in runs],
-            "median_s": round(statistics.median(runs), 6),
-            "min_s": round(min(runs), 6),
-            "result_size": len(result),
-        }
+        result, runs = _time_runs(runner, rounds)
+        entry = dict({"workload": workload_key}, **_timing_fields(runs))
+        entry["result_size"] = len(result)
         if check and name.startswith("eclipse"):
             entry["parity"] = ("ok" if sorted(result) == reference_eclipse
                                else "eclipse result differs from the naive "
@@ -217,11 +230,12 @@ def _run_extras(profile: BenchProfile, rounds: int, check: bool
 
 def run_bench(profile: str = "default",
               algorithms: Optional[Sequence[str]] = None,
+              workloads: Optional[Sequence[str]] = None,
               repeats: Optional[int] = None,
               output_path: Optional[str] = None,
               check: bool = True) -> Dict[str, object]:
-    """Time the registered algorithms and return (and optionally write)
-    the ``BENCH_arsp.json`` payload.
+    """Time the algorithm × workload matrix and return (and optionally
+    write) the ``BENCH_arsp.json`` payload.
 
     Parameters
     ----------
@@ -229,13 +243,17 @@ def run_bench(profile: str = "default",
         Name of a :data:`PROFILES` entry (``default`` or ``quick``).
     algorithms:
         Registry names to time; all registered algorithms by default.
+    workloads:
+        Workload names (see
+        :func:`repro.experiments.workloads.available_workloads`); the
+        profile's default axis when omitted.
     repeats:
         Override the profile's repeat count (the median is reported).
     output_path:
         When given, the payload is written there as JSON.
     check:
-        Compare every result against the reference algorithm on the same
-        workload and record the outcome in the payload.
+        Compare every cell against the reference algorithm on the same
+        (dataset, constraints) pair and record the outcome in the payload.
     """
     if profile not in PROFILES:
         raise KeyError("unknown bench profile %r; available: %s"
@@ -244,45 +262,32 @@ def run_bench(profile: str = "default",
     rounds = repeats if repeats is not None else resolved.repeats
     if rounds < 1:
         raise ValueError("repeats must be at least 1")
-    names = list(algorithms) if algorithms else list_algorithms()
+    # Resolve both axes (canonicalizing aliases and case, validating names,
+    # dropping duplicates) before any timing work starts, so a typo in the
+    # last name cannot discard minutes of already-measured cells — and so
+    # an alias like ``dualms`` lands on its matching workload variant.
+    # Empty selections fall back to the defaults, like omitted ones.
+    names: List[str] = []
+    for name in (algorithms if algorithms else list_algorithms()):
+        canonical = canonical_name(name)
+        if canonical not in names:
+            names.append(canonical)
+    selection: List[str] = []
+    for name in (workloads if workloads else resolved.workload_names):
+        canonical = get_workload_spec(name).name
+        if canonical not in selection:
+            selection.append(canonical)
 
-    workloads = _build_workloads(resolved)
-    references: Dict[str, Dict[int, float]] = {}
-    entries: Dict[str, dict] = {}
-    for name in names:
-        workload_key = _WORKLOAD_FOR_ALGORITHM.get(name, "synthetic-wr")
-        dataset, constraints, _ = workloads[workload_key]
-        implementation = get_algorithm(name)
-        runs: List[float] = []
-        result: Dict[int, float] = {}
-        for _ in range(rounds):
-            start = time.perf_counter()
-            result = implementation(dataset, constraints)
-            runs.append(time.perf_counter() - start)
-        entry = {
-            "workload": workload_key,
-            "repeats": rounds,
-            "runs_s": [round(value, 6) for value in runs],
-            "median_s": round(statistics.median(runs), 6),
-            "min_s": round(min(runs), 6),
-            "arsp_size": arsp_size(result),
-        }
-        if check:
-            if workload_key not in references:
-                if name == _REFERENCE_ALGORITHM:
-                    references[workload_key] = result
-                else:
-                    reference = get_algorithm(_REFERENCE_ALGORITHM)
-                    references[workload_key] = reference(dataset, constraints)
-            mismatch = _compare(references[workload_key], result)
-            entry["parity"] = mismatch if mismatch else "ok"
-        entries[name] = entry
+    matrix: Dict[str, dict] = {}
+    for workload_name in selection:
+        workload = build_workload(workload_name, resolved.scale)
+        matrix[workload.name] = _run_workload(workload, names, rounds, check)
 
     # The extras cover the vectorized paths outside the algorithm registry;
     # an explicit --algorithms subset is a request to time just that subset.
     extras: Dict[str, dict] = {}
     extra_workloads: Dict[str, dict] = {}
-    if algorithms is None:
+    if not algorithms:
         extras, extra_workloads = _run_extras(resolved, rounds, check)
 
     payload = {
@@ -292,15 +297,10 @@ def run_bench(profile: str = "default",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "reference_algorithm": _REFERENCE_ALGORITHM if check else None,
-        "workloads": dict(
-            {key: dict(meta,
-                       num_objects=dataset.num_objects,
-                       num_instances=dataset.num_instances,
-                       dimension=dataset.dimension)
-             for key, (dataset, _, meta) in workloads.items()},
-            **extra_workloads),
-        "algorithms": entries,
+        "workload_axis": [name for name in matrix],
+        "matrix": matrix,
         "extras": extras,
+        "extra_workloads": extra_workloads,
     }
     if output_path:
         with open(output_path, "w", encoding="utf-8") as handle:
@@ -309,27 +309,116 @@ def run_bench(profile: str = "default",
     return payload
 
 
+# ----------------------------------------------------------------------
+# Reading payloads (current and historical schemas)
+# ----------------------------------------------------------------------
+
+#: v1 workload keys -> v2 variant keys.
+_V1_VARIANTS = {
+    "synthetic-wr": "wr",
+    "synthetic-ratio": "ratio",
+    "synthetic-ratio-2d": "ratio-2d",
+    "synthetic-tiny-wr": "tiny-wr",
+}
+
+#: v1 keys of the extras workload descriptors (everything else under the
+#: v1 ``workloads`` mapping belongs to the registered algorithms).
+_V1_EXTRA_WORKLOADS = ("eclipse-ind", "continuous-boxes")
+
+
+def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Return a ``repro-bench/2`` view of any known payload version.
+
+    ``repro-bench/1`` files carried a single flat ``algorithms`` section
+    measured on the default IND workload; they come back as a matrix with
+    one ``ind`` section so downstream consumers only ever see the v2
+    shape.  Current payloads are returned unchanged.
+    """
+    schema = payload.get("schema")
+    if schema == SCHEMA:
+        return payload
+    if schema != SCHEMA_V1:
+        raise ValueError("unknown bench payload schema %r" % (schema,))
+
+    v1_workloads = dict(payload.get("workloads", {}))
+    extra_workloads = {key: v1_workloads.pop(key)
+                       for key in _V1_EXTRA_WORKLOADS
+                       if key in v1_workloads}
+    datasets = {}
+    for key, meta in v1_workloads.items():
+        meta = dict(meta)
+        variant = _V1_VARIANTS.get(key, key)
+        datasets[variant] = meta
+    entries = {}
+    for name, entry in dict(payload.get("algorithms", {})).items():
+        entry = dict(entry)
+        workload_key = entry.pop("workload", "synthetic-wr")
+        entry["variant"] = _V1_VARIANTS.get(workload_key, workload_key)
+        entries[name] = entry
+
+    upgraded = {key: value for key, value in payload.items()
+                if key not in ("schema", "workloads", "algorithms",
+                               "extras")}
+    upgraded.update({
+        "schema": SCHEMA,
+        "workload_axis": ["ind"],
+        "matrix": {"ind": {
+            "kind": "synthetic",
+            "description": "synthetic, independent centres "
+                           "(upgraded from %s)" % SCHEMA_V1,
+            "datasets": datasets,
+            "algorithms": entries,
+        }},
+        "extras": payload.get("extras", {}),
+        "extra_workloads": extra_workloads,
+    })
+    return upgraded
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Read a ``BENCH_arsp.json`` file of any known schema version."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return upgrade_payload(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+
+def _format_entry(width: int, name: str, entry: Dict[str, object],
+                  size_key: str, workload_key: str) -> str:
+    parity = entry.get("parity")
+    suffix = "" if parity in (None, "ok") else "  PARITY: %s" % parity
+    return ("  %-*s  %9.4f s  (min %.4f, size %d, %s)%s"
+            % (width, name, entry["median_s"], entry["min_s"],
+               entry[size_key], entry[workload_key], suffix))
+
+
 def format_bench(payload: Dict[str, object]) -> str:
     """Human-readable summary of a :func:`run_bench` payload."""
-    lines = ["bench profile %r (median of %s)" % (
-        payload["profile"],
-        ", ".join(sorted({str(entry["repeats"]) + " runs"
-                          for entry in payload["algorithms"].values()})))]
+    payload = upgrade_payload(payload)
+    matrix = payload["matrix"]
     extras = payload.get("extras") or {}
-    width = max(len(name) for name in
-                list(payload["algorithms"]) + list(extras))
-    for name in sorted(payload["algorithms"]):
-        entry = payload["algorithms"][name]
-        parity = entry.get("parity")
-        suffix = "" if parity in (None, "ok") else "  PARITY: %s" % parity
-        lines.append("%-*s  %9.4f s  (min %.4f, ARSP size %d, %s)%s"
-                     % (width, name, entry["median_s"], entry["min_s"],
-                        entry["arsp_size"], entry["workload"], suffix))
-    for name in sorted(extras):
-        entry = extras[name]
-        parity = entry.get("parity")
-        suffix = "" if parity in (None, "ok") else "  PARITY: %s" % parity
-        lines.append("%-*s  %9.4f s  (min %.4f, size %d, %s)%s"
-                     % (width, name, entry["median_s"], entry["min_s"],
-                        entry["result_size"], entry["workload"], suffix))
+    names = [name for section in matrix.values()
+             for name in section["algorithms"]] + list(extras)
+    width = max(len(name) for name in names) if names else 1
+    repeats = sorted({str(entry["repeats"]) + " runs"
+                      for section in matrix.values()
+                      for entry in section["algorithms"].values()}
+                     | {str(entry["repeats"]) + " runs"
+                        for entry in extras.values()})
+    lines = ["bench profile %r (median of %s)"
+             % (payload["profile"], ", ".join(repeats))]
+    for workload_name in payload["workload_axis"]:
+        section = matrix[workload_name]
+        lines.append("[%s] %s" % (workload_name, section["description"]))
+        for name in sorted(section["algorithms"]):
+            lines.append(_format_entry(width, name,
+                                       section["algorithms"][name],
+                                       "arsp_size", "variant"))
+    if extras:
+        lines.append("[extras]")
+        for name in sorted(extras):
+            lines.append(_format_entry(width, name, extras[name],
+                                       "result_size", "workload"))
     return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""The workload-matrix registry (the paper's Section V evaluation matrix).
+
+The paper evaluates every algorithm across a *matrix* of workloads: the
+three synthetic centre distributions (IND, ANTI, CORR) and the three real
+datasets (IIP, CAR, NBA — simulated stand-ins here, see
+:mod:`repro.data.real`).  This module names each of those workloads once so
+the bench harness (:mod:`repro.experiments.perf`), the tests and future
+sweeps all agree on what "the ANTI workload" means.
+
+Because the registered algorithms do not all accept the same constraint
+class, a built :class:`Workload` carries several constraint-matched
+*variants* of the same underlying data:
+
+``wr``
+    The workload dataset with weak-ranking linear constraints
+    (``c = d - 1``) — the generic cell run by LOOP, the tree traversals
+    and B&B.
+``ratio``
+    The same dataset with the equivalent weight-ratio box
+    ``[0.5, 2]^(d-1)`` required by DUAL.
+``ratio-2d``
+    The projection of the dataset onto its first two attributes with a
+    one-range ratio box, for the 2-d specialised DUAL-MS.  Projecting (as
+    the paper's Fig. 6(d) does for the real data) keeps the distribution's
+    character: an ANTI projection stays anti-correlated, a CORR projection
+    correlated.
+``tiny-wr``
+    A shrunk prefix of the dataset (few objects, at most two instances
+    each) whose possible worlds stay enumerable, for ENUM.
+
+ANTI is the distribution where pruning-based algorithms behave worst (the
+skyline grows), so a bench matrix without it can silently hide regressions;
+see PERFORMANCE.md for the measured distribution-sensitivity table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..core.dataset import UncertainDataset
+from ..core.preference import WeightRatioConstraints
+from ..data.constraints import weak_ranking_constraints
+from ..data.real import car_dataset, iip_dataset, nba_dataset
+from ..data.synthetic import SyntheticConfig, generate_uncertain_dataset
+
+#: Variant keys of a built workload (see module docstring).
+VARIANT_WR = "wr"
+VARIANT_RATIO = "ratio"
+VARIANT_RATIO_2D = "ratio-2d"
+VARIANT_TINY = "tiny-wr"
+VARIANTS = (VARIANT_WR, VARIANT_RATIO, VARIANT_RATIO_2D, VARIANT_TINY)
+
+#: Which variant each registered algorithm consumes; algorithms not listed
+#: run the generic ``wr`` cell.
+VARIANT_FOR_ALGORITHM: Dict[str, str] = {
+    "enum": VARIANT_TINY,
+    "dual": VARIANT_RATIO,
+    "dual-ms": VARIANT_RATIO_2D,
+}
+
+
+def variant_for_algorithm(algorithm: str) -> str:
+    """The variant key the given registered algorithm runs on."""
+    return VARIANT_FOR_ALGORITHM.get(algorithm, VARIANT_WR)
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Scaled sizes shared by every workload of one bench profile.
+
+    The synthetic fields mirror the paper's notation (``m``, ``cnt``,
+    ``d``, ``l``); the real-data fields pick the stand-in sizes.  ENUM's
+    shrunk variant is bounded by ``enum_objects`` × ``enum_instances``.
+    """
+
+    num_objects: int = 192
+    max_instances: int = 4
+    dimension: int = 4
+    region_length: float = 0.2
+    seed: int = 2024
+    enum_objects: int = 7
+    enum_instances: int = 2
+    iip_records: int = 384
+    car_models: int = 96
+    car_instances: int = 6
+    nba_players: int = 48
+    nba_games: int = 8
+
+
+@dataclass(frozen=True)
+class WorkloadVariant:
+    """One (dataset, constraints) cell of a built workload."""
+
+    dataset: UncertainDataset
+    constraints: object
+    constraints_label: str
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready size/constraint descriptor of the variant."""
+        return {
+            "num_objects": self.dataset.num_objects,
+            "num_instances": self.dataset.num_instances,
+            "dimension": self.dataset.dimension,
+            "constraints": self.constraints_label,
+        }
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload with all constraint-matched variants built."""
+
+    name: str
+    kind: str
+    description: str
+    variants: Dict[str, WorkloadVariant]
+
+    def variant(self, algorithm: str) -> WorkloadVariant:
+        """The variant the given registered algorithm runs on."""
+        return self.variants[variant_for_algorithm(algorithm)]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry: how to build a workload's base dataset at a scale."""
+
+    name: str
+    kind: str  # "synthetic" or "real"
+    description: str
+    builder: Callable[[WorkloadScale], UncertainDataset]
+
+
+def _ratio_box(dimension: int) -> WeightRatioConstraints:
+    return WeightRatioConstraints([(0.5, 2.0)] * (dimension - 1))
+
+
+def _build_variants(dataset: UncertainDataset,
+                    scale: WorkloadScale) -> Dict[str, WorkloadVariant]:
+    dimension = dataset.dimension
+    flat = dataset if dimension == 2 else dataset.project(range(2))
+    tiny = (dataset.subset(range(min(scale.enum_objects,
+                                     dataset.num_objects)))
+            .truncate_instances(scale.enum_instances))
+    return {
+        VARIANT_WR: WorkloadVariant(
+            dataset, weak_ranking_constraints(dimension),
+            "WR(c=%d)" % (dimension - 1)),
+        VARIANT_RATIO: WorkloadVariant(
+            dataset, _ratio_box(dimension),
+            "ratio[0.5,2]^%d" % (dimension - 1)),
+        VARIANT_RATIO_2D: WorkloadVariant(
+            flat, _ratio_box(2), "ratio[0.5,2]"),
+        VARIANT_TINY: WorkloadVariant(
+            tiny, weak_ranking_constraints(dimension),
+            "WR(c=%d)" % (dimension - 1)),
+    }
+
+
+def _synthetic_builder(distribution: str
+                       ) -> Callable[[WorkloadScale], UncertainDataset]:
+    def build(scale: WorkloadScale) -> UncertainDataset:
+        config = SyntheticConfig(num_objects=scale.num_objects,
+                                 max_instances=scale.max_instances,
+                                 dimension=scale.dimension,
+                                 region_length=scale.region_length,
+                                 distribution=distribution,
+                                 seed=scale.seed)
+        return generate_uncertain_dataset(config)
+    return build
+
+
+def _iip_builder(scale: WorkloadScale) -> UncertainDataset:
+    return iip_dataset(num_records=scale.iip_records, seed=scale.seed)
+
+
+def _car_builder(scale: WorkloadScale) -> UncertainDataset:
+    return car_dataset(num_models=scale.car_models,
+                       max_cars_per_model=scale.car_instances,
+                       seed=scale.seed)
+
+
+def _nba_builder(scale: WorkloadScale) -> UncertainDataset:
+    return nba_dataset(num_players=scale.nba_players,
+                       max_games=scale.nba_games, seed=scale.seed)
+
+
+#: Every named workload of the paper's evaluation matrix.
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "ind": WorkloadSpec(
+        "ind", "synthetic", "synthetic, independent centres",
+        _synthetic_builder("IND")),
+    "anti": WorkloadSpec(
+        "anti", "synthetic", "synthetic, anti-correlated centres",
+        _synthetic_builder("ANTI")),
+    "corr": WorkloadSpec(
+        "corr", "synthetic", "synthetic, correlated centres",
+        _synthetic_builder("CORR")),
+    "iip": WorkloadSpec(
+        "iip", "real", "IIP iceberg-sighting stand-in (2-d, phi=1)",
+        _iip_builder),
+    "car": WorkloadSpec(
+        "car", "real", "CAR rental stand-in (4-d, instances per model)",
+        _car_builder),
+    "nba": WorkloadSpec(
+        "nba", "real", "NBA game-log stand-in (8-d, instances per player)",
+        _nba_builder),
+}
+
+#: The full workload axis in canonical order (synthetic first, then real).
+WORKLOAD_AXIS: Tuple[str, ...] = ("ind", "anti", "corr", "iip", "car", "nba")
+
+
+def available_workloads() -> List[str]:
+    """Canonical names of every registered workload, in axis order."""
+    return list(WORKLOAD_AXIS)
+
+
+def get_workload_spec(name: str) -> WorkloadSpec:
+    """Look up a workload spec by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in WORKLOADS:
+        raise KeyError("unknown workload %r; available: %s"
+                       % (name, ", ".join(available_workloads())))
+    return WORKLOADS[key]
+
+
+def build_workload(name: str, scale: WorkloadScale) -> Workload:
+    """Build a named workload (all variants) at the given scale."""
+    spec = get_workload_spec(name)
+    dataset = spec.builder(scale)
+    return Workload(name=spec.name, kind=spec.kind,
+                    description=spec.description,
+                    variants=_build_variants(dataset, scale))

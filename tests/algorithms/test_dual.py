@@ -42,6 +42,31 @@ class TestDualIndex:
         with pytest.raises(ValueError, match="dimension"):
             index.query(WeightRatioConstraints([(0.5, 2.0)]))
 
+    def test_per_constraint_cache_regression(self):
+        """Pin the PR 2 result cache: repeating a constraint set must be a
+        cache hit (the counter advances) and must return exactly the same
+        result, for every constraint box in a sweep, also after other
+        constraint boxes were interleaved."""
+        dataset = make_random_dataset(seed=58, num_objects=20,
+                                      max_instances=4, dimension=3,
+                                      incomplete_fraction=0.25)
+        index = DualIndex(dataset)
+        sweep = [WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)]),
+                 WeightRatioConstraints([(0.25, 4.0), (0.5, 2.0)]),
+                 WeightRatioConstraints([(0.9, 1.1), (0.9, 1.1)])]
+        first_pass = [index.query(constraints) for constraints in sweep]
+        assert index.query_cache_hits == 0
+        for expected_hits, (constraints, first) in enumerate(
+                zip(sweep, first_pass), start=1):
+            repeat = index.query(constraints)
+            assert index.query_cache_hits == expected_hits
+            assert repeat == first  # bitwise identical, not merely close
+        # The cached copies are isolated: mutating a returned dict must not
+        # poison later hits.
+        poisoned = index.query(sweep[0])
+        poisoned[next(iter(poisoned))] = -1.0
+        assert index.query(sweep[0]) == first_pass[0]
+
 
 class TestDualArsp:
     def test_matches_ground_truth(self):

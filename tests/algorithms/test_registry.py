@@ -4,6 +4,7 @@ import pytest
 
 from repro.algorithms import ALGORITHMS, get_algorithm, list_algorithms
 from repro.algorithms.branch_and_bound import branch_and_bound_arsp
+from repro.algorithms.registry import canonical_name
 
 
 class TestRegistry:
@@ -27,6 +28,13 @@ class TestRegistry:
 
     def test_lookup_is_case_insensitive(self):
         assert get_algorithm("LOOP") is ALGORITHMS["loop"]
+
+    def test_canonical_name(self):
+        assert canonical_name("B&B") == "bnb"
+        assert canonical_name("dualms") == "dual-ms"
+        assert canonical_name(" KDTT+ ") == "kdtt+"
+        with pytest.raises(KeyError, match="unknown ARSP algorithm"):
+            canonical_name("kdt")
 
     def test_unknown_name_raises_with_suggestions(self):
         with pytest.raises(KeyError, match="available"):

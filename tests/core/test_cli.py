@@ -1,5 +1,7 @@
 """Tests for the command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import (FIGURE_IDS, build_parser, main, run_arsp,
@@ -89,6 +91,23 @@ class TestCommands:
         assert args.profile == "default"
         assert not args.quick
         assert args.output == "BENCH_arsp.json"
+        assert args.workloads is None
+
+    def test_bench_workload_axis_selection(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_arsp.json"
+        code = main(["bench", "--quick", "--workloads", "anti, corr",
+                     "--algorithms", "kdtt+,loop", "--repeats", "1",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[anti]" in out and "[corr]" in out and "[ind]" not in out
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["workload_axis"] == ["anti", "corr"]
+
+    def test_bench_unknown_workload_fails(self, capsys, tmp_path):
+        with pytest.raises(KeyError, match="unknown workload"):
+            main(["bench", "--quick", "--workloads", "tpch",
+                  "--repeats", "1", "--output", "-"])
 
     def test_bench_stdout_only(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -1,0 +1,88 @@
+"""Seed-plumbing audit: identical seeds must give identical datasets.
+
+Every generator in :mod:`repro.data` takes an explicit ``seed`` and builds
+its own ``np.random.default_rng`` — none may depend on the global NumPy
+random state or on process-level state (hash randomisation, dict order).
+The cross-process test is the strong form: it fingerprints every generator
+in a *fresh interpreter* and compares against the fingerprint computed in
+this process, which would catch both global-RNG leaks and any accidental
+use of unordered containers in the generation path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.real import car_dataset, iip_dataset, nba_dataset
+from repro.data.synthetic import SyntheticConfig, generate_uncertain_dataset
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _fingerprint(dataset) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(dataset.instance_matrix()).tobytes())
+    digest.update(np.ascontiguousarray(dataset.probability_vector()).tobytes())
+    digest.update(np.ascontiguousarray(dataset.object_ids()).tobytes())
+    return digest.hexdigest()
+
+
+def _generate_all() -> dict:
+    datasets = {
+        "iip": iip_dataset(num_records=120, seed=99),
+        "car": car_dataset(num_models=40, max_cars_per_model=5, seed=99),
+        "nba": nba_dataset(num_players=20, max_games=8, seed=99),
+    }
+    for distribution in ("IND", "ANTI", "CORR"):
+        config = SyntheticConfig(num_objects=40, max_instances=4, dimension=3,
+                                 incomplete_fraction=0.3,
+                                 distribution=distribution, seed=99)
+        datasets["synthetic-" + distribution.lower()] = \
+            generate_uncertain_dataset(config)
+    return {name: _fingerprint(dataset)
+            for name, dataset in datasets.items()}
+
+
+# The child process re-imports this module and prints the fingerprints.
+_CHILD_SCRIPT = """\
+import json
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+from tests.data.test_determinism import _generate_all
+print(json.dumps(_generate_all()))
+"""
+
+
+def test_generators_deterministic_across_processes():
+    root = str(Path(__file__).resolve().parents[2])
+    script = _CHILD_SCRIPT.format(src=_SRC, root=root)
+    output = subprocess.run([sys.executable, "-c", script],
+                            capture_output=True, text=True, check=True,
+                            timeout=120)
+    child = json.loads(output.stdout)
+    assert child == _generate_all()
+
+
+def test_generators_deterministic_within_process():
+    assert _generate_all() == _generate_all()
+
+
+def test_generators_do_not_touch_global_numpy_state():
+    """Generation must neither read nor advance ``np.random``'s global RNG."""
+    np.random.seed(1234)
+    before = np.random.get_state()[1].copy()
+    _generate_all()
+    after = np.random.get_state()[1].copy()
+    np.testing.assert_array_equal(before, after)
+    # And the datasets themselves must not depend on the global seed.
+    np.random.seed(1234)
+    first = _generate_all()
+    np.random.seed(5678)
+    assert _generate_all() == first

@@ -31,6 +31,11 @@ class TestIIP:
         b = iip_dataset(num_records=50, seed=4)
         np.testing.assert_allclose(a.instance_matrix(), b.instance_matrix())
 
+    def test_all_confidence_levels_occur(self):
+        dataset = iip_dataset(num_records=500, seed=13)
+        seen = {round(obj.instances[0].probability, 6) for obj in dataset}
+        assert seen == {round(p, 6) for p in IIP_CONFIDENCE_PROBABILITIES}
+
 
 class TestCAR:
     def test_structure(self):
@@ -51,6 +56,22 @@ class TestCAR:
     def test_labels(self):
         dataset = car_dataset(num_models=5, seed=7)
         assert dataset.objects[0].label == "model-000"
+
+    def test_instances_grouped_per_model(self):
+        """Cars of one model share a base price: the within-model price
+        spread is bounded by the generator's ±40% noise, while prices across
+        models span more than a decade."""
+        dataset = car_dataset(num_models=60, max_cars_per_model=8, seed=14)
+        prices = dataset.instance_matrix()[:, 0]
+        assert prices.max() / prices.min() > 3.0
+        for obj in dataset:
+            model_prices = np.asarray([inst.values[0] for inst in obj])
+            assert model_prices.max() / model_prices.min() <= 1.4 / 0.6 + 1e-9
+
+    def test_reproducible(self):
+        a = car_dataset(num_models=20, seed=15)
+        b = car_dataset(num_models=20, seed=15)
+        np.testing.assert_allclose(a.instance_matrix(), b.instance_matrix())
 
 
 class TestNBA:
@@ -90,3 +111,26 @@ class TestNBA:
     def test_values_non_negative(self):
         dataset = nba_dataset(num_players=10, seed=12)
         assert np.all(dataset.instance_matrix() >= 0.0)
+
+    def test_exposes_all_eight_metrics(self):
+        assert len(NBA_METRICS) == 8
+        dataset = nba_dataset(num_players=10, seed=13)
+        assert dataset.dimension == len(NBA_METRICS)
+
+    def test_lower_is_better_orientation(self):
+        """All metrics share one latent skill, so after the lower-is-better
+        transformation the stored positive metrics correlate positively with
+        each other — and negatively with turnovers, the one metric whose raw
+        value is already lower-is-better and is stored untransformed."""
+        dataset = nba_dataset(num_players=80, max_games=30, seed=14)
+        means = np.asarray([obj.mean_vector() for obj in dataset])
+        points = NBA_METRICS.index("points")
+        rebounds = NBA_METRICS.index("rebounds")
+        turnovers = NBA_METRICS.index("turnovers")
+        assert np.corrcoef(means[:, points], means[:, rebounds])[0, 1] > 0.5
+        assert np.corrcoef(means[:, points], means[:, turnovers])[0, 1] < 0.0
+
+    def test_reproducible(self):
+        a = nba_dataset(num_players=15, seed=16)
+        b = nba_dataset(num_players=15, seed=16)
+        np.testing.assert_allclose(a.instance_matrix(), b.instance_matrix())

@@ -82,11 +82,46 @@ class TestDatasetGeneration:
         config = SyntheticConfig(num_objects=100, max_instances=6,
                                  incomplete_fraction=0.4, seed=7)
         dataset = generate_uncertain_dataset(config)
+        incomplete = [obj.total_probability < 1.0 - PROB_ATOL
+                      for obj in dataset]
+        # Exactly the first ceil(0.4 * 100) objects lost one instance.
+        assert incomplete == [True] * 40 + [False] * 60
+
+    def test_incomplete_fraction_rounds_up(self):
+        config = SyntheticConfig(num_objects=10, max_instances=4,
+                                 incomplete_fraction=0.25, seed=7)
+        dataset = generate_uncertain_dataset(config)
         incomplete = sum(1 for obj in dataset
                          if obj.total_probability < 1.0 - PROB_ATOL)
-        # Objects that drew a single instance cannot lose one, so the count
-        # is at most 40 but should be well above zero.
-        assert 0 < incomplete <= 40
+        assert incomplete == 3  # ceil(0.25 * 10)
+
+    def test_incomplete_objects_lose_exactly_one_instance(self):
+        config = SyntheticConfig(num_objects=30, max_instances=5,
+                                 incomplete_fraction=1.0, seed=7)
+        dataset = generate_uncertain_dataset(config)
+        for obj in dataset:
+            drawn = int(round(1.0 / obj.instances[0].probability))
+            assert len(obj) == drawn - 1
+            assert obj.total_probability == pytest.approx(1.0 - 1.0 / drawn)
+
+    def test_single_instance_cap_cannot_lose_instances(self):
+        config = SyntheticConfig(num_objects=10, max_instances=1,
+                                 incomplete_fraction=1.0, seed=7)
+        dataset = generate_uncertain_dataset(config)
+        assert all(len(obj) == 1 for obj in dataset)
+        assert all(obj.total_probability == pytest.approx(1.0)
+                   for obj in dataset)
+
+    def test_return_regions_hook(self):
+        config = SyntheticConfig(num_objects=25, max_instances=4, dimension=3,
+                                 region_length=0.3, seed=13)
+        dataset, regions = generate_uncertain_dataset(config,
+                                                      return_regions=True)
+        assert regions.shape == (25, 2, 3)
+        for obj, (lo, hi) in zip(dataset, regions):
+            points = np.asarray([inst.values for inst in obj])
+            assert np.all(points >= lo) and np.all(points <= hi)
+            assert np.all(hi - lo <= 0.3 + 1e-12)
 
     def test_phi_zero_gives_complete_objects(self):
         config = SyntheticConfig(num_objects=50, max_instances=4,

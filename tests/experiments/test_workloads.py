@@ -1,0 +1,122 @@
+"""Tests for the workload-matrix registry (repro.experiments.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preference import (LinearConstraints, WeightRatioConstraints)
+from repro.experiments.workloads import (VARIANT_FOR_ALGORITHM, VARIANT_RATIO,
+                                         VARIANT_RATIO_2D, VARIANT_TINY,
+                                         VARIANT_WR, VARIANTS, WorkloadScale,
+                                         available_workloads, build_workload,
+                                         get_workload_spec,
+                                         variant_for_algorithm)
+
+#: A seconds-scale build for the unit tests.
+SCALE = WorkloadScale(num_objects=24, max_instances=3, dimension=3,
+                      enum_objects=4, enum_instances=2, iip_records=30,
+                      car_models=10, car_instances=3, nba_players=8,
+                      nba_games=5, seed=7)
+
+#: (name, expected kind, expected full dimension) for every workload.
+EXPECTED = [
+    ("ind", "synthetic", 3),
+    ("anti", "synthetic", 3),
+    ("corr", "synthetic", 3),
+    ("iip", "real", 2),
+    ("car", "real", 4),
+    ("nba", "real", 8),
+]
+
+
+class TestRegistry:
+    def test_axis_names_all_paper_workloads(self):
+        assert available_workloads() == ["ind", "anti", "corr",
+                                         "iip", "car", "nba"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_workload_spec("ANTI").name == "anti"
+        assert get_workload_spec("  Nba ").name == "nba"
+
+    def test_unknown_workload_lists_available(self):
+        with pytest.raises(KeyError, match="ind, anti, corr, iip, car, nba"):
+            get_workload_spec("tpch")
+
+    def test_variant_for_algorithm(self):
+        assert variant_for_algorithm("enum") == VARIANT_TINY
+        assert variant_for_algorithm("dual") == VARIANT_RATIO
+        assert variant_for_algorithm("dual-ms") == VARIANT_RATIO_2D
+        for generic in ("loop", "kdtt", "kdtt+", "qdtt+", "bnb"):
+            assert variant_for_algorithm(generic) == VARIANT_WR
+        assert set(VARIANT_FOR_ALGORITHM.values()) <= set(VARIANTS)
+
+
+class TestBuiltWorkloads:
+    @pytest.mark.parametrize("name,kind,dimension", EXPECTED)
+    def test_variants_are_constraint_matched(self, name, kind, dimension):
+        workload = build_workload(name, SCALE)
+        assert workload.kind == kind
+        assert sorted(workload.variants) == sorted(VARIANTS)
+
+        full = workload.variants[VARIANT_WR]
+        full.dataset.validate()
+        assert full.dataset.dimension == dimension
+        assert isinstance(full.constraints, LinearConstraints)
+        assert full.constraints.num_constraints == dimension - 1
+
+        ratio = workload.variants[VARIANT_RATIO]
+        assert ratio.dataset is full.dataset
+        assert isinstance(ratio.constraints, WeightRatioConstraints)
+        assert ratio.constraints.dimension == dimension
+
+        flat = workload.variants[VARIANT_RATIO_2D]
+        flat.dataset.validate()
+        assert flat.dataset.dimension == 2
+        assert flat.constraints.dimension == 2
+        if dimension == 2:
+            assert flat.dataset is full.dataset
+        else:
+            # The projection keeps the first two attributes of the same data.
+            np.testing.assert_allclose(
+                flat.dataset.instance_matrix(),
+                full.dataset.instance_matrix()[:, :2])
+
+        tiny = workload.variants[VARIANT_TINY]
+        tiny.dataset.validate()
+        assert tiny.dataset.num_objects <= SCALE.enum_objects
+        assert all(len(obj) <= SCALE.enum_instances for obj in tiny.dataset)
+        assert tiny.dataset.dimension == dimension
+
+    @pytest.mark.parametrize("name", [row[0] for row in EXPECTED])
+    def test_build_is_deterministic(self, name):
+        first = build_workload(name, SCALE)
+        second = build_workload(name, SCALE)
+        np.testing.assert_array_equal(
+            first.variants[VARIANT_WR].dataset.instance_matrix(),
+            second.variants[VARIANT_WR].dataset.instance_matrix())
+
+    def test_variant_describe(self):
+        workload = build_workload("ind", SCALE)
+        meta = workload.variants[VARIANT_WR].describe()
+        assert meta["num_objects"] == 24
+        assert meta["dimension"] == 3
+        assert meta["constraints"] == "WR(c=2)"
+        assert meta["num_instances"] == \
+            workload.variants[VARIANT_WR].dataset.num_instances
+
+    def test_variant_accessor_follows_algorithm_mapping(self):
+        workload = build_workload("corr", SCALE)
+        assert workload.variant("enum") is workload.variants[VARIANT_TINY]
+        assert workload.variant("loop") is workload.variants[VARIANT_WR]
+
+    def test_distribution_character_survives_the_matrix(self):
+        """The ANTI/CORR cells must actually be anti-/correlated — also in
+        the 2-d projection DUAL-MS runs on."""
+        big = WorkloadScale(num_objects=400, max_instances=2, dimension=3,
+                            seed=11)
+        for name, bound in (("anti", -0.05), ("corr", 0.5)):
+            workload = build_workload(name, big)
+            for key in (VARIANT_WR, VARIANT_RATIO_2D):
+                points = workload.variants[key].dataset.instance_matrix()
+                correlation = np.corrcoef(points[:, 0], points[:, 1])[0, 1]
+                assert (correlation < bound if name == "anti"
+                        else correlation > bound), (name, key)

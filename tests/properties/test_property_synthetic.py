@@ -1,0 +1,125 @@
+"""Property tests for the synthetic workload generators.
+
+The workload matrix (repro.experiments.workloads) leans on the generator
+honouring the distribution semantics the paper's figures depend on: ANTI
+centres must actually be anti-correlated, CORR centres correlated,
+instances must stay inside the hyper-rectangle they were drawn from, and
+the φ (incomplete fraction) machinery must remove exactly one instance
+from exactly the first ⌈φ·m⌉ objects.  Random seeds and shapes are driven
+by hypothesis; the statistical assertions use enough samples that the sign
+of an empirical correlation is stable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.numeric import PROB_ATOL
+from repro.data.synthetic import (SyntheticConfig, generate_centers,
+                                  generate_uncertain_dataset)
+
+COMMON_SETTINGS = settings(max_examples=20, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+#: Enough centres that the empirical pairwise correlation sign is stable.
+_SIGN_SAMPLES = 512
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+dimensions = st.integers(min_value=2, max_value=4)
+
+
+def _mean_pairwise_correlation(centers: np.ndarray) -> float:
+    matrix = np.corrcoef(centers, rowvar=False)
+    off_diagonal = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    return float(off_diagonal.mean())
+
+
+class TestDistributionSigns:
+    @COMMON_SETTINGS
+    @given(seed=seeds, dimension=dimensions)
+    def test_anti_centers_negatively_correlated(self, seed, dimension):
+        rng = np.random.default_rng(seed)
+        centers = generate_centers(_SIGN_SAMPLES, dimension, "ANTI", rng)
+        assert _mean_pairwise_correlation(centers) < 0.0
+
+    @COMMON_SETTINGS
+    @given(seed=seeds, dimension=dimensions)
+    def test_corr_centers_positively_correlated(self, seed, dimension):
+        rng = np.random.default_rng(seed)
+        centers = generate_centers(_SIGN_SAMPLES, dimension, "CORR", rng)
+        assert _mean_pairwise_correlation(centers) > 0.0
+
+    @COMMON_SETTINGS
+    @given(seed=seeds, dimension=dimensions,
+           distribution=st.sampled_from(["IND", "ANTI", "CORR"]))
+    def test_centers_stay_in_unit_cube(self, seed, dimension, distribution):
+        rng = np.random.default_rng(seed)
+        centers = generate_centers(200, dimension, distribution, rng)
+        assert centers.shape == (200, dimension)
+        assert np.all(centers >= 0.0) and np.all(centers <= 1.0)
+
+
+configs = st.builds(
+    SyntheticConfig,
+    num_objects=st.integers(min_value=1, max_value=60),
+    max_instances=st.integers(min_value=1, max_value=6),
+    dimension=dimensions,
+    region_length=st.sampled_from([0.0, 0.1, 0.2, 0.5]),
+    incomplete_fraction=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+    distribution=st.sampled_from(["IND", "ANTI", "CORR"]),
+    seed=seeds,
+)
+
+
+class TestGeneratedDatasets:
+    @COMMON_SETTINGS
+    @given(config=configs)
+    def test_instances_inside_their_region(self, config):
+        dataset, regions = generate_uncertain_dataset(config,
+                                                      return_regions=True)
+        assert regions.shape == (config.num_objects, 2, config.dimension)
+        for obj, (lo, hi) in zip(dataset, regions):
+            points = np.asarray([inst.values for inst in obj])
+            assert np.all(points >= lo - 1e-12)
+            assert np.all(points <= hi + 1e-12)
+            assert np.all(hi - lo <= config.region_length + 1e-12)
+
+    @COMMON_SETTINGS
+    @given(config=configs)
+    def test_object_probabilities_sum_to_at_most_one(self, config):
+        dataset = generate_uncertain_dataset(config)
+        dataset.validate()
+        for obj in dataset:
+            assert obj.total_probability <= 1.0 + PROB_ATOL
+
+    @COMMON_SETTINGS
+    @given(config=configs)
+    def test_incomplete_prefix_loses_exactly_one_instance(self, config):
+        dataset = generate_uncertain_dataset(config)
+        num_incomplete = math.ceil(config.incomplete_fraction
+                                   * config.num_objects)
+        for index, obj in enumerate(dataset):
+            probability = obj.instances[0].probability
+            drawn = int(round(1.0 / probability))
+            if index < num_incomplete and config.max_instances >= 2:
+                # Exactly one of the drawn instances was removed.
+                assert len(obj) == drawn - 1
+                assert obj.total_probability < 1.0 - PROB_ATOL
+            else:
+                assert len(obj) == drawn
+                assert obj.total_probability == pytest.approx(1.0)
+
+    @COMMON_SETTINGS
+    @given(config=configs)
+    def test_same_seed_same_dataset(self, config):
+        first = generate_uncertain_dataset(config)
+        second = generate_uncertain_dataset(config)
+        np.testing.assert_array_equal(first.instance_matrix(),
+                                      second.instance_matrix())
+        np.testing.assert_array_equal(first.probability_vector(),
+                                      second.probability_vector())
