@@ -17,7 +17,8 @@ import pytest
 
 from repro.algorithms.registry import list_algorithms
 from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA, SCHEMA_V1,
-                                    format_bench, load_bench, run_bench,
+                                    SCHEMA_V2, compare_payloads, format_bench,
+                                    format_compare, load_bench, run_bench,
                                     upgrade_payload)
 from repro.experiments.workloads import (VARIANTS, available_workloads,
                                          variant_for_algorithm)
@@ -47,6 +48,20 @@ def test_every_section_times_every_algorithm(quick_bench_payload):
             assert len(entry["runs_s"]) == entry["repeats"], cell
             assert entry["min_s"] <= entry["median_s"], cell
             assert entry["arsp_size"] >= 0, cell
+            assert isinstance(entry["phases_s"], dict), cell
+
+
+def test_phase_split_is_recorded_for_the_annotated_algorithms(
+        quick_bench_payload):
+    """B&B and DUAL report their index/query split in every cell."""
+    payload, _ = quick_bench_payload
+    for workload_name, section in payload["matrix"].items():
+        for name in ("bnb", "dual"):
+            phases = section["algorithms"][name]["phases_s"]
+            cell = (workload_name, name)
+            assert set(phases) == {"index", "query"}, cell
+            total = section["algorithms"][name]["median_s"]
+            assert phases["index"] + phases["query"] <= total * 1.5, cell
 
 
 def test_every_cell_is_parity_checked(quick_bench_payload):
@@ -114,10 +129,86 @@ def test_v1_payloads_are_upgraded():
     assert upgraded["extras"] == v1["extras"]
     assert upgraded["extra_workloads"] == {"eclipse-ind":
                                            v1["workloads"]["eclipse-ind"]}
+    # The v1 path rides the v2 upgrade too: phase fields appear empty.
+    assert section["algorithms"]["kdtt+"]["phases_s"] == {}
     # Idempotent on current payloads, loud on unknown schemas.
     assert upgrade_payload(upgraded) is upgraded
     with pytest.raises(ValueError, match="schema"):
         upgrade_payload({"schema": "repro-bench/99"})
+
+
+def test_v2_payloads_gain_empty_phase_fields():
+    v2 = {
+        "schema": SCHEMA_V2,
+        "profile": "default",
+        "workload_axis": ["ind"],
+        "matrix": {"ind": {
+            "kind": "synthetic",
+            "description": "synthetic, independent centres",
+            "datasets": {"wr": {"num_objects": 192}},
+            "algorithms": {
+                "kdtt+": {"variant": "wr", "repeats": 5, "runs_s": [0.01],
+                          "median_s": 0.01, "min_s": 0.01, "arsp_size": 39,
+                          "parity": "ok"},
+            },
+        }},
+        "extras": {},
+        "extra_workloads": {},
+    }
+    upgraded = upgrade_payload(v2)
+    assert upgraded["schema"] == SCHEMA
+    entry = upgraded["matrix"]["ind"]["algorithms"]["kdtt+"]
+    assert entry["phases_s"] == {}
+    # The original payload is not mutated by the upgrade.
+    assert "phases_s" not in v2["matrix"]["ind"]["algorithms"]["kdtt+"]
+
+
+def test_compare_flags_regressions_and_only_regressions(quick_bench_payload):
+    """Self-comparison is clean; a shrunk baseline trips the gate."""
+    payload, _ = quick_bench_payload
+    lines, regressions = compare_payloads(payload, payload)
+    assert not regressions
+    cells = sum(len(section["algorithms"])
+                for section in payload["matrix"].values())
+    assert len(lines) == cells + len(payload["extras"])
+
+    shrunk = json.loads(json.dumps(payload))
+    shrunk["matrix"]["ind"]["algorithms"]["kdtt+"]["median_s"] /= 1000.0
+    _, regressions = compare_payloads(shrunk, payload, threshold=2.0)
+    assert regressions == ["ind/kdtt+"]
+    text, ok = format_compare(shrunk, payload, threshold=2.0)
+    assert not ok and "REGRESSION" in text and "ind/kdtt+" in text
+    text, ok = format_compare(payload, payload)
+    assert ok and "no regressions" in text
+
+
+def test_compare_handles_missing_baseline_cells(quick_bench_payload):
+    """New algorithms / workloads are reported but never flagged."""
+    payload, _ = quick_bench_payload
+    baseline = json.loads(json.dumps(payload))
+    del baseline["matrix"]["ind"]["algorithms"]["kdtt+"]
+    del baseline["matrix"]["anti"]
+    lines, regressions = compare_payloads(baseline, payload, threshold=0.0001)
+    assert "ind/kdtt+" not in regressions
+    assert not any(cell.startswith("anti/") for cell in regressions)
+    assert any("no baseline" in line for line in lines)
+    with pytest.raises(ValueError, match="threshold"):
+        compare_payloads(payload, payload, threshold=0.0)
+
+
+def test_cli_compare_exit_codes(quick_bench_payload, tmp_path, capsys):
+    """``repro bench --compare`` prints deltas and gates on the threshold."""
+    from repro.cli import main
+
+    payload, output = quick_bench_payload
+    argv = ["bench", "--quick", "--repeats", "1", "--algorithms", "kdtt+",
+            "--workloads", "ind", "--output", "-",
+            "--compare", str(output)]
+    assert main(argv) == 0
+    assert "comparison against baseline" in capsys.readouterr().out
+    # An absurdly tight threshold turns any nonzero delta into a failure.
+    assert main(argv + ["--regression-threshold", "0.000001"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
 
 
 def test_format_bench_mentions_every_cell(quick_bench_payload):

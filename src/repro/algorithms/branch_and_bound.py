@@ -17,14 +17,28 @@ maps instances on the fly.  Two structures make it fast:
 
 Expected time complexity ``O(m n log n)``.
 
-The per-node dominance and bound tests run through the kernel layer
-(docs/ARCHITECTURE.md): the pruning set is kept as a stacked corner matrix
-tested with :func:`repro.core.kernels.dominates_corner` /
-:func:`repro.core.kernels.weak_dominance_matrix`, a node's children are
-score-mapped and pruned with one matrix product per expansion, and tied
-batches map all their instances with a single block product.  The
-comparisons are identical to the former per-corner Python loops, so results
-are unchanged.
+Both R-tree roles run on the flat array layer of :mod:`repro.index.rtree`
+(see docs/ARCHITECTURE.md):
+
+* the *static* index is a :class:`repro.index.rtree.FlatRTree`; its node
+  min corners are score-mapped once with two matrix products at build time
+  (heap keys and pruning-test scores for every node of the tree), and each
+  expansion prunes a whole contiguous child span with one kernel call
+  against the pruning set;
+* the *aggregated* trees ``R_1 … R_m`` live in one
+  :class:`repro.index.rtree.RTreeForest` block.  A tied batch inserts all
+  surviving score vectors, then resolves every survivor's σ values against
+  every other object with a single
+  :meth:`~repro.index.rtree.RTreeForest.dominance_aggregate` call instead
+  of a per-(survivor, object) Python loop of ``window_aggregate`` queries.
+  Survivors whose own existence probability is zero skip the σ query
+  entirely — their rskyline probability is zero regardless.
+
+The pruning set is kept as a stacked corner matrix tested with
+:func:`repro.core.kernels.dominates_corner` /
+:func:`repro.core.kernels.weak_dominance_matrix`; the window aggregates
+compare score vectors exactly (closed boxes, no tolerance), matching the
+scalar pointer-tree reference, so results are unchanged.
 
 Instances with identical scores under the sort vertex are processed as one
 batch (all of them are inserted into their aggregated R-trees before any of
@@ -44,7 +58,8 @@ from ..core.dataset import UncertainDataset
 from ..core.kernels import dominates_corner, weak_dominance_matrix
 from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import resolve_preference_region
-from ..index.rtree import RTree
+from ..core.profiling import phase
+from ..index.rtree import FlatRTree, RTreeForest
 from .base import empty_result, finalize_result
 
 _NODE = 0
@@ -104,7 +119,7 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
         The ARSP input (any constraint type with a preference region).
     max_entries:
         Fan-out of the R-trees (both the static index and the per-object
-        aggregated trees).
+        aggregated forest).
     """
     region = resolve_preference_region(constraints)
     if region.dimension != dataset.dimension:
@@ -126,14 +141,18 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
     # Heap keys of all instances in one product instead of one dot per push.
     instance_keys = points @ sort_vertex
 
-    index = RTree.bulk_load(points,
-                            weights=probabilities,
-                            data=list(range(n)),
-                            max_entries=max_entries)
+    with phase("index"):
+        index = FlatRTree.bulk_load(points,
+                                    weights=probabilities,
+                                    data=np.arange(n),
+                                    max_entries=max_entries)
+        # Score-map every node's min corner once: heap keys and pruning-test
+        # scores for the whole static tree come from two matrix products.
+        node_keys = index.lo @ sort_vertex
+        node_scores = index.lo @ vertices.T
 
-    aggregated: List[RTree] = [RTree(mapped_dimension, max_entries=max_entries)
-                               for _ in range(dataset.num_objects)]
-    window_lo = np.full(mapped_dimension, -np.inf)
+    forest = RTreeForest(dataset.num_objects, mapped_dimension,
+                         max_entries=max_entries)
 
     pruning_set = _PruningSet(mapped_dimension)
     processed_mass = np.zeros(dataset.num_objects)
@@ -142,93 +161,99 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
     max_corners = np.full((dataset.num_objects, mapped_dimension), -np.inf)
 
     counter = itertools.count()
-    heap: List[Tuple[float, int, int, object]] = []
+    heap: List[Tuple[float, int, int, int]] = []
 
-    def push_node(node) -> None:
-        key = float(np.dot(sort_vertex, node.lo))
-        heapq.heappush(heap, (key, next(counter), _NODE, node))
+    def push_node(node_id: int) -> None:
+        heapq.heappush(heap, (float(node_keys[node_id]), next(counter),
+                              _NODE, node_id))
 
     def push_instance(position: int) -> None:
         heapq.heappush(heap, (float(instance_keys[position]), next(counter),
                               _INSTANCE, position))
 
-    def expand(node) -> None:
-        """Open an R-tree node, pruning children dominated by ``P``."""
-        if node.is_leaf:
-            for entry in node.entries:
-                push_instance(int(entry.data))
+    def expand(node_id: int) -> None:
+        """Open a static-index node, pruning children dominated by ``P``."""
+        start = int(index.child_start[node_id])
+        stop = start + int(index.child_count[node_id])
+        if index.leaf[node_id]:
+            for position in index.payloads[start:stop]:
+                push_instance(int(position))
         else:
-            # Score-map all children's min corners with one product and test
-            # them against the pruning set with one kernel call.
-            child_scores = np.stack([child.lo for child in node.children
-                                     ]) @ vertices.T
-            pruned = pruning_set.prunes_block(child_scores)
-            for child, skip in zip(node.children, pruned.tolist()):
-                if not skip:
-                    push_node(child)
+            # The child span is contiguous in the flat layout: its
+            # precomputed score rows feed one kernel call against P.
+            pruned = pruning_set.prunes_block(node_scores[start:stop])
+            for child_id in range(start, stop):
+                if not pruned[child_id - start]:
+                    push_node(child_id)
 
-    root_scores = vertices @ index.root.lo
-    if index.size and not pruning_set.prunes(root_scores):
-        push_node(index.root)
+    with phase("query"):
+        if index.size and not pruning_set.prunes(node_scores[0]):
+            push_node(0)
 
-    while heap:
-        key, _, kind, payload = heapq.heappop(heap)
-        if kind == _NODE:
-            node_scores = vertices @ payload.lo
-            if not pruning_set.prunes(node_scores):
-                expand(payload)
-            continue
+        while heap:
+            key, _, kind, payload = heapq.heappop(heap)
+            if kind == _NODE:
+                if not pruning_set.prunes(node_scores[payload]):
+                    expand(payload)
+                continue
 
-        # Gather every instance with the same sort key (plus any node whose
-        # min corner shares the key, which may hide further tied instances).
-        batch: List[int] = [payload]
-        while heap and heap[0][0] <= key + SCORE_ATOL:
-            _, _, other_kind, other_payload = heapq.heappop(heap)
-            if other_kind == _NODE:
-                node_scores = vertices @ other_payload.lo
-                if not pruning_set.prunes(node_scores):
-                    expand(other_payload)
-            else:
-                batch.append(other_payload)
+            # Gather every instance with the same sort key (plus any node
+            # whose min corner shares the key, which may hide further tied
+            # instances).
+            batch: List[int] = [payload]
+            while heap and heap[0][0] <= key + SCORE_ATOL:
+                _, _, other_kind, other_payload = heapq.heappop(heap)
+                if other_kind == _NODE:
+                    if not pruning_set.prunes(node_scores[other_payload]):
+                        expand(other_payload)
+                else:
+                    batch.append(other_payload)
 
-        # First pass: map the whole batch into score space with one block
-        # product and discard instances already known to have zero
-        # probability (Theorem 3 makes this safe).
-        batch_scores = points[batch] @ vertices.T
-        pruned_batch = pruning_set.prunes_block(batch_scores)
-        survivors: List[Tuple[int, np.ndarray]] = [
-            (position, batch_scores[row])
-            for row, position in enumerate(batch)
-            if not pruned_batch[row]]
+            # First pass: map the whole batch into score space with one
+            # block product and discard instances already known to have zero
+            # probability (Theorem 3 makes this safe).
+            batch_scores = points[batch] @ vertices.T
+            pruned_batch = pruning_set.prunes_block(batch_scores)
+            survivors = [(position, batch_scores[row])
+                         for row, position in enumerate(batch)
+                         if not pruned_batch[row]]
 
-        # Second pass: insert all survivors before querying any of them so
-        # tied instances see each other in the window aggregates.
-        for position, score_vector in survivors:
-            aggregated[object_ids[position]].insert(
-                score_vector, weight=float(probabilities[position]),
-                data=position)
+            # Second pass: insert all survivors before querying any of them
+            # so tied instances see each other in the window aggregates.
+            for position, score_vector in survivors:
+                forest.insert(int(object_ids[position]), score_vector,
+                              weight=float(probabilities[position]))
 
-        for position, score_vector in survivors:
-            owner = int(object_ids[position])
-            probability = float(probabilities[position])
-            for other in range(dataset.num_objects):
-                if other == owner or probability == 0.0:
-                    continue
-                tree = aggregated[other]
-                if tree.size == 0:
-                    continue
-                sigma = tree.window_aggregate(window_lo, score_vector)
-                if sigma >= 1.0 - PROB_ATOL:
-                    probability = 0.0
-                    break
-                probability *= 1.0 - sigma
-            result[instances[position].instance_id] = probability
+            # Third pass: one forest call resolves σ against every other
+            # object for the whole batch.  Survivors with zero existence
+            # probability skip the query — their result is zero either way.
+            live = [(position, score_vector)
+                    for position, score_vector in survivors
+                    if probabilities[position] > 0.0]
+            if live:
+                corners = np.stack([score for _, score in live])
+                owners = np.asarray([int(object_ids[position])
+                                     for position, _ in live])
+                sigma = forest.dominance_aggregate(corners)
+                sigma[np.arange(len(live)), owners] = 0.0
+                saturated = (sigma >= 1.0 - PROB_ATOL).any(axis=1)
+                live_probabilities = (
+                    np.asarray([probabilities[position]
+                                for position, _ in live])
+                    * np.prod(1.0 - sigma, axis=1))
+                live_probabilities[saturated] = 0.0
+                for row, (position, _) in enumerate(live):
+                    result[instances[position].instance_id] = float(
+                        live_probabilities[row])
 
-            processed_mass[owner] += probabilities[position]
-            max_corners[owner] = np.maximum(max_corners[owner], score_vector)
-            if (object_totals[owner] >= 1.0 - PROB_ATOL
-                    and processed_mass[owner] >= 1.0 - PROB_ATOL
-                    and len(dataset.objects[owner]) > 0):
-                pruning_set.add(max_corners[owner])
+            for position, score_vector in survivors:
+                owner = int(object_ids[position])
+                processed_mass[owner] += probabilities[position]
+                max_corners[owner] = np.maximum(max_corners[owner],
+                                                score_vector)
+                if (object_totals[owner] >= 1.0 - PROB_ATOL
+                        and processed_mass[owner] >= 1.0 - PROB_ATOL
+                        and len(dataset.objects[owner]) > 0):
+                    pruning_set.add(max_corners[owner])
 
     return finalize_result(result)

@@ -46,6 +46,7 @@ from ..core.kernels import (MarginTerms, classify_boxes_by_margin,
                             weight_ratio_margins_rows)
 from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import WeightRatioConstraints
+from ..core.profiling import phase
 from ..index.kdtree import KDTree, build_forest
 from .base import empty_result, finalize_result
 
@@ -317,4 +318,7 @@ def dual_arsp(dataset: UncertainDataset,
         raise TypeError("the DUAL algorithm requires WeightRatioConstraints; "
                         "use the tree-traversal or branch-and-bound "
                         "algorithms for general linear constraints")
-    return DualIndex(dataset, leaf_size=leaf_size).query(constraints)
+    with phase("index"):
+        index = DualIndex(dataset, leaf_size=leaf_size)
+    with phase("query"):
+        return index.query(constraints)

@@ -21,7 +21,10 @@ without writing code:
     Run the bench-regression harness over the algorithm × workload matrix
     (IND/ANTI/CORR synthetic distributions plus the IIP/CAR/NBA real-data
     stand-ins, selectable via ``--workloads``) and write
-    ``BENCH_arsp.json`` (see PERFORMANCE.md).
+    ``BENCH_arsp.json`` (see PERFORMANCE.md).  ``--compare BASELINE.json``
+    additionally prints per-cell median deltas against a previous payload
+    and exits non-zero when any cell regresses beyond
+    ``--regression-threshold``.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .algorithms.registry import list_algorithms
 from .core.arsp import arsp_size, compute_arsp, top_k_objects
@@ -41,7 +44,9 @@ from .experiments.effectiveness import (format_ranking_table,
                                         skyline_probability_ranking)
 from .experiments.figures import figure5_sweep, figure6_sweep, figure8_sweep
 from .experiments.harness import sweep_to_series
-from .experiments.perf import DEFAULT_OUTPUT, PROFILES, format_bench, run_bench
+from .experiments.perf import (DEFAULT_OUTPUT, DEFAULT_REGRESSION_THRESHOLD,
+                               PROFILES, format_bench, format_compare,
+                               load_bench, run_bench)
 from .experiments.workloads import available_workloads
 from .experiments.reporting import format_series, format_table
 
@@ -102,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-check", action="store_true",
                        help="skip the parity check against the reference "
                             "algorithm")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="compare medians against a baseline "
+                            "BENCH_arsp.json (any schema version) and exit "
+                            "non-zero when a cell regresses beyond the "
+                            "threshold")
+    bench.add_argument("--regression-threshold", type=float,
+                       default=DEFAULT_REGRESSION_THRESHOLD,
+                       help="regression factor for --compare "
+                            "(default: %.2fx)"
+                            % DEFAULT_REGRESSION_THRESHOLD)
     return parser
 
 
@@ -211,9 +226,13 @@ def _parse_names(value: Optional[str]) -> Optional[List[str]]:
     return [name.strip() for name in value.split(",") if name.strip()]
 
 
-def run_bench_command(args: argparse.Namespace) -> str:
+def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
+    """Run the bench harness; returns (printable report, exit code)."""
     profile = "quick" if args.quick else args.profile
     output_path = None if args.output == "-" else args.output
+    # Read the baseline up front so a bad path or unknown schema fails
+    # before minutes of timing work, not after.
+    baseline = load_bench(args.compare) if args.compare else None
     payload = run_bench(profile=profile,
                         algorithms=_parse_names(args.algorithms),
                         workloads=_parse_names(args.workloads),
@@ -222,7 +241,14 @@ def run_bench_command(args: argparse.Namespace) -> str:
     lines = [format_bench(payload)]
     if output_path:
         lines.append("wrote %s" % output_path)
-    return "\n".join(lines)
+    status = 0
+    if baseline is not None:
+        text, ok = format_compare(baseline, payload,
+                                  threshold=args.regression_threshold)
+        lines.append(text)
+        if not ok:
+            status = 1
+    return "\n".join(lines), status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -244,8 +270,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_effectiveness())
         return 0
     if args.command == "bench":
-        print(run_bench_command(args))
-        return 0
+        text, status = run_bench_command(args)
+        print(text)
+        return status
     parser.error("unknown command %r" % args.command)
     return 2
 

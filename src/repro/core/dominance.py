@@ -30,6 +30,20 @@ def dominates(t: Sequence[float], s: Sequence[float],
     return all(a <= b + atol for a, b in zip(t, s))
 
 
+def in_box(point: Sequence[float], lo: Sequence[float], hi: Sequence[float],
+           atol: float = 0.0) -> bool:
+    """Closed-box containment: ``lo[i] <= point[i] <= hi[i]`` everywhere.
+
+    The scalar specification of the window-aggregate predicate of the
+    aggregated R-tree (:mod:`repro.index.rtree`) and of the batched
+    :func:`repro.core.kernels.points_in_boxes` kernel.  Window aggregates
+    count *exact* closed-box membership of score vectors, so the default
+    tolerance is ``0.0``, unlike the dominance predicates below.
+    """
+    return all(a - atol <= p <= b + atol
+               for p, a, b in zip(point, lo, hi))
+
+
 def strictly_dominates(t: Sequence[float], s: Sequence[float],
                        atol: float = SCORE_ATOL) -> bool:
     """Pareto dominance: weak dominance plus strictly better somewhere."""

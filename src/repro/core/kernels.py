@@ -13,9 +13,11 @@ Every algorithm layer hot path runs through this module (see
 docs/ARCHITECTURE.md for the layer contract): the kd-ASP*/DUAL family since
 PR 1 and, since the vectorization sweep, LOOP (:func:`weak_dominance_matrix`
 over sorted prefixes), B&B (:func:`dominates_corner` against the pruning
-set), the eclipse algorithms (:func:`weight_ratio_margins_matrix` /
-:func:`eclipse_dominance_matrix`) and the continuous Monte Carlo sampler
-(:func:`weak_dominance_tensor` over whole possible-world batches).
+set and :func:`points_in_boxes` / :func:`points_in_boxes_rows` behind the
+flat R-tree window aggregates), the eclipse algorithms
+(:func:`weight_ratio_margins_matrix` / :func:`eclipse_dominance_matrix`)
+and the continuous Monte Carlo sampler (:func:`weak_dominance_tensor` over
+whole possible-world batches).
 
 Design rules:
 
@@ -93,6 +95,56 @@ def weak_dominance_tensor(points: np.ndarray,
     points = np.asarray(points, dtype=float)
     return np.all(points[:, :, None, :] <= points[:, None, :, :] + atol,
                   axis=3)
+
+
+def points_in_boxes(points: np.ndarray, los: np.ndarray, his: np.ndarray,
+                    atol: float = 0.0) -> np.ndarray:
+    """Pairwise closed-box containment: ``out[q, k]`` iff ``points[k]`` lies
+    inside ``[los[q], his[q]]``.
+
+    Batched counterpart of :func:`repro.core.dominance.in_box` over every
+    (box, point) pair of the ``(Q, d)`` corner arrays and the ``(K, d)``
+    point block.  Window aggregates are *exact* closed-box counts (the
+    aggregated R-tree matches per-point equality of score vectors, not
+    tolerant dominance), so the default tolerance is ``0.0`` — unlike the
+    dominance kernels above.  Memory is ``O(Q * K * d)``; callers chunk one
+    of the axes.
+    """
+    points = np.asarray(points, dtype=float)
+    los = np.atleast_2d(np.asarray(los, dtype=float))
+    his = np.atleast_2d(np.asarray(his, dtype=float))
+    return np.all((los[:, None, :] <= points[None, :, :] + atol)
+                  & (points[None, :, :] <= his[:, None, :] + atol), axis=2)
+
+
+def points_in_boxes_rows(points: np.ndarray, los: np.ndarray,
+                         his: np.ndarray, atol: float = 0.0) -> np.ndarray:
+    """Row-aligned :func:`points_in_boxes`: ``out[k]`` iff ``points[k]`` lies
+    inside ``[los[k], his[k]]``.
+
+    This is the shape produced when many (box, point) pairs have already
+    been expanded — the flat R-tree's frontier traversal resolves all its
+    PARTIAL leaves with one call.
+    """
+    points = np.asarray(points, dtype=float)
+    los = np.asarray(los, dtype=float)
+    his = np.asarray(his, dtype=float)
+    return np.all((los <= points + atol) & (points <= his + atol), axis=1)
+
+
+def box_containment_counts(points: np.ndarray, weights: np.ndarray,
+                           los: np.ndarray, his: np.ndarray,
+                           atol: float = 0.0) -> np.ndarray:
+    """Weighted containment counts: ``out[q] = sum of weights[k]`` over the
+    points inside ``[los[q], his[q]]``.
+
+    One :func:`points_in_boxes` mask folded against the weight vector —
+    the brute-force window aggregate the R-tree property tests pin the
+    tree traversals against, and the kernel the forest uses to resolve
+    its pending (not yet merged) points.
+    """
+    mask = points_in_boxes(points, los, his, atol=atol)
+    return mask @ np.asarray(weights, dtype=float)
 
 
 def classify_against_box(points: np.ndarray, pmin: np.ndarray,

@@ -35,9 +35,23 @@ against the naive eclipse) and the continuous-uncertainty Monte Carlo
 sampler.  Extras run whenever no explicit ``--algorithms`` subset is
 requested.
 
-The JSON schema is ``repro-bench/2`` (per-workload ``matrix`` sections);
-:func:`upgrade_payload` / :func:`load_bench` still read the flat
-``repro-bench/1`` files written before the matrix existed.
+Per-phase timing
+----------------
+Algorithms that annotate their preprocessing/query split with
+:func:`repro.core.profiling.phase` (currently B&B's static-index build vs.
+traversal and DUAL's forest build vs. query) get a ``phases_s`` mapping in
+their cells — per-phase medians next to the headline ``median_s`` — so an
+index-layer regression is attributable without re-profiling.
+
+The JSON schema is ``repro-bench/3`` (per-workload ``matrix`` sections with
+per-phase timings); :func:`upgrade_payload` / :func:`load_bench` still read
+the ``repro-bench/2`` matrix files and the flat ``repro-bench/1`` files
+written before.
+
+``compare_payloads`` diffs two payloads cell by cell (``repro bench
+--compare BASELINE.json``) and flags cells whose median grew beyond a
+configurable regression threshold; the CLI exits non-zero on any flagged
+cell so a bench run doubles as a regression gate.
 """
 
 from __future__ import annotations
@@ -57,6 +71,7 @@ from ..continuous.model import UniformBoxObject
 from ..continuous.sampling import monte_carlo_object_arsp
 from ..core.arsp import arsp_size
 from ..core.preference import WeightRatioConstraints
+from ..core.profiling import collect_phases
 from ..data.synthetic import generate_certain_points
 from ..eclipse import dual_s_eclipse, naive_eclipse, quad_eclipse
 from .harness import _compare
@@ -66,7 +81,10 @@ from .workloads import (WORKLOAD_AXIS, Workload, WorkloadScale,
 
 #: Schema tag written into the JSON payload so future harness versions can
 #: evolve the format without ambiguity.
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
+
+#: The matrix schema without per-phase timings.
+SCHEMA_V2 = "repro-bench/2"
 
 #: The flat single-workload schema written before the workload matrix.
 SCHEMA_V1 = "repro-bench/1"
@@ -115,15 +133,21 @@ _REFERENCE_ALGORITHM = "kdtt+"
 EXTRA_PATHS = ("eclipse-quad", "eclipse-dual-s", "continuous-mc")
 
 
-def _time_runs(runner, rounds: int) -> Tuple[object, List[float]]:
-    """Run ``runner`` ``rounds`` times; return (last result, timings)."""
+def _time_runs(runner, rounds: int
+               ) -> Tuple[object, List[float], List[Dict[str, float]]]:
+    """Run ``runner`` ``rounds`` times; return (last result, timings,
+    per-run phase attributions)."""
     runs: List[float] = []
+    phase_runs: List[Dict[str, float]] = []
     result = None
     for _ in range(rounds):
-        start = time.perf_counter()
-        result = runner()
-        runs.append(time.perf_counter() - start)
-    return result, runs
+        phases: Dict[str, float] = {}
+        with collect_phases(phases):
+            start = time.perf_counter()
+            result = runner()
+            runs.append(time.perf_counter() - start)
+        phase_runs.append(phases)
+    return result, runs, phase_runs
 
 
 def _timing_fields(runs: Sequence[float]) -> Dict[str, object]:
@@ -135,6 +159,15 @@ def _timing_fields(runs: Sequence[float]) -> Dict[str, object]:
     }
 
 
+def _phase_fields(phase_runs: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Per-phase medians across the repeated runs (empty when the
+    algorithm does not annotate phases)."""
+    names = sorted({name for phases in phase_runs for name in phases})
+    return {name: round(statistics.median(
+                [phases.get(name, 0.0) for phases in phase_runs]), 6)
+            for name in names}
+
+
 def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
                   check: bool) -> Dict[str, object]:
     """Time the named algorithms on one workload; one matrix section."""
@@ -144,10 +177,11 @@ def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
         variant_key = variant_for_algorithm(name)
         variant = workload.variants[variant_key]
         implementation = get_algorithm(name)
-        result, runs = _time_runs(
+        result, runs, phase_runs = _time_runs(
             lambda: implementation(variant.dataset, variant.constraints),
             rounds)
         entry = dict({"variant": variant_key}, **_timing_fields(runs))
+        entry["phases_s"] = _phase_fields(phase_runs)
         entry["arsp_size"] = arsp_size(result)
         if check:
             if variant_key not in references:
@@ -217,7 +251,7 @@ def _run_extras(profile: BenchProfile, rounds: int, check: bool
     entries: Dict[str, dict] = {}
     for name in EXTRA_PATHS:
         workload_key, runner = runners[name]
-        result, runs = _time_runs(runner, rounds)
+        result, runs, _ = _time_runs(runner, rounds)
         entry = dict({"workload": workload_key}, **_timing_fields(runs))
         entry["result_size"] = len(result)
         if check and name.startswith("eclipse"):
@@ -327,19 +361,28 @@ _V1_EXTRA_WORKLOADS = ("eclipse-ind", "continuous-boxes")
 
 
 def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Return a ``repro-bench/2`` view of any known payload version.
+    """Return a ``repro-bench/3`` view of any known payload version.
 
     ``repro-bench/1`` files carried a single flat ``algorithms`` section
-    measured on the default IND workload; they come back as a matrix with
-    one ``ind`` section so downstream consumers only ever see the v2
-    shape.  Current payloads are returned unchanged.
+    measured on the default IND workload; they pass through the matrix
+    upgrade first.  ``repro-bench/2`` matrix files predate the per-phase
+    timings; their algorithm entries gain empty ``phases_s`` mappings.
+    Downstream consumers only ever see the v3 shape; current payloads are
+    returned unchanged.
     """
     schema = payload.get("schema")
     if schema == SCHEMA:
         return payload
-    if schema != SCHEMA_V1:
+    if schema == SCHEMA_V1:
+        payload = _upgrade_v1(payload)
+        schema = SCHEMA_V2
+    if schema != SCHEMA_V2:
         raise ValueError("unknown bench payload schema %r" % (schema,))
+    return _upgrade_v2(payload)
 
+
+def _upgrade_v1(payload: Dict[str, object]) -> Dict[str, object]:
+    """``repro-bench/1`` (flat IND section) -> ``repro-bench/2`` (matrix)."""
     v1_workloads = dict(payload.get("workloads", {}))
     extra_workloads = {key: v1_workloads.pop(key)
                        for key in _V1_EXTRA_WORKLOADS
@@ -360,7 +403,7 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
                 if key not in ("schema", "workloads", "algorithms",
                                "extras")}
     upgraded.update({
-        "schema": SCHEMA,
+        "schema": SCHEMA_V2,
         "workload_axis": ["ind"],
         "matrix": {"ind": {
             "kind": "synthetic",
@@ -375,10 +418,104 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     return upgraded
 
 
+def _upgrade_v2(payload: Dict[str, object]) -> Dict[str, object]:
+    """``repro-bench/2`` -> ``repro-bench/3``: empty per-phase timings."""
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA
+    matrix = {}
+    for workload_name, section in dict(payload.get("matrix", {})).items():
+        section = dict(section)
+        section["algorithms"] = {
+            name: dict(entry, phases_s=dict(entry.get("phases_s", {})))
+            for name, entry in dict(section.get("algorithms", {})).items()}
+        matrix[workload_name] = section
+    upgraded["matrix"] = matrix
+    return upgraded
+
+
 def load_bench(path: str) -> Dict[str, object]:
     """Read a ``BENCH_arsp.json`` file of any known schema version."""
     with open(path, "r", encoding="utf-8") as handle:
         return upgrade_payload(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Comparing payloads (the ``repro bench --compare`` regression gate)
+# ----------------------------------------------------------------------
+
+#: Default ``--regression-threshold``: a cell regresses when its median
+#: grows beyond this factor of the baseline median.  Wall-clock medians on
+#: shared machines are noisy, so the default leaves generous headroom; CI
+#: setups with quiet runners can tighten it.
+DEFAULT_REGRESSION_THRESHOLD = 1.5
+
+
+def compare_payloads(baseline: Dict[str, object],
+                     current: Dict[str, object],
+                     threshold: float = DEFAULT_REGRESSION_THRESHOLD
+                     ) -> Tuple[List[str], List[str]]:
+    """Per-cell median deltas between two bench payloads.
+
+    Both payloads may be of any known schema version.  Returns
+    ``(lines, regressions)``: ``lines`` is the printable per-cell report
+    over every cell of ``current`` (matrix and extras), ``regressions``
+    the subset of cell names whose median grew beyond ``threshold`` times
+    the baseline median.  Cells missing from the baseline (new algorithms,
+    new workloads) are reported but never flagged.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    baseline = upgrade_payload(baseline)
+    current = upgrade_payload(current)
+    baseline_matrix = baseline.get("matrix", {})
+    lines: List[str] = []
+    regressions: List[str] = []
+
+    def compare_cell(cell: str, base_entry, entry) -> None:
+        if base_entry is None:
+            lines.append("  %-28s %9.4f s  (no baseline)"
+                         % (cell, entry["median_s"]))
+            return
+        base = float(base_entry["median_s"])
+        now = float(entry["median_s"])
+        ratio = now / base if base > 0.0 else float("inf")
+        flag = ""
+        if ratio > threshold:
+            regressions.append(cell)
+            flag = "  REGRESSION (> %.2fx)" % threshold
+        lines.append("  %-28s %9.4f s -> %9.4f s  (%5.2fx)%s"
+                     % (cell, base, now, ratio, flag))
+
+    for workload_name, section in current.get("matrix", {}).items():
+        base_section = baseline_matrix.get(workload_name, {})
+        base_algorithms = base_section.get("algorithms", {})
+        for name, entry in section["algorithms"].items():
+            compare_cell("%s/%s" % (workload_name, name),
+                         base_algorithms.get(name), entry)
+    base_extras = baseline.get("extras") or {}
+    for name, entry in (current.get("extras") or {}).items():
+        compare_cell("extras/%s" % name, base_extras.get(name), entry)
+    return lines, regressions
+
+
+def format_compare(baseline: Dict[str, object], current: Dict[str, object],
+                   threshold: float = DEFAULT_REGRESSION_THRESHOLD
+                   ) -> Tuple[str, bool]:
+    """Human-readable :func:`compare_payloads` report.
+
+    Returns ``(text, ok)`` where ``ok`` is False when any cell regressed
+    beyond the threshold.
+    """
+    lines, regressions = compare_payloads(baseline, current,
+                                          threshold=threshold)
+    header = ("comparison against baseline (regression threshold %.2fx)"
+              % threshold)
+    if regressions:
+        footer = ("%d cell(s) regressed beyond %.2fx: %s"
+                  % (len(regressions), threshold, ", ".join(regressions)))
+    else:
+        footer = "no regressions beyond %.2fx" % threshold
+    return "\n".join([header] + lines + [footer]), not regressions
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +526,11 @@ def _format_entry(width: int, name: str, entry: Dict[str, object],
                   size_key: str, workload_key: str) -> str:
     parity = entry.get("parity")
     suffix = "" if parity in (None, "ok") else "  PARITY: %s" % parity
+    phases = entry.get("phases_s") or {}
+    if phases:
+        suffix += "  {%s}" % ", ".join(
+            "%s %.4f" % (phase_name, seconds)
+            for phase_name, seconds in sorted(phases.items()))
     return ("  %-*s  %9.4f s  (min %.4f, size %d, %s)%s"
             % (width, name, entry["median_s"], entry["min_s"],
                entry[size_key], entry[workload_key], suffix))

@@ -7,14 +7,18 @@ Everything here is implemented from scratch on top of numpy arrays:
   algorithms and the eclipse DUAL-S algorithm).
 * :mod:`repro.index.quadtree` — a region quadtree (used by the QUAD eclipse
   baseline and available to the quadtree-traversal experiments).
-* :mod:`repro.index.rtree` — an R-tree supporting STR bulk loading,
-  incremental insertion and aggregated window queries (used by the
-  branch-and-bound algorithm).
+* :mod:`repro.index.rtree` — aggregated R-trees supporting STR bulk
+  loading, incremental insertion and window aggregate queries (used by the
+  branch-and-bound algorithm): the pointer-based :class:`RTree` scalar
+  reference, the struct-of-arrays :class:`FlatRTree` with batched
+  level-order traversals, and the :class:`RTreeForest` packing all
+  per-object trees into one shared array block.
 """
 
 from .bbox import BoundingBox
 from .kdtree import KDTree
 from .quadtree import QuadTree
-from .rtree import RTree
+from .rtree import FlatRTree, RTree, RTreeForest
 
-__all__ = ["BoundingBox", "KDTree", "QuadTree", "RTree"]
+__all__ = ["BoundingBox", "FlatRTree", "KDTree", "QuadTree", "RTree",
+           "RTreeForest"]

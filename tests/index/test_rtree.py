@@ -1,9 +1,9 @@
-"""Tests for the aggregated R-tree (repro.index.rtree)."""
+"""Tests for the aggregated R-trees (repro.index.rtree)."""
 
 import numpy as np
 import pytest
 
-from repro.index.rtree import RTree
+from repro.index.rtree import FlatRTree, RTree, RTreeForest
 
 
 def brute_force_aggregate(points, weights, lo, hi):
@@ -162,3 +162,97 @@ class TestWindowAggregates:
         expected = sum(w for p, w in zip(points, weights)
                        if np.all(p <= target))
         assert tree.window_aggregate(lo, target) == pytest.approx(expected)
+
+
+class TestFlatRTree:
+    def test_empty(self):
+        tree = FlatRTree.bulk_load(np.empty((0, 3)))
+        assert tree.size == 0 and tree.num_nodes == 0
+        assert tree.window_aggregate([0, 0, 0], [1, 1, 1]) == 0.0
+        assert np.array_equal(
+            tree.window_aggregate_batch(np.zeros((2, 3)), np.ones((2, 3))),
+            np.zeros(2))
+
+    def test_level_order_layout(self):
+        rng = np.random.default_rng(70)
+        points = rng.uniform(0, 1, size=(200, 2))
+        tree = FlatRTree.bulk_load(points, max_entries=8)
+        assert tree.height() >= 2
+        assert tree.level_offsets[0] == 0 and tree.level_offsets[1] == 1
+        assert not tree.leaf[0]
+        # Internal child spans point strictly downwards in level order.
+        for node in np.flatnonzero(~tree.leaf):
+            assert tree.child_start[node] > node
+        # Payloads default to the original input positions.
+        assert sorted(tree.payloads.tolist()) == list(range(200))
+
+    def test_single_query_matches_batch(self):
+        rng = np.random.default_rng(71)
+        points = rng.uniform(0, 1, size=(150, 3))
+        weights = rng.uniform(0, 1, size=150)
+        tree = FlatRTree.bulk_load(points, weights=weights, max_entries=10)
+        los = rng.uniform(0, 0.5, size=(15, 3))
+        his = los + rng.uniform(0, 0.5, size=(15, 3))
+        batch = tree.window_aggregate_batch(los, his)
+        for q in range(15):
+            assert tree.window_aggregate(los[q], his[q]) == pytest.approx(
+                batch[q])
+            assert batch[q] == pytest.approx(
+                brute_force_aggregate(points, weights, los[q], his[q]))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            FlatRTree.bulk_load(np.zeros(5))
+        tree = FlatRTree.bulk_load(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            tree.window_aggregate_batch(np.zeros((2, 3)), np.ones((2, 3)))
+
+
+class TestRTreeForest:
+    def test_insert_then_dominance_aggregate(self):
+        rng = np.random.default_rng(80)
+        forest = RTreeForest(num_trees=6, dimension=2, max_entries=4)
+        points = rng.uniform(0, 1, size=(90, 2))
+        weights = rng.uniform(0, 1, size=90)
+        owners = rng.integers(0, 6, size=90)
+        for point, weight, owner in zip(points, weights, owners):
+            forest.insert(int(owner), point, weight=float(weight))
+        assert int(forest.sizes.sum()) == 90
+        corners = rng.uniform(0, 1, size=(7, 2))
+        sigma = forest.dominance_aggregate(corners)
+        assert sigma.shape == (7, 6)
+        for row, corner in enumerate(corners):
+            for tree_id in range(6):
+                mask = (owners == tree_id) & np.all(points <= corner, axis=1)
+                assert sigma[row, tree_id] == pytest.approx(
+                    weights[mask].sum())
+
+    def test_flush_builds_the_shared_block(self):
+        rng = np.random.default_rng(81)
+        forest = RTreeForest(num_trees=3, dimension=2, max_entries=4)
+        for point in rng.uniform(0, 1, size=(40, 2)):
+            forest.insert(0, point, weight=0.5)
+        forest.flush()
+        assert forest.pending_count == 0
+        # 40 points at fan-out 4 cannot fit one leaf: tree 0 is multi-level.
+        assert forest._tree_root[0] == 0
+        assert forest._tree_root[1] == forest._tree_root[2] == -1
+        assert not forest._node_leaf[0]
+        assert forest.total_weights()[0] == pytest.approx(20.0)
+
+    def test_size_doubling_merge_trigger(self):
+        forest = RTreeForest(num_trees=1, dimension=2, max_entries=4)
+        for step in range(16 + 1):
+            forest.insert(0, [step * 0.01, step * 0.01])
+        # The 17th insert crossed the 4 * max_entries floor and merged.
+        assert forest.pending_count == 0
+        assert forest.num_points == 17
+
+    def test_validates_inputs(self):
+        forest = RTreeForest(num_trees=2, dimension=3)
+        with pytest.raises(ValueError):
+            forest.insert(0, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            forest.insert(5, [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            forest.dominance_aggregate(np.zeros((2, 2)))

@@ -1,0 +1,210 @@
+"""Property tests pinning the flat R-tree layer to its scalar references.
+
+The pointer-based :class:`repro.index.rtree.RTree` is the readable
+specification of the aggregated R-tree; this suite asserts that the
+array-backed :class:`FlatRTree` / :class:`RTreeForest` hot paths agree with
+it (and with brute-force mask counts) on random bulk-load and insert
+sequences, and that the flat layout itself satisfies the structural R-tree
+invariants: MBR containment, aggregate weight sums, level-ordered child
+spans.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.dominance import in_box
+from repro.core.kernels import (box_containment_counts, points_in_boxes,
+                                points_in_boxes_rows)
+from repro.index.rtree import FlatRTree, RTree, RTreeForest
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def point_arrays(max_points=80, dimension=2):
+    return arrays(dtype=float, shape=st.tuples(
+        st.integers(min_value=0, max_value=max_points),
+        st.just(dimension)),
+        elements=st.floats(min_value=0.0, max_value=1.0, width=16))
+
+
+def box_arrays(max_boxes=12, dimension=2):
+    return arrays(dtype=float, shape=st.tuples(
+        st.integers(min_value=1, max_value=max_boxes),
+        st.just(2 * dimension)),
+        elements=st.floats(min_value=0.0, max_value=1.0, width=16)
+    ).map(lambda corners: (
+        np.minimum(corners[:, :dimension], corners[:, dimension:]),
+        np.maximum(corners[:, :dimension], corners[:, dimension:])))
+
+
+def weights_for(points):
+    return (np.linspace(0.1, 1.0, num=len(points))
+            if len(points) else np.empty(0))
+
+
+def brute_force_counts(points, weights, los, his):
+    return np.asarray(
+        [sum(w for p, w in zip(points, weights) if in_box(p, lo, hi))
+         for lo, hi in zip(los, his)])
+
+
+class TestContainmentKernels:
+    @SETTINGS
+    @given(point_arrays(), box_arrays())
+    def test_points_in_boxes_matches_scalar(self, points, boxes):
+        los, his = boxes
+        mask = points_in_boxes(points, los, his)
+        assert mask.shape == (len(los), len(points))
+        for q in range(len(los)):
+            for k in range(len(points)):
+                assert mask[q, k] == in_box(points[k], los[q], his[q])
+
+    @SETTINGS
+    @given(point_arrays(max_points=12), box_arrays(max_boxes=12))
+    def test_rows_variant_is_the_diagonal_shape(self, points, boxes):
+        los, his = boxes
+        k = min(len(points), len(los))
+        if not k:
+            return
+        rows = points_in_boxes_rows(points[:k], los[:k], his[:k])
+        full = points_in_boxes(points[:k], los[:k], his[:k])
+        assert np.array_equal(rows, np.diagonal(full))
+
+    @SETTINGS
+    @given(point_arrays(), box_arrays())
+    def test_containment_counts_fold_weights(self, points, boxes):
+        los, his = boxes
+        weights = weights_for(points)
+        counts = box_containment_counts(points, weights, los, his)
+        assert np.allclose(counts,
+                           brute_force_counts(points, weights, los, his))
+
+
+class TestFlatLayoutInvariants:
+    @SETTINGS
+    @given(point_arrays(), st.integers(min_value=4, max_value=9))
+    def test_structure(self, points, max_entries):
+        tree = FlatRTree.bulk_load(points, weights=weights_for(points),
+                                   max_entries=max_entries)
+        if not len(points):
+            assert tree.num_nodes == 0
+            return
+        assert tree.num_nodes == tree.level_offsets[-1]
+        assert np.all(tree.child_count >= 1)
+        assert np.all(tree.child_count <= max(4, max_entries))
+        # Leaves are exactly the last level; their spans tile the points.
+        leaf_ids = np.flatnonzero(tree.leaf)
+        assert np.array_equal(leaf_ids,
+                              np.arange(tree.level_offsets[-2],
+                                        tree.level_offsets[-1]))
+        spans = sorted((int(tree.child_start[i]),
+                        int(tree.child_start[i] + tree.child_count[i]))
+                       for i in leaf_ids)
+        assert spans[0][0] == 0 and spans[-1][1] == tree.size
+        assert all(previous[1] == current[0]
+                   for previous, current in zip(spans, spans[1:]))
+
+    @SETTINGS
+    @given(point_arrays(), st.integers(min_value=4, max_value=9))
+    def test_mbr_containment_and_weight_sums(self, points, max_entries):
+        weights = weights_for(points)
+        tree = FlatRTree.bulk_load(points, weights=weights,
+                                   max_entries=max_entries)
+        for node in range(tree.num_nodes):
+            start = int(tree.child_start[node])
+            stop = start + int(tree.child_count[node])
+            if tree.leaf[node]:
+                child_lo = tree.points[start:stop]
+                child_hi = child_lo
+                child_weight = tree.point_weights[start:stop].sum()
+            else:
+                child_lo = tree.lo[start:stop]
+                child_hi = tree.hi[start:stop]
+                child_weight = tree.weight[start:stop].sum()
+            assert np.all(tree.lo[node] <= child_lo + 1e-12)
+            assert np.all(child_hi <= tree.hi[node] + 1e-12)
+            assert tree.weight[node] == pytest.approx(child_weight)
+        if tree.size:
+            assert tree.total_weight() == pytest.approx(weights.sum())
+
+
+class TestFlatAgainstReferences:
+    @SETTINGS
+    @given(point_arrays(), box_arrays(), st.integers(min_value=4,
+                                                     max_value=9))
+    def test_window_aggregate_batch_matches_brute_force(self, points, boxes,
+                                                        max_entries):
+        los, his = boxes
+        weights = weights_for(points)
+        tree = FlatRTree.bulk_load(points, weights=weights,
+                                   max_entries=max_entries)
+        assert np.allclose(tree.window_aggregate_batch(los, his),
+                           brute_force_counts(points, weights, los, his))
+
+    @SETTINGS
+    @given(point_arrays(), box_arrays(), st.integers(min_value=4,
+                                                     max_value=9))
+    def test_flat_matches_pointer_tree_on_bulk_load(self, points, boxes,
+                                                    max_entries):
+        los, his = boxes
+        weights = weights_for(points)
+        flat = FlatRTree.bulk_load(points, weights=weights,
+                                   max_entries=max_entries)
+        pointer = RTree.bulk_load(points, weights=weights,
+                                  max_entries=max_entries)
+        expected = [pointer.window_aggregate(lo, hi)
+                    for lo, hi in zip(los, his)]
+        assert np.allclose(flat.window_aggregate_batch(los, his), expected)
+
+    @SETTINGS
+    @given(point_arrays(max_points=60), box_arrays(),
+           st.lists(st.integers(min_value=0, max_value=4), max_size=60),
+           st.lists(st.booleans(), max_size=60))
+    def test_forest_matches_pointer_trees_on_insert_sequences(
+            self, points, boxes, tree_choices, flush_flags):
+        """Random insert/flush sequences: the forest's σ matrix equals one
+        pointer-tree dominance window aggregate per (corner, tree) pair."""
+        num_trees, dimension = 5, points.shape[1]
+        forest = RTreeForest(num_trees, dimension, max_entries=4)
+        reference = [RTree(dimension=dimension, max_entries=4)
+                     for _ in range(num_trees)]
+        weights = weights_for(points)
+        for step, point in enumerate(points):
+            tree_id = (tree_choices[step % max(1, len(tree_choices))]
+                       if tree_choices else 0)
+            forest.insert(tree_id, point, weight=float(weights[step]))
+            reference[tree_id].insert(point, weight=float(weights[step]))
+            if flush_flags and flush_flags[step % len(flush_flags)]:
+                forest.flush()
+        assert np.allclose(forest.total_weights(),
+                           [tree.total_weight() for tree in reference])
+        _, corners = boxes
+        sigma = forest.dominance_aggregate(corners)
+        window_lo = np.full(dimension, -np.inf)
+        expected = [[tree.window_aggregate(window_lo, corner)
+                     for tree in reference] for corner in corners]
+        assert np.allclose(sigma, expected)
+
+    @SETTINGS
+    @given(point_arrays(max_points=60),
+           st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                    max_size=60))
+    def test_forest_flush_is_transparent(self, points, tree_choices):
+        """Merging the pending buffers never changes query answers."""
+        num_trees, dimension = 4, points.shape[1]
+        buffered = RTreeForest(num_trees, dimension, max_entries=4)
+        flushed = RTreeForest(num_trees, dimension, max_entries=4)
+        for step, point in enumerate(points):
+            tree_id = tree_choices[step % len(tree_choices)]
+            buffered.insert(tree_id, point, weight=0.5)
+            flushed.insert(tree_id, point, weight=0.5)
+        flushed.flush()
+        assert flushed.pending_count == 0
+        corners = points[: min(len(points), 8)]
+        if len(corners):
+            assert np.allclose(buffered.dominance_aggregate(corners),
+                               flushed.dominance_aggregate(corners))
