@@ -15,11 +15,12 @@ import json
 
 import pytest
 
-from repro.algorithms.registry import list_algorithms
+from repro.algorithms.registry import (PARALLEL_ALGORITHMS, list_algorithms,
+                                       supports_workers)
 from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA, SCHEMA_V1,
-                                    SCHEMA_V2, compare_payloads, format_bench,
-                                    format_compare, load_bench, run_bench,
-                                    upgrade_payload)
+                                    SCHEMA_V2, SCHEMA_V3, compare_payloads,
+                                    format_bench, format_compare, load_bench,
+                                    run_bench, upgrade_payload)
 from repro.experiments.workloads import (VARIANTS, available_workloads,
                                          variant_for_algorithm)
 
@@ -37,6 +38,7 @@ def test_quick_profile_covers_the_smoke_matrix(quick_bench_payload):
 
 def test_every_section_times_every_algorithm(quick_bench_payload):
     payload, _ = quick_bench_payload
+    assert payload["workers"] == 1
     for workload_name, section in payload["matrix"].items():
         assert sorted(section["algorithms"]) == list_algorithms()
         assert sorted(section["datasets"]) == sorted(VARIANTS)
@@ -49,6 +51,7 @@ def test_every_section_times_every_algorithm(quick_bench_payload):
             assert entry["min_s"] <= entry["median_s"], cell
             assert entry["arsp_size"] >= 0, cell
             assert isinstance(entry["phases_s"], dict), cell
+            assert entry["workers"] == 1, cell
 
 
 def test_phase_split_is_recorded_for_the_annotated_algorithms(
@@ -161,6 +164,140 @@ def test_v2_payloads_gain_empty_phase_fields():
     assert entry["phases_s"] == {}
     # The original payload is not mutated by the upgrade.
     assert "phases_s" not in v2["matrix"]["ind"]["algorithms"]["kdtt+"]
+
+
+def test_v3_payloads_gain_workers_fields():
+    """The v3 → v4 upgrade path: serial ``workers`` fields everywhere."""
+    v3 = {
+        "schema": SCHEMA_V3,
+        "profile": "default",
+        "workload_axis": ["ind"],
+        "matrix": {"ind": {
+            "kind": "synthetic",
+            "description": "synthetic, independent centres",
+            "datasets": {"wr": {"num_objects": 192}},
+            "algorithms": {
+                "kdtt+": {"variant": "wr", "repeats": 5, "runs_s": [0.01],
+                          "median_s": 0.01, "min_s": 0.01, "arsp_size": 39,
+                          "phases_s": {}, "parity": "ok"},
+            },
+        }},
+        "extras": {},
+        "extra_workloads": {},
+    }
+    upgraded = upgrade_payload(v3)
+    assert upgraded["schema"] == SCHEMA
+    assert upgraded["workers"] == 1
+    entry = upgraded["matrix"]["ind"]["algorithms"]["kdtt+"]
+    assert entry["workers"] == 1
+    # The original payload is not mutated by the upgrade.
+    assert "workers" not in v3
+    assert "workers" not in v3["matrix"]["ind"]["algorithms"]["kdtt+"]
+    # The older upgrade chains ride through to v4 as well.
+    assert upgrade_payload({**v3, "schema": SCHEMA_V2})["workers"] == 1
+
+
+@pytest.mark.parallel
+def test_workers_run_shards_the_ported_cells():
+    """``repro bench --workers N``: ported algorithms record N, serial-only
+    algorithms record 1, and every cell stays parity-checked against the
+    serial reference."""
+    payload = run_bench(profile="quick", workloads=["ind"],
+                        algorithms=["loop", "kdtt+", "dual", "bnb", "enum"],
+                        repeats=1, workers=2)
+    assert payload["workers"] == 2
+    section = payload["matrix"]["ind"]
+    for name, entry in section["algorithms"].items():
+        expected = 2 if supports_workers(name) else 1
+        assert entry["workers"] == expected, name
+        assert entry["parity"] == "ok", name
+    assert not supports_workers("enum")
+    assert PARALLEL_ALGORITHMS >= {"loop", "kdtt+", "dual", "bnb"}
+    assert ", workers=2" in format_bench(payload)
+
+
+def test_compare_annotates_worker_count_mismatches(quick_bench_payload):
+    """Deltas between runs at different worker counts are not code
+    regressions; the compare calls the mismatch out instead of hiding it."""
+    payload, _ = quick_bench_payload
+    sharded = json.loads(json.dumps(payload))
+    sharded["workers"] = 4
+    sharded["matrix"]["ind"]["algorithms"]["kdtt+"]["workers"] = 4
+    lines, _ = compare_payloads(sharded, payload, threshold=1000.0)
+    assert any("WARNING" in line and "workers=4" in line for line in lines)
+    assert any("[workers 4 -> 1]" in line for line in lines
+               if "ind/kdtt+" in line)
+    # Same-workers comparisons stay unannotated.
+    lines, _ = compare_payloads(payload, payload)
+    assert not any("WARNING" in line or "[workers" in line
+                   for line in lines)
+
+
+def test_compare_min_of_runs_statistic(quick_bench_payload):
+    """``--compare-stat min`` gates on the min over runs, not the median."""
+    payload, _ = quick_bench_payload
+    shrunk = json.loads(json.dumps(payload))
+    entry = shrunk["matrix"]["ind"]["algorithms"]["kdtt+"]
+    # Baseline whose *min* is 1000x faster while its median is unchanged:
+    # only the min statistic may flag this.
+    entry["min_s"] /= 1000.0
+    _, median_regressions = compare_payloads(shrunk, payload, threshold=2.0,
+                                             statistic="median")
+    assert "ind/kdtt+" not in median_regressions
+    _, min_regressions = compare_payloads(shrunk, payload, threshold=2.0,
+                                          statistic="min")
+    assert "ind/kdtt+" in min_regressions
+    with pytest.raises(ValueError, match="unknown statistic"):
+        compare_payloads(payload, payload, statistic="p99")
+
+
+def test_compare_per_phase_thresholds(quick_bench_payload):
+    """A phase regression inside a stable headline median trips the gate
+    only when the per-phase mode is enabled."""
+    payload, _ = quick_bench_payload
+    shrunk = json.loads(json.dumps(payload))
+    phases = shrunk["matrix"]["ind"]["algorithms"]["bnb"]["phases_s"]
+    assert "index" in phases
+    phases["index"] /= 1000.0  # the current index phase now looks 1000x slower
+    _, headline_only = compare_payloads(shrunk, payload, threshold=2.0)
+    assert not any(":" in cell for cell in headline_only)
+    lines, regressions = compare_payloads(shrunk, payload, threshold=2.0,
+                                          phase_threshold=2.0)
+    assert "ind/bnb:index" in regressions
+    assert any("phase index" in line for line in lines)
+    # Phases missing from the baseline are reported but never flagged.
+    del shrunk["matrix"]["ind"]["algorithms"]["bnb"]["phases_s"]["index"]
+    lines, regressions = compare_payloads(shrunk, payload, threshold=2.0,
+                                          phase_threshold=2.0)
+    assert "ind/bnb:index" not in regressions
+    assert any("phase index" in line and "no baseline" in line
+               for line in lines)
+    with pytest.raises(ValueError, match="phase threshold"):
+        compare_payloads(payload, payload, phase_threshold=0.0)
+    text, ok = format_compare(payload, payload, phase_threshold=1.5)
+    assert ok and "per-phase 1.50x" in text
+
+
+def test_cli_compare_stat_and_phase_threshold(quick_bench_payload, capsys):
+    """The CI-friendly compare modes are reachable from the CLI."""
+    from repro.cli import main
+
+    payload, output = quick_bench_payload
+    # The huge headline threshold keeps this a plumbing test: re-timed
+    # wall clock against the session baseline must not flake the gate on
+    # a loaded or single-CPU runner.
+    argv = ["bench", "--quick", "--repeats", "1", "--algorithms", "kdtt+",
+            "--workloads", "ind", "--output", "-", "--compare", str(output),
+            "--regression-threshold", "1000000", "--compare-stat", "min",
+            "--phase-regression-threshold", "1000000"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "comparison against baseline (min," in out
+    # A vanishing per-phase threshold flags the annotated phases.
+    argv_tight = argv[:-1] + ["0.000001"]
+    argv_tight[argv_tight.index("kdtt+")] = "bnb"
+    assert main(argv_tight) == 1
+    assert "REGRESSION" in capsys.readouterr().out
 
 
 def test_compare_flags_regressions_and_only_regressions(quick_bench_payload):

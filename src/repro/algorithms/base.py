@@ -9,11 +9,12 @@ mapping once and exposes the arrays all index-based algorithms work on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..core.arsp import arsp_size, object_rskyline_probabilities
+from ..core.backend import run_sharded
 from ..core.dataset import UncertainDataset
 from ..core.numeric import PROB_ATOL, SCORE_ATOL, clamp_probability
 from ..core.preference import PreferenceRegion, resolve_preference_region
@@ -92,6 +93,40 @@ def empty_result(dataset: UncertainDataset) -> Dict[int, float]:
     return {instance.instance_id: 0.0 for instance in dataset.instances}
 
 
+def shard_covers_all(dataset: UncertainDataset, lo: int, hi: int) -> bool:
+    """True when a shard's ``[lo, hi)`` range is the whole object axis.
+
+    Shard functions with a cheaper unmasked full-range path (the
+    traversal family's subtree skipping, DUAL's target restriction) use
+    this to keep the serial ``workers=1`` hot path free of per-target
+    bookkeeping; defined once here so every ported algorithm applies the
+    same sentinel.
+    """
+    return lo == 0 and hi == dataset.num_objects
+
+
+def sharded_arsp(shard_fn: Callable, dataset: UncertainDataset, constraints,
+                 workers: Optional[int] = None,
+                 backend: Optional[str] = None,
+                 options: Optional[Dict[str, object]] = None
+                 ) -> Dict[int, float]:
+    """Run an ARSP shard function over the object axis via the backend layer.
+
+    This is the uniform entry point behind every ported algorithm's
+    ``workers=`` parameter (see :mod:`repro.core.backend`): the object axis
+    ``[0, m)`` is cut into ``workers`` contiguous shards,
+    ``shard_fn(dataset, constraints, lo, hi, **options)`` computes the
+    results for the instances owned by objects in ``[lo, hi)``, and the
+    shard results are merged into a full result dictionary whose key order
+    is the canonical instance order regardless of worker count.
+    """
+    return run_sharded(shard_fn, dataset, constraints,
+                       num_targets=dataset.num_objects,
+                       workers=workers, backend=backend,
+                       base_result=empty_result(dataset),
+                       options=options)
+
+
 def finalize_result(result: Dict[int, float]) -> Dict[int, float]:
     """Clamp accumulated float noise so probabilities stay within [0, 1]."""
     return {key: clamp_probability(value) for key, value in result.items()}
@@ -160,7 +195,16 @@ class SaturationTracker:
             self.beta *= (1.0 - new) / (1.0 - old)
 
     def remove(self, object_id: int, probability: float) -> None:
-        """Undo a previous :meth:`add` with the same arguments."""
+        """Undo a previous :meth:`add` with the same arguments.
+
+        The arithmetic inversion is exact only up to float rounding — a
+        remove leaves ulp-level residue in ``beta`` and ``sigma``.  The
+        traversal engine therefore undoes whole blocks with
+        :meth:`apply_block` / :meth:`restore` instead, whose snapshot
+        restore is bit-exact; this scalar pair remains the readable
+        specification (and the unit-tested reference) of what an undo
+        means.
+        """
         new = self.sigma[object_id]
         old = new - probability
         self.sigma[object_id] = old
@@ -171,6 +215,51 @@ class SaturationTracker:
             self.beta *= (1.0 - old)
         else:
             self.beta *= (1.0 - old) / (1.0 - new)
+
+    def apply_block(self, object_ids, probabilities) -> tuple:
+        """Apply a block of :meth:`add` updates; return an undo token.
+
+        The token snapshots ``beta`` and the touched ``sigma`` entries, so
+        :meth:`restore` rewinds the tracker *bit-exactly* — after a
+        restore, the state is precisely what it was before the block, with
+        none of the rounding residue an arithmetic :meth:`remove` leaves
+        behind.  That makes the state at any tree node a pure function of
+        the promotions along its root path, which is what lets the
+        execution backend skip sibling subtrees without perturbing results
+        (docs/ARCHITECTURE.md, "Execution backends").
+        """
+        old_beta = self.beta
+        old_sigma = []
+        newly_saturated = []
+        for object_id, probability in zip(object_ids, probabilities):
+            object_id = int(object_id)
+            old = self.sigma[object_id]
+            old_sigma.append((object_id, old))
+            new = old + probability
+            self.sigma[object_id] = new
+            if object_id in self.saturated:
+                continue
+            if new >= 1.0 - PROB_ATOL:
+                self.saturated.add(object_id)
+                newly_saturated.append(object_id)
+                # The factor (1 - old) leaves the product.
+                if 1.0 - old > 0.0:
+                    self.beta /= (1.0 - old)
+            else:
+                self.beta *= (1.0 - new) / (1.0 - old)
+        return (old_beta, old_sigma, newly_saturated)
+
+    def restore(self, token: tuple) -> None:
+        """Bit-exact inverse of the :meth:`apply_block` that made the
+        token (tokens must be restored in reverse application order)."""
+        old_beta, old_sigma, newly_saturated = token
+        # Reverse order puts the pre-block value back when one object was
+        # promoted several times within the block.
+        for object_id, old in reversed(old_sigma):
+            self.sigma[object_id] = old
+        for object_id in newly_saturated:
+            self.saturated.discard(object_id)
+        self.beta = old_beta
 
     def probabilities_for(self, object_ids: np.ndarray,
                           probabilities: np.ndarray) -> np.ndarray:

@@ -36,9 +36,11 @@ Both R-tree roles run on the flat array layer of :mod:`repro.index.rtree`
 
 The pruning set is kept as a stacked corner matrix tested with
 :func:`repro.core.kernels.dominates_corner` /
-:func:`repro.core.kernels.weak_dominance_matrix`; the window aggregates
-compare score vectors exactly (closed boxes, no tolerance), matching the
-scalar pointer-tree reference, so results are unchanged.
+:func:`repro.core.kernels.weak_dominance_matrix`; the σ window aggregates
+query the closed box at ``corner + SCORE_ATOL`` so the forest's exact
+containment test implements the same tolerant weak dominance as every
+other algorithm's score-space comparison (ulp-level ties count in both
+directions).
 
 Instances with identical scores under the sort vertex are processed as one
 batch (all of them are inserted into their aggregated R-trees before any of
@@ -50,7 +52,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +62,7 @@ from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import resolve_preference_region
 from ..core.profiling import phase
 from ..index.rtree import FlatRTree, RTreeForest
-from .base import empty_result, finalize_result
+from .base import finalize_result, sharded_arsp
 
 _NODE = 0
 _INSTANCE = 1
@@ -110,7 +112,9 @@ class _PruningSet:
 
 
 def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
-                          max_entries: int = 16) -> Dict[int, float]:
+                          max_entries: int = 16,
+                          workers: Optional[int] = None,
+                          backend: Optional[str] = None) -> Dict[int, float]:
     """Compute ARSP with the branch-and-bound algorithm.
 
     Parameters
@@ -120,13 +124,30 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
     max_entries:
         Fan-out of the R-trees (both the static index and the per-object
         aggregated forest).
+    workers, backend:
+        Target-axis sharding across the execution backend
+        (:mod:`repro.core.backend`).  Every worker replays the full
+        best-first traversal (the pruning-set evolution is inherently
+        sequential) but runs the dominant per-survivor σ queries and the
+        result emission only for its own shard of target objects; the
+        forest's per-corner aggregates are batch-order independent, so
+        shard results are bit-identical to the serial run.
     """
+    return sharded_arsp(_bnb_shard, dataset, constraints,
+                        workers=workers, backend=backend,
+                        options={"max_entries": max_entries})
+
+
+def _bnb_shard(dataset: UncertainDataset, constraints,
+               lo: int, hi: int, max_entries: int = 16) -> Dict[int, float]:
+    """B&B results for the instances owned by objects in ``[lo, hi)``."""
     region = resolve_preference_region(constraints)
     if region.dimension != dataset.dimension:
         raise ValueError(
             "constraints are defined for dimension %d but the dataset has "
             "dimension %d" % (region.dimension, dataset.dimension))
-    result = empty_result(dataset)
+    result = {instance.instance_id: 0.0 for instance in dataset.instances
+              if lo <= instance.object_id < hi}
     n = dataset.num_instances
     if n == 0:
         return result
@@ -226,15 +247,28 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
 
             # Third pass: one forest call resolves σ against every other
             # object for the whole batch.  Survivors with zero existence
-            # probability skip the query — their result is zero either way.
+            # probability skip the query — their result is zero either way
+            # — and so do survivors outside this shard's target range:
+            # their masses were inserted above (they stay candidate
+            # dominators for everyone), but their own σ rows belong to
+            # another shard.  The forest's per-corner rows do not depend on
+            # which other corners share the batch, so the remaining rows
+            # are bit-identical to the unsharded batch.
             live = [(position, score_vector)
                     for position, score_vector in survivors
-                    if probabilities[position] > 0.0]
+                    if probabilities[position] > 0.0
+                    and lo <= int(object_ids[position]) < hi]
             if live:
                 corners = np.stack([score for _, score in live])
                 owners = np.asarray([int(object_ids[position])
                                      for position, _ in live])
-                sigma = forest.dominance_aggregate(corners)
+                # Querying the closed window at corner + SCORE_ATOL makes
+                # the exact containment test of the forest implement the
+                # same tolerant weak dominance (candidate <= target + atol)
+                # as every other algorithm's score-space comparison —
+                # without it, ulp-level score ties (e.g. under degenerate
+                # single-vertex regions) are counted in one direction only.
+                sigma = forest.dominance_aggregate(corners + SCORE_ATOL)
                 sigma[np.arange(len(live)), owners] = 0.0
                 saturated = (sigma >= 1.0 - PROB_ATOL).any(axis=1)
                 live_probabilities = (

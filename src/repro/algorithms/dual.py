@@ -35,7 +35,7 @@ terms and of full results (see :class:`DualIndex`).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,7 +48,8 @@ from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import WeightRatioConstraints
 from ..core.profiling import phase
 from ..index.kdtree import KDTree, build_forest
-from .base import empty_result, finalize_result
+from .base import (empty_result, finalize_result, shard_covers_all,
+                   sharded_arsp)
 
 #: Upper bound on the number of (target, tree-root, dimension) floats held
 #: in memory at once — the margin-matrix kernel's largest intermediate is
@@ -262,21 +263,39 @@ class DualIndex:
         return sigma
 
     # ------------------------------------------------------------------
-    def query(self, constraints: WeightRatioConstraints) -> Dict[int, float]:
-        """Compute the full ARSP for the given weight ratio constraints."""
+    def query(self, constraints: WeightRatioConstraints,
+              target_range: Optional[Tuple[int, int]] = None
+              ) -> Dict[int, float]:
+        """Compute the ARSP for the given weight ratio constraints.
+
+        ``target_range`` restricts the *targets* to the instances owned by
+        objects in ``[lo, hi)`` (the execution backend's shard contract);
+        the candidate forest always spans every object.  Each target's σ
+        row is computed pair by pair with per-target accumulation order,
+        so restricting the target set leaves the surviving targets'
+        results bit-identical to a full query.
+        """
         if constraints.dimension != self.dataset.dimension:
             raise ValueError(
                 "constraints are defined for dimension %d but the dataset "
                 "has dimension %d"
                 % (constraints.dimension, self.dataset.dimension))
-        key = constraints.ranges
+        key = (constraints.ranges, target_range)
         cached = self._result_cache.get(key)
         if cached is not None:
             self.query_cache_hits += 1
             return dict(cached)
         lows = constraints.lows
         highs = constraints.highs
-        result = empty_result(self.dataset)
+        if target_range is None:
+            result = empty_result(self.dataset)
+            target_mask = None
+        else:
+            lo, hi = target_range
+            target_mask = ((self._target_objects >= lo)
+                           & (self._target_objects < hi))
+            result = {int(instance_id): 0.0 for instance_id
+                      in self._target_instance_ids[target_mask]}
         if not self.dataset.instances:
             return finalize_result(result)
         root_lo_terms = self._root_terms(constraints)
@@ -287,7 +306,10 @@ class DualIndex:
 
         # Zero-probability instances never touch the index: their rskyline
         # probability is zero regardless of the constraints.
-        live = np.flatnonzero(probabilities != 0.0)
+        live_mask = probabilities != 0.0
+        if target_mask is not None:
+            live_mask &= target_mask
+        live = np.flatnonzero(live_mask)
         entries_per_target = (max(1, len(self._root_objects))
                               * max(1, self.dataset.dimension - 1))
         chunk = max(1, _CHUNK_BUDGET // entries_per_target)
@@ -310,15 +332,38 @@ class DualIndex:
         return dict(final)
 
 
+def _dual_shard(dataset: UncertainDataset,
+                constraints: WeightRatioConstraints,
+                lo: int, hi: int, leaf_size: int = 16) -> Dict[int, float]:
+    """DUAL results for the instances owned by objects in ``[lo, hi)``.
+
+    Every shard builds the full constraint-independent forest (the
+    candidate dominators span all objects) and restricts only the query's
+    target axis; the repeated index build is the per-worker overhead the
+    sharded mode pays.  The ``phase`` annotations are captured only when
+    the shard runs in-process (``workers=1`` or the serial backend) —
+    phase collection is process-local, so process-sharded bench cells
+    record empty ``phases_s`` (docs/ARCHITECTURE.md, "Execution
+    backends").
+    """
+    with phase("index"):
+        index = DualIndex(dataset, leaf_size=leaf_size)
+    with phase("query"):
+        target_range = (None if shard_covers_all(dataset, lo, hi)
+                        else (lo, hi))
+        return index.query(constraints, target_range=target_range)
+
+
 def dual_arsp(dataset: UncertainDataset,
               constraints: WeightRatioConstraints,
-              leaf_size: int = 16) -> Dict[int, float]:
+              leaf_size: int = 16,
+              workers: Optional[int] = None,
+              backend: Optional[str] = None) -> Dict[int, float]:
     """One-shot DUAL: build the index and answer a single constraint set."""
     if not isinstance(constraints, WeightRatioConstraints):
         raise TypeError("the DUAL algorithm requires WeightRatioConstraints; "
                         "use the tree-traversal or branch-and-bound "
                         "algorithms for general linear constraints")
-    with phase("index"):
-        index = DualIndex(dataset, leaf_size=leaf_size)
-    with phase("query"):
-        return index.query(constraints)
+    return sharded_arsp(_dual_shard, dataset, constraints,
+                        workers=workers, backend=backend,
+                        options={"leaf_size": leaf_size})

@@ -18,15 +18,40 @@ throughput in ``BENCH_arsp.json`` (see PERFORMANCE.md).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.dataset import UncertainDataset
-from .base import build_score_space, empty_result, finalize_result
+from .base import (build_score_space, finalize_result, shard_covers_all,
+                   sharded_arsp)
 from .tree_traversal import kd_partition, traverse_arsp
 
 
+def _kdtt_shard(dataset: UncertainDataset, constraints,
+                lo: int, hi: int,
+                integrated: bool = True) -> Dict[int, float]:
+    """kd-ASP* results for the instances owned by objects in ``[lo, hi)``.
+
+    The traversal runs over the *full* score space (candidates are never
+    sharded) with a target mask: subtrees holding no shard target are
+    skipped, and every visited node carries the exact σ/β/χ state of the
+    unmasked traversal, so shard results are bit-identical to the serial
+    run (see :func:`repro.algorithms.tree_traversal.traverse_arsp`).
+    """
+    space = build_score_space(dataset, constraints)
+    # The full-range shard (workers=1) drops the mask entirely so the
+    # serial path pays no per-node target checks.
+    targets = (None if shard_covers_all(dataset, lo, hi)
+               else (space.object_ids >= lo) & (space.object_ids < hi))
+    result: Dict[int, float] = {}
+    traverse_arsp(space, result, kd_partition, prune_construction=integrated,
+                  targets=targets)
+    return finalize_result(result)
+
+
 def kdtree_traversal_arsp(dataset: UncertainDataset, constraints,
-                          integrated: bool = True) -> Dict[int, float]:
+                          integrated: bool = True,
+                          workers: Optional[int] = None,
+                          backend: Optional[str] = None) -> Dict[int, float]:
     """Compute ARSP with the kd-tree traversal algorithm.
 
     Parameters
@@ -39,18 +64,27 @@ def kdtree_traversal_arsp(dataset: UncertainDataset, constraints,
     integrated:
         ``True`` for KDTT+ (integrated construction + zero pruning),
         ``False`` for the original KDTT.
+    workers, backend:
+        Target-axis sharding across the execution backend
+        (:mod:`repro.core.backend`); results are bit-identical for every
+        worker count.
     """
-    space = build_score_space(dataset, constraints)
-    result = empty_result(dataset)
-    traverse_arsp(space, result, kd_partition, prune_construction=integrated)
-    return finalize_result(result)
+    return sharded_arsp(_kdtt_shard, dataset, constraints,
+                        workers=workers, backend=backend,
+                        options={"integrated": integrated})
 
 
-def kdtt_plus(dataset: UncertainDataset, constraints) -> Dict[int, float]:
+def kdtt_plus(dataset: UncertainDataset, constraints,
+              workers: Optional[int] = None,
+              backend: Optional[str] = None) -> Dict[int, float]:
     """Convenience wrapper for the KDTT+ variant."""
-    return kdtree_traversal_arsp(dataset, constraints, integrated=True)
+    return kdtree_traversal_arsp(dataset, constraints, integrated=True,
+                                 workers=workers, backend=backend)
 
 
-def kdtt(dataset: UncertainDataset, constraints) -> Dict[int, float]:
+def kdtt(dataset: UncertainDataset, constraints,
+         workers: Optional[int] = None,
+         backend: Optional[str] = None) -> Dict[int, float]:
     """Convenience wrapper for the original KDTT variant."""
-    return kdtree_traversal_arsp(dataset, constraints, integrated=False)
+    return kdtree_traversal_arsp(dataset, constraints, integrated=False,
+                                 workers=workers, backend=backend)

@@ -20,27 +20,49 @@ so results agree to float accumulation precision.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.dataset import UncertainDataset
 from ..core.kernels import weak_dominance_matrix
 from ..core.numeric import PROB_ATOL, SCORE_ATOL
-from .base import build_score_space, empty_result, finalize_result
+from .base import build_score_space, empty_result, finalize_result, \
+    sharded_arsp
 
 #: Upper bound on the number of dominance-matrix entries held in memory at
 #: once; the chunked sweep sizes its target chunks accordingly.
 _CHUNK_BUDGET = 4_000_000
 
 
-def loop_arsp(dataset: UncertainDataset, constraints) -> Dict[int, float]:
-    """Compute ARSP with the quadratic LOOP baseline (vectorized)."""
+def loop_arsp(dataset: UncertainDataset, constraints,
+              workers: Optional[int] = None,
+              backend: Optional[str] = None) -> Dict[int, float]:
+    """Compute ARSP with the quadratic LOOP baseline (vectorized).
+
+    ``workers`` shards the target axis across the execution backend (see
+    :mod:`repro.core.backend`); each target's σ sums accumulate over the
+    same candidates in the same order no matter which shard holds it, so
+    results are bit-identical for every worker count.
+    """
+    return sharded_arsp(_loop_shard, dataset, constraints,
+                        workers=workers, backend=backend)
+
+
+def _loop_shard(dataset: UncertainDataset, constraints,
+                lo: int, hi: int) -> Dict[int, float]:
+    """LOOP results for the instances owned by objects in ``[lo, hi)``.
+
+    Candidates always span the whole dataset — only the *target* axis is
+    sharded.  For a fixed target, the dominating candidates and the order
+    their masses accumulate in (candidate-major ``np.add.at``) do not
+    depend on the chunk or shard it lands in, so any sharding of the
+    target axis reproduces the single-shard values bit for bit.
+    """
     space = build_score_space(dataset, constraints)
-    result = empty_result(dataset)
     n = space.num_instances
     if n == 0:
-        return result
+        return {}
 
     # Sort by the score under the first vertex; any instance that F-dominates
     # another one has a score at most as large, so only the prefix (plus
@@ -55,21 +77,30 @@ def loop_arsp(dataset: UncertainDataset, constraints) -> Dict[int, float]:
     instance_ids = space.instance_ids[order]
     sorted_primary = primary[order]
 
+    # Positions (in sorted order) of this shard's targets.
+    targets = np.flatnonzero((object_ids >= lo) & (object_ids < hi))
+    result: Dict[int, float] = {}
+    if not len(targets):
+        return result
+
     m = space.num_objects
-    values = np.empty(n)
+    values = np.empty(len(targets))
     # The dominance kernel's broadcast temporary is (prefix, chunk, d'), so
     # the mapped dimension joins the entry count like in dual.py/sampling.py.
     chunk = max(1, _CHUNK_BUDGET // (n * max(1, space.mapped_dimension)))
-    for begin in range(0, n, chunk):
-        end = min(n, begin + chunk)
-        limit = sorted_primary[end - 1] + SCORE_ATOL
+    for begin in range(0, len(targets), chunk):
+        end = min(len(targets), begin + chunk)
+        rows = targets[begin:end]
+        limit = sorted_primary[rows[-1]] + SCORE_ATOL
         prefix = int(np.searchsorted(sorted_primary, limit, side="right"))
-        # dom[c, t] iff candidate c weakly dominates target begin + t in
+        # dom[c, t] iff candidate c weakly dominates target rows[t] in
         # score space — the same test the scalar loop applies per pair.
-        dom = weak_dominance_matrix(scores[:prefix], scores[begin:end])
-        columns = np.arange(begin, end)
-        dom[columns, columns - begin] = False
-        dom &= object_ids[:prefix, None] != object_ids[None, begin:end]
+        dom = weak_dominance_matrix(scores[:prefix], scores[rows])
+        # Every target weakly dominates itself and sits inside its own
+        # prefix (its primary score is below its own limit), so the
+        # self-pair mask is unconditional.
+        dom[rows, np.arange(len(rows))] = False
+        dom &= object_ids[:prefix, None] != object_ids[None, rows]
         # Scatter the dominating candidates' masses into the per-object σ
         # matrix; memory stays O(chunk * m) plus the dominating pairs.
         sigma = np.zeros((end - begin, m))
@@ -81,9 +112,10 @@ def loop_arsp(dataset: UncertainDataset, constraints) -> Dict[int, float]:
         saturated = np.any(sigma >= 1.0 - PROB_ATOL, axis=1)
         values[begin:end] = np.where(
             saturated, 0.0,
-            probabilities[begin:end] * np.prod(1.0 - sigma, axis=1))
+            probabilities[rows] * np.prod(1.0 - sigma, axis=1))
 
-    for instance_id, value in zip(instance_ids.tolist(), values.tolist()):
+    for instance_id, value in zip(instance_ids[targets].tolist(),
+                                  values.tolist()):
         result[int(instance_id)] = value
     return finalize_result(result)
 

@@ -12,18 +12,34 @@ algorithm's throughput in ``BENCH_arsp.json``.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.dataset import UncertainDataset
-from .base import build_score_space, empty_result, finalize_result
+from .base import (build_score_space, finalize_result, shard_covers_all,
+                   sharded_arsp)
 from .tree_traversal import quad_partition, traverse_arsp
 
 
-def quadtree_traversal_arsp(dataset: UncertainDataset, constraints,
-                            integrated: bool = True) -> Dict[int, float]:
-    """Compute ARSP with the quadtree traversal algorithm (QDTT+)."""
+def _qdtt_shard(dataset: UncertainDataset, constraints,
+                lo: int, hi: int,
+                integrated: bool = True) -> Dict[int, float]:
+    """QDTT+ results for the instances owned by objects in ``[lo, hi)``
+    (same target-mask contract as the kd-tree shard)."""
     space = build_score_space(dataset, constraints)
-    result = empty_result(dataset)
+    targets = (None if shard_covers_all(dataset, lo, hi)
+               else (space.object_ids >= lo) & (space.object_ids < hi))
+    result: Dict[int, float] = {}
     traverse_arsp(space, result, quad_partition,
-                  prune_construction=integrated)
+                  prune_construction=integrated, targets=targets)
     return finalize_result(result)
+
+
+def quadtree_traversal_arsp(dataset: UncertainDataset, constraints,
+                            integrated: bool = True,
+                            workers: Optional[int] = None,
+                            backend: Optional[str] = None
+                            ) -> Dict[int, float]:
+    """Compute ARSP with the quadtree traversal algorithm (QDTT+)."""
+    return sharded_arsp(_qdtt_shard, dataset, constraints,
+                        workers=workers, backend=backend,
+                        options={"integrated": integrated})

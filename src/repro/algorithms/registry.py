@@ -29,6 +29,13 @@ ALGORITHMS: Dict[str, Callable] = {
     "dual-ms": dual_ms_arsp,
 }
 
+#: Algorithms ported onto the execution backend: they accept the uniform
+#: ``workers=`` / ``backend=`` options and shard the target axis
+#: (docs/ARCHITECTURE.md, "Execution backends").  ENUM and DUAL-MS remain
+#: serial-only.
+PARALLEL_ALGORITHMS = frozenset(
+    {"loop", "kdtt", "kdtt+", "qdtt+", "bnb", "dual"})
+
 #: Accepted aliases (case-insensitive, punctuation-tolerant).
 _ALIASES: Dict[str, str] = {
     "enum": "enum",
@@ -66,3 +73,8 @@ def get_algorithm(name: str) -> Callable:
 def list_algorithms() -> List[str]:
     """Canonical names of all registered algorithms."""
     return sorted(ALGORITHMS)
+
+
+def supports_workers(name: str) -> bool:
+    """Whether the named algorithm accepts the ``workers=`` option."""
+    return canonical_name(name) in PARALLEL_ALGORITHMS

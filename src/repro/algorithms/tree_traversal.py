@@ -34,7 +34,7 @@ once at the end (see PERFORMANCE.md for the measured effect).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -90,7 +90,8 @@ def quad_partition(scores: np.ndarray, indices: np.ndarray,
 
 def traverse_arsp(space: ScoreSpace, result: Dict[int, float],
                   partition: PartitionFunction,
-                  prune_construction: bool = True) -> Dict[str, int]:
+                  prune_construction: bool = True,
+                  targets: Optional[np.ndarray] = None) -> Dict[str, int]:
     """Run the kd-ASP* traversal and fill ``result`` in place.
 
     Parameters
@@ -107,15 +108,25 @@ def traverse_arsp(space: ScoreSpace, result: Dict[int, float],
         When True (KDTT+/QDTT+) subtrees whose instances all have zero
         probability are not constructed; when False (KDTT) the full tree is
         explored and the zeros are produced at the leaves.
+    targets:
+        Optional boolean mask over the instance positions.  Only masked
+        instances are emitted into ``result``, and subtrees containing no
+        masked instance are skipped entirely.  The tree shape and the
+        σ/β/χ path state of every *visited* node are those of the full
+        traversal — promotions at a node only affect its own subtree and
+        are undone on the way back up — so the emitted values are
+        bit-identical to an unmasked run.  This is what the execution
+        backend's target sharding relies on (docs/ARCHITECTURE.md,
+        "Execution backends").
 
     Returns
     -------
     dict
-        Small statistics dictionary (visited nodes, pruned subtrees) used by
-        tests and by the experiment reports.
+        Small statistics dictionary (visited nodes, pruned and skipped
+        subtrees) used by tests and by the experiment reports.
     """
     n = space.num_instances
-    stats = {"nodes": 0, "pruned": 0, "leaves": 0}
+    stats = {"nodes": 0, "pruned": 0, "leaves": 0, "skipped": 0}
     if n == 0:
         return stats
 
@@ -135,11 +146,18 @@ def traverse_arsp(space: ScoreSpace, result: Dict[int, float],
     while stack:
         action = stack.pop()
         if action[0] == "undo":
-            for object_id, probability in reversed(action[1]):
-                tracker.remove(object_id, probability)
+            if action[1] is not None:
+                tracker.restore(action[1])
             continue
 
         _, indices, candidates = action
+        if targets is not None and not np.any(targets[indices]):
+            # No shard target below this node: nothing the subtree would
+            # compute is emitted, and its σ promotions are invisible to any
+            # other subtree, so it can be skipped before touching the
+            # tracker at all.
+            stats["skipped"] += 1
+            continue
         stats["nodes"] += 1
         node_scores = scores[indices]
         pmin = node_scores.min(axis=0)
@@ -147,22 +165,21 @@ def traverse_arsp(space: ScoreSpace, result: Dict[int, float],
 
         # Move candidates that dominate the min corner into sigma; keep the
         # ones that still dominate the max corner as candidates for children.
-        applied: List[tuple] = []
+        # The block apply snapshots the tracker so the undo on the way back
+        # up is bit-exact (sibling subtrees leave no rounding residue).
+        undo_token = None
         if len(candidates):
             dominates_min, dominates_max = classify_against_box(
                 scores[candidates], pmin, pmax)
             promoted = candidates[dominates_min]
             new_candidates = candidates[dominates_max & ~dominates_min]
             if len(promoted):
-                for object_id, probability in zip(
-                        object_ids[promoted].tolist(),
-                        probabilities[promoted].tolist()):
-                    object_id = int(object_id)
-                    tracker.add(object_id, probability)
-                    applied.append((object_id, probability))
+                undo_token = tracker.apply_block(
+                    object_ids[promoted].tolist(),
+                    probabilities[promoted].tolist())
         else:
             new_candidates = candidates
-        stack.append(("undo", applied))
+        stack.append(("undo", undo_token))
 
         # Zero pruning: every instance in the node has probability zero when
         # at least two objects are saturated, or when one is saturated and
@@ -188,6 +205,9 @@ def traverse_arsp(space: ScoreSpace, result: Dict[int, float],
         for part in reversed(parts):
             stack.append(("node", part, new_candidates))
 
-    for instance_id, value in zip(instance_ids.tolist(), out.tolist()):
+    emitted = (np.arange(n) if targets is None
+               else np.flatnonzero(targets))
+    for instance_id, value in zip(instance_ids[emitted].tolist(),
+                                  out[emitted].tolist()):
         result[int(instance_id)] = value
     return stats

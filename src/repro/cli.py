@@ -21,10 +21,14 @@ without writing code:
     Run the bench-regression harness over the algorithm × workload matrix
     (IND/ANTI/CORR synthetic distributions plus the IIP/CAR/NBA real-data
     stand-ins, selectable via ``--workloads``) and write
-    ``BENCH_arsp.json`` (see PERFORMANCE.md).  ``--compare BASELINE.json``
-    additionally prints per-cell median deltas against a previous payload
-    and exits non-zero when any cell regresses beyond
-    ``--regression-threshold``.
+    ``BENCH_arsp.json`` (see PERFORMANCE.md).  ``--workers N`` shards every
+    backend-ported algorithm's target axis across ``N`` worker processes,
+    with each cell still parity-checked against the serial backend.
+    ``--compare BASELINE.json`` additionally prints per-cell deltas against
+    a previous payload (``--compare-stat`` picks the median or the
+    CI-friendly min of runs, ``--phase-regression-threshold`` gates the
+    recorded per-phase medians too) and exits non-zero when any cell
+    regresses beyond ``--regression-threshold``.
 """
 
 from __future__ import annotations
@@ -44,15 +48,38 @@ from .experiments.effectiveness import (format_ranking_table,
                                         skyline_probability_ranking)
 from .experiments.figures import figure5_sweep, figure6_sweep, figure8_sweep
 from .experiments.harness import sweep_to_series
-from .experiments.perf import (DEFAULT_OUTPUT, DEFAULT_REGRESSION_THRESHOLD,
-                               PROFILES, format_bench, format_compare,
-                               load_bench, run_bench)
+from .experiments.perf import (COMPARE_STATISTICS, DEFAULT_OUTPUT,
+                               DEFAULT_REGRESSION_THRESHOLD, PROFILES,
+                               format_bench, format_compare, load_bench,
+                               run_bench)
 from .experiments.workloads import available_workloads
 from .experiments.reporting import format_series, format_table
 
 #: Figure identifiers accepted by ``python -m repro figure --id ...`` mapped
 #: to (description, runner).  Runners return printable text.
 FIGURE_IDS = ("5a", "5d", "5g", "5j", "5m", "5p", "6a", "8a", "8b")
+
+
+def _workers_argument(value: str) -> int:
+    """Argparse type for ``--workers``: a positive integer.
+
+    Thin wrapper over :func:`repro.core.backend.resolve_workers` — the
+    single source of the validation rule — so a bad value fails with a
+    clear CLI error before any dataset is generated.  The CPU-count clamp
+    is applied later by the execution backend (it only affects spawned
+    processes, never the deterministic shard layout).
+    """
+    from .core.backend import resolve_workers
+
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "workers must be a positive integer, got %r" % value)
+    try:
+        return resolve_workers(workers)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="number of WR constraints (default d-1)")
     arsp.add_argument("--top-k", type=int, default=10)
     arsp.add_argument("--seed", type=int, default=7)
+    arsp.add_argument("--workers", type=_workers_argument, default=None,
+                      help="shard the target axis across this many worker "
+                           "processes (backend-ported algorithms only)")
 
     figure = subparsers.add_parser("figure", help="re-run a figure sweep")
     figure.add_argument("--id", required=True, choices=FIGURE_IDS,
@@ -117,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regression factor for --compare "
                             "(default: %.2fx)"
                             % DEFAULT_REGRESSION_THRESHOLD)
+    bench.add_argument("--workers", type=_workers_argument, default=None,
+                       help="shard every backend-ported algorithm's target "
+                            "axis across this many worker processes; every "
+                            "cell stays parity-checked against the serial "
+                            "backend")
+    bench.add_argument("--compare-stat", default="median",
+                       choices=sorted(COMPARE_STATISTICS),
+                       help="statistic gated by --compare: the median or "
+                            "the CI-friendly min of runs (default: median)")
+    bench.add_argument("--phase-regression-threshold", type=float,
+                       default=None, metavar="FACTOR",
+                       help="additionally gate every recorded per-phase "
+                            "median (index/query splits) on this factor "
+                            "during --compare")
     return parser
 
 
@@ -130,16 +174,20 @@ def run_arsp(args: argparse.Namespace) -> str:
                              seed=args.seed)
     dataset = generate_uncertain_dataset(config)
     constraints = weak_ranking_constraints(args.dimension, args.constraints)
+    workers = getattr(args, "workers", None)
     start = time.perf_counter()
-    result = compute_arsp(dataset, constraints, algorithm=args.algorithm)
+    result = compute_arsp(dataset, constraints, algorithm=args.algorithm,
+                          workers=workers)
     elapsed = time.perf_counter() - start
 
     lines = [
         "workload: m=%d, instances=%d, d=%d, distribution=%s"
         % (dataset.num_objects, dataset.num_instances, dataset.dimension,
            args.distribution),
-        "algorithm %s finished in %.3f s; ARSP size %d"
-        % (args.algorithm, elapsed, arsp_size(result)),
+        "algorithm %s finished in %.3f s%s; ARSP size %d"
+        % (args.algorithm, elapsed,
+           "" if workers is None else " (workers=%d)" % workers,
+           arsp_size(result)),
         "",
     ]
     rows = [(object_id, round(probability, 4))
@@ -237,14 +285,16 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
                         algorithms=_parse_names(args.algorithms),
                         workloads=_parse_names(args.workloads),
                         repeats=args.repeats, output_path=output_path,
-                        check=not args.no_check)
+                        check=not args.no_check, workers=args.workers)
     lines = [format_bench(payload)]
     if output_path:
         lines.append("wrote %s" % output_path)
     status = 0
     if baseline is not None:
-        text, ok = format_compare(baseline, payload,
-                                  threshold=args.regression_threshold)
+        text, ok = format_compare(
+            baseline, payload, threshold=args.regression_threshold,
+            statistic=args.compare_stat,
+            phase_threshold=args.phase_regression_threshold)
         lines.append(text)
         if not ok:
             status = 1
@@ -261,7 +311,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\n".join(list_algorithms()))
         return 0
     if args.command == "arsp":
-        print(run_arsp(args))
+        try:
+            print(run_arsp(args))
+        except ValueError as error:
+            # e.g. --workers requested for a serial-only algorithm.
+            print("error: %s" % error, file=sys.stderr)
+            return 2
         return 0
     if args.command == "figure":
         print(run_figure(args.id))

@@ -2,6 +2,8 @@
 
 from .arsp import (arsp_size, compute_arsp, object_rskyline_probabilities,
                    threshold_query, top_k_objects)
+from .backend import (ProcessBackend, SerialBackend, resolve_workers,
+                      run_sharded, shard_bounds)
 from .dataset import Instance, UncertainDataset, UncertainObject
 from .dominance import (dominates, f_dominates, f_dominates_scores,
                         strictly_dominates, weight_ratio_f_dominates)
@@ -16,6 +18,8 @@ __all__ = [
     "Instance",
     "LinearConstraints",
     "PreferenceRegion",
+    "ProcessBackend",
+    "SerialBackend",
     "UncertainDataset",
     "UncertainObject",
     "WeightRatioConstraints",
@@ -32,7 +36,10 @@ __all__ = [
     "number_of_possible_worlds",
     "object_rskyline_probabilities",
     "resolve_preference_region",
+    "resolve_workers",
     "rskyline",
+    "run_sharded",
+    "shard_bounds",
     "skyline",
     "strictly_dominates",
     "threshold_query",

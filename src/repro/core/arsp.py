@@ -16,7 +16,8 @@ from .preference import WeightRatioConstraints
 
 
 def compute_arsp(dataset: UncertainDataset, constraints,
-                 algorithm: str = "auto", **options) -> Dict[int, float]:
+                 algorithm: str = "auto", workers: Optional[int] = None,
+                 **options) -> Dict[int, float]:
     """Compute the rskyline probability of every instance.
 
     Parameters
@@ -31,6 +32,11 @@ def compute_arsp(dataset: UncertainDataset, constraints,
         One of the names in :func:`repro.algorithms.list_algorithms`, or
         ``"auto"`` to pick a sensible default (B&B for general constraints,
         DUAL for weight ratio constraints).
+    workers:
+        Shard the target axis across this many workers (see
+        :mod:`repro.core.backend`).  Only the ported algorithms accept it;
+        requesting workers for a serial-only algorithm raises
+        ``ValueError`` rather than silently running serial.
     options:
         Extra keyword arguments passed to the selected algorithm.
 
@@ -40,14 +46,25 @@ def compute_arsp(dataset: UncertainDataset, constraints,
         Mapping ``instance_id -> rskyline probability`` covering every
         instance of the dataset (zero-probability instances included).
     """
-    from ..algorithms.registry import get_algorithm
+    from ..algorithms.registry import (canonical_name, get_algorithm,
+                                       supports_workers)
 
     if algorithm == "auto":
         if isinstance(constraints, WeightRatioConstraints):
             algorithm = "dual"
         else:
             algorithm = "bnb"
-    implementation = get_algorithm(algorithm)
+    name = canonical_name(algorithm)
+    implementation = get_algorithm(name)
+    if workers is not None:
+        if not supports_workers(name):
+            from ..algorithms.registry import PARALLEL_ALGORITHMS
+
+            raise ValueError(
+                "algorithm %r does not support sharded execution "
+                "(workers=%r); parallel algorithms: %s"
+                % (name, workers, ", ".join(sorted(PARALLEL_ALGORITHMS))))
+        options = dict(options, workers=workers)
     return implementation(dataset, constraints, **options)
 
 

@@ -1,0 +1,440 @@
+"""Execution backends: sharding the target axis across worker processes.
+
+Every ARSP algorithm is embarrassingly parallel over the *target objects*:
+the rskyline probability of each instance depends on the whole dataset but
+not on the results of any other instance, so the target axis ``[0, m)`` can
+be cut into contiguous shards and each shard computed independently against
+the shared instance arrays.  This module provides the executor abstraction
+behind the uniform ``workers=`` parameter of the ported algorithms
+(docs/ARCHITECTURE.md, "Execution backends"):
+
+``serial``
+    Runs the shard functions in-process, one after the other.  With a
+    single shard this is exactly the pre-backend code path; with several
+    shards it exercises the shard/merge machinery without process overhead
+    (which is what the cross-backend parity suite leans on).
+``process``
+    Ships the dataset to a ``multiprocessing`` pool once — through a
+    ``multiprocessing.shared_memory`` block holding the flat instance
+    arrays when available, falling back to pickling the same arrays — and
+    runs one shard function call per shard in the pool.
+
+Determinism contract
+--------------------
+The shard layout is a pure function of ``(num_targets, workers)`` — it
+never depends on ``os.cpu_count()`` or on which backend executes it — and
+shard results are merged in ascending target order.  Together with the
+per-target invariance of the ported shard functions (each target's result
+is bit-identical no matter which other targets share its shard; see the
+algorithm modules) this makes results *bit-identical* across backends,
+across worker counts and across machines.  The CPU-count clamp applies
+only to the number of worker processes actually spawned, so an
+over-subscribed ``workers=`` cannot change results, only scheduling.
+
+Shard functions must be module-level callables (picklable by reference)
+with the signature ``fn(dataset, constraints, lo, hi, **options)``
+returning ``{instance_id: probability}`` for every instance whose owning
+object id lies in ``[lo, hi)``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import Instance, UncertainDataset, UncertainObject
+
+#: Backend names accepted by :func:`run_sharded` / the ``backend=`` option.
+BACKENDS = ("auto", "serial", "process")
+
+#: Start method used for worker pools: the platform default.  Forcing
+#: ``fork`` would be marginally faster where it is not already the
+#: default, but forking a multi-threaded host (or numpy/Accelerate on
+#: macOS) can deadlock or crash the child — the reason CPython moved its
+#: defaults to ``spawn``/``forkserver`` — and the determinism contract
+#: does not depend on the start method, so the default always stands.
+_START_METHOD = None
+
+
+def _start_method() -> str:
+    global _START_METHOD
+    if _START_METHOD is None:
+        import multiprocessing
+
+        _START_METHOD = multiprocessing.get_start_method(allow_none=False)
+    return _START_METHOD
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Validate a ``workers=`` value; ``None`` means serial (one shard).
+
+    The returned count drives the *shard layout* and is deliberately not
+    clamped to the machine's CPU count — the layout must be deterministic
+    across machines.  :func:`pool_size` applies the CPU clamp to the
+    number of processes actually spawned.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError("workers must be a positive integer, got %r"
+                         % (workers,))
+    if workers < 1:
+        raise ValueError("workers must be a positive integer, got %d"
+                         % workers)
+    return workers
+
+
+def pool_size(workers: int, num_shards: int,
+              available: Optional[int] = None) -> int:
+    """Number of worker processes to spawn: clamped to the CPU count.
+
+    ``available`` overrides ``os.cpu_count()`` for tests; a machine whose
+    CPU count cannot be determined counts as one CPU.
+    """
+    if available is None:
+        available = os.cpu_count() or 1
+    return max(1, min(workers, num_shards, available))
+
+
+def shard_bounds(num_targets: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Cut ``[0, num_targets)`` into at most ``num_shards`` contiguous,
+    near-equal shards (the first ``num_targets % num_shards`` shards are one
+    target larger).  Empty shards are dropped, so ``num_targets <
+    num_shards`` yields ``num_targets`` single-target shards.  A zero-target
+    axis keeps one empty shard so degenerate inputs still reach the shard
+    function (and fail there exactly like the pre-backend code paths).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive, got %d" % num_shards)
+    if num_targets <= 0:
+        return [(0, 0)]
+    num_shards = min(num_shards, num_targets)
+    base, remainder = divmod(num_targets, num_shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < remainder else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# Shipping the dataset to worker processes
+# ----------------------------------------------------------------------
+
+def _dataset_arrays(dataset: UncertainDataset) -> Dict[str, np.ndarray]:
+    """The flat arrays that fully determine an ARSP computation.
+
+    Labels are deliberately not shipped: no algorithm reads them, and
+    results are keyed by instance ids.
+    """
+    return {
+        "points": np.ascontiguousarray(dataset.instance_matrix(),
+                                       dtype=np.float64),
+        "probabilities": np.ascontiguousarray(dataset.probability_vector(),
+                                              dtype=np.float64),
+        "object_ids": np.ascontiguousarray(dataset.object_ids(),
+                                           dtype=np.int64),
+        "instance_ids": np.ascontiguousarray(
+            [instance.instance_id for instance in dataset.instances],
+            dtype=np.int64),
+    }
+
+
+def _rebuild_dataset(arrays: Dict[str, np.ndarray],
+                     num_objects: int) -> UncertainDataset:
+    """Inverse of :func:`_dataset_arrays`: regroup the flat arrays.
+
+    Instance order within each object (and hence the dataset's flat
+    instance order, which is grouped by object on construction) round-trips
+    exactly, so the rebuilt dataset produces bit-identical results.  The
+    shipped arrays are attached as the dataset's flat-accessor cache, so
+    a shard function's ``instance_matrix()`` / ``probability_vector()`` /
+    ``object_ids()`` calls return them directly instead of re-flattening
+    the just-built Python instance objects.
+    """
+    grouped: List[List[Instance]] = [[] for _ in range(num_objects)]
+    points = arrays["points"]
+    probabilities = arrays["probabilities"]
+    object_ids = arrays["object_ids"]
+    instance_ids = arrays["instance_ids"]
+    for row in range(points.shape[0]):
+        object_id = int(object_ids[row])
+        grouped[object_id].append(Instance(
+            object_id=object_id,
+            instance_id=int(instance_ids[row]),
+            values=tuple(float(value) for value in points[row]),
+            probability=float(probabilities[row])))
+    objects = [UncertainObject(object_id=object_id, instances=instances)
+               for object_id, instances in enumerate(grouped)]
+    dataset = UncertainDataset(objects)
+    if num_objects and points.shape[0]:
+        dataset._attach_flat_cache(points, probabilities, object_ids)
+    return dataset
+
+
+@dataclass
+class PickledDataset:
+    """Pickle-shipping fallback: the flat arrays ride the initargs pipe."""
+
+    arrays: Dict[str, np.ndarray]
+    num_objects: int
+
+    @classmethod
+    def create(cls, dataset: UncertainDataset) -> "PickledDataset":
+        return cls(_dataset_arrays(dataset), dataset.num_objects)
+
+    def restore(self) -> UncertainDataset:
+        return _rebuild_dataset(self.arrays, self.num_objects)
+
+    def unlink(self) -> None:
+        """Nothing to release; mirrors :class:`SharedDatasetHandle`."""
+
+
+@dataclass
+class SharedDatasetHandle:
+    """Dataset shipped through one ``multiprocessing.shared_memory`` block.
+
+    The parent writes the flat arrays into a single block; only this small
+    descriptor (block name, array shapes/offsets) is pickled to the
+    workers, which attach by name, copy the arrays out and rebuild the
+    dataset.  The parent owns the block and must call :meth:`unlink` once
+    the pool has finished.
+    """
+
+    name: str
+    specs: Dict[str, Tuple[int, Tuple[int, ...], str]]
+    num_objects: int
+
+    @classmethod
+    def create(cls, dataset: UncertainDataset) -> "SharedDatasetHandle":
+        from multiprocessing import shared_memory
+
+        arrays = _dataset_arrays(dataset)
+        specs: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
+        offset = 0
+        for key, array in arrays.items():
+            specs[key] = (offset, array.shape, array.dtype.str)
+            offset += array.nbytes
+        block = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        try:
+            for key, array in arrays.items():
+                start = specs[key][0]
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=block.buf, offset=start)
+                view[...] = array
+                del view
+        except BaseException:
+            block.close()
+            block.unlink()
+            raise
+        handle = cls(block.name, specs, dataset.num_objects)
+        handle._block = block
+        return handle
+
+    def restore(self) -> UncertainDataset:
+        """Attach to the block (in a worker) and rebuild the dataset."""
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=self.name)
+        try:
+            arrays = {}
+            for key, (offset, shape, dtype) in self.specs.items():
+                view = np.ndarray(shape, dtype=np.dtype(dtype),
+                                  buffer=block.buf, offset=offset)
+                arrays[key] = view.copy()
+                del view
+        finally:
+            # Only close, never unlink or unregister: the parent owns the
+            # block, unlinks it once the pool has finished, and (with a
+            # pool-shared resource tracker) performs the single unregister.
+            block.close()
+        return _rebuild_dataset(arrays, self.num_objects)
+
+    def unlink(self) -> None:
+        """Release the block (parent side, after the pool has finished)."""
+        block = getattr(self, "_block", None)
+        if block is not None:
+            block.close()
+            block.unlink()
+            self._block = None
+
+    def __getstate__(self):
+        # The live block object stays in the parent; workers reattach by
+        # name, so only the descriptor crosses the process boundary.
+        return (self.name, self.specs, self.num_objects)
+
+    def __setstate__(self, state):
+        self.name, self.specs, self.num_objects = state
+
+
+def ship_dataset(dataset: UncertainDataset):
+    """Prepare a dataset for worker processes.
+
+    Returns ``(payload, release)``: a picklable payload whose ``restore()``
+    rebuilds the dataset in a worker, and a zero-argument cleanup callable
+    for the parent.  Shared memory is preferred; environments without a
+    usable ``/dev/shm`` (or without the module at all) fall back to
+    pickling the same arrays, so both paths rebuild the identical dataset.
+    """
+    try:
+        handle = SharedDatasetHandle.create(dataset)
+        return handle, handle.unlink
+    except (ImportError, OSError) as error:
+        warnings.warn("shared memory unavailable (%s); falling back to "
+                      "pickled dataset shipping" % error,
+                      RuntimeWarning, stacklevel=2)
+        payload = PickledDataset.create(dataset)
+        return payload, payload.unlink
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+class SerialBackend:
+    """Run every shard in-process, in ascending target order."""
+
+    name = "serial"
+
+    def map_shards(self, fn: Callable, dataset: UncertainDataset,
+                   constraints, bounds: Sequence[Tuple[int, int]],
+                   options: Dict[str, object]) -> List[Dict[int, float]]:
+        return [fn(dataset, constraints, lo, hi, **options)
+                for lo, hi in bounds]
+
+
+#: Worker-process state installed once per worker by the pool initializer:
+#: ``(dataset, shard_fn, constraints, options)``.
+_WORKER_STATE = None
+
+
+def _worker_init(payload, fn, constraints, options) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (payload.restore(), fn, constraints, options)
+
+
+def _worker_run(bounds: Tuple[int, int]) -> Dict[int, float]:
+    dataset, fn, constraints, options = _WORKER_STATE
+    lo, hi = bounds
+    return fn(dataset, constraints, lo, hi, **options)
+
+
+class ProcessBackend:
+    """Run shards in a worker-process pool.
+
+    The dataset is shipped once per worker through the pool initializer
+    (shared memory when available, pickled arrays otherwise); each shard
+    is one task, and results come back in shard order.  The pool is a
+    ``concurrent.futures.ProcessPoolExecutor`` rather than
+    ``multiprocessing.Pool`` deliberately: when a worker dies (OOM kill,
+    native crash, an initializer failure) the executor raises
+    ``BrokenProcessPool`` instead of hanging forever, which lets
+    :func:`run_sharded` degrade to serial execution loudly.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, available_cpus: Optional[int] = None):
+        self.workers = workers
+        self.available_cpus = available_cpus
+
+    def map_shards(self, fn: Callable, dataset: UncertainDataset,
+                   constraints, bounds: Sequence[Tuple[int, int]],
+                   options: Dict[str, object]) -> List[Dict[int, float]]:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        context = multiprocessing.get_context(_start_method())
+        payload, release = ship_dataset(dataset)
+        try:
+            processes = pool_size(self.workers, len(bounds),
+                                  self.available_cpus)
+            with ProcessPoolExecutor(max_workers=processes,
+                                     mp_context=context,
+                                     initializer=_worker_init,
+                                     initargs=(payload, fn, constraints,
+                                               options)) as pool:
+                return list(pool.map(_worker_run, bounds))
+        finally:
+            release()
+
+
+def get_backend(name: str, workers: int):
+    """Resolve a backend name (``auto`` picks by worker count)."""
+    if name not in BACKENDS:
+        raise ValueError("unknown execution backend %r; available: %s"
+                         % (name, ", ".join(BACKENDS)))
+    if name == "auto":
+        name = "process" if workers > 1 else "serial"
+    if name == "process":
+        return ProcessBackend(workers)
+    return SerialBackend()
+
+
+def run_sharded(fn: Callable, dataset: UncertainDataset, constraints, *,
+                num_targets: int, workers: Optional[int] = None,
+                backend: Optional[str] = None,
+                base_result: Optional[Dict[int, float]] = None,
+                options: Optional[Dict[str, object]] = None
+                ) -> Dict[int, float]:
+    """Shard the target axis, execute, and merge in target order.
+
+    Parameters
+    ----------
+    fn:
+        Module-level shard function
+        ``fn(dataset, constraints, lo, hi, **options)`` returning results
+        for the targets in ``[lo, hi)``.
+    num_targets:
+        Length of the target axis (the number of uncertain objects).
+    workers:
+        Requested worker count; ``None`` and ``1`` mean one serial shard.
+    backend:
+        ``auto`` (default), ``serial`` or ``process``.  ``serial`` with
+        ``workers > 1`` still shards — it just executes the shards
+        in-process, which the parity suite uses to test the shard layout
+        without pool overhead.
+    base_result:
+        Merged-into result template (typically every instance id mapped to
+        0.0, in canonical instance order, so the merged dictionary keeps a
+        deterministic key order).
+    options:
+        Extra keyword arguments forwarded to every shard call.
+    """
+    count = resolve_workers(workers)
+    bounds = shard_bounds(num_targets, count)
+    chosen = get_backend(backend or "auto", count)
+    if isinstance(chosen, ProcessBackend) and len(bounds) == 1:
+        # One shard gains nothing from a pool; run it where the caller is.
+        chosen = SerialBackend()
+    from concurrent.futures import BrokenExecutor
+
+    options = dict(options or {})
+    try:
+        partials = chosen.map_shards(fn, dataset, constraints, bounds,
+                                     options)
+    except (OSError, BrokenExecutor) as error:
+        if not isinstance(chosen, ProcessBackend):
+            raise
+        # Process pools need working semaphores/pipes and live workers;
+        # a locked-down environment (OSError) or a worker death
+        # (BrokenExecutor: OOM kill, initializer failure) degrades to
+        # serial execution loudly instead of failing — or hanging — the
+        # query.  Shard-function exceptions are not caught here: they
+        # re-raise from the pool as themselves and propagate.
+        warnings.warn("process backend unavailable (%s: %s); falling back "
+                      "to serial execution"
+                      % (type(error).__name__, error), RuntimeWarning,
+                      stacklevel=2)
+        partials = SerialBackend().map_shards(fn, dataset, constraints,
+                                              bounds, options)
+    merged: Dict[int, float] = dict(base_result) if base_result else {}
+    for partial in partials:
+        merged.update(partial)
+    return merged

@@ -142,6 +142,9 @@ class UncertainDataset:
         self._instances: List[Instance] = [
             instance for obj in self._objects for instance in obj.instances
         ]
+        #: Opt-in cache of the flat array views (see :meth:`_attach_flat_cache`).
+        self._flat_cache: Optional[Tuple[np.ndarray, np.ndarray,
+                                         np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -254,18 +257,47 @@ class UncertainDataset:
 
     def instance_matrix(self) -> np.ndarray:
         """All instance coordinate vectors stacked into an ``(n, d)`` array."""
+        if self._flat_cache is not None:
+            return self._flat_cache[0]
         return np.asarray([inst.values for inst in self._instances],
                           dtype=float)
 
     def probability_vector(self) -> np.ndarray:
         """Existence probabilities of all instances as an ``(n,)`` array."""
+        if self._flat_cache is not None:
+            return self._flat_cache[1]
         return np.asarray([inst.probability for inst in self._instances],
                           dtype=float)
 
     def object_ids(self) -> np.ndarray:
         """Owning object index of every instance as an ``(n,)`` int array."""
+        if self._flat_cache is not None:
+            return self._flat_cache[2]
         return np.asarray([inst.object_id for inst in self._instances],
                           dtype=int)
+
+    def _attach_flat_cache(self, points: np.ndarray,
+                           probabilities: np.ndarray,
+                           object_ids: np.ndarray) -> None:
+        """Serve the flat accessors from pre-built arrays.
+
+        Used by the execution backend when a worker rebuilds a shipped
+        dataset: the flat arrays already exist (they *are* the shipped
+        payload), so the accessors above return them directly instead of
+        re-walking the Python instance objects per query.  The arrays
+        must match the instance list exactly and are returned without
+        copying — callers of the accessors must treat them as read-only
+        (every algorithm does; derived-dataset builders construct new
+        datasets rather than mutating this one).
+        """
+        points = np.asarray(points, dtype=float)
+        probabilities = np.asarray(probabilities, dtype=float)
+        object_ids = np.asarray(object_ids, dtype=int)
+        if (points.shape != (self.num_instances, self.dimension)
+                or probabilities.shape != (self.num_instances,)
+                or object_ids.shape != (self.num_instances,)):
+            raise ValueError("flat cache arrays do not match the dataset")
+        self._flat_cache = (points, probabilities, object_ids)
 
     # ------------------------------------------------------------------
     # Derived datasets

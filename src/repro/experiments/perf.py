@@ -43,15 +43,28 @@ traversal and DUAL's forest build vs. query) get a ``phases_s`` mapping in
 their cells — per-phase medians next to the headline ``median_s`` — so an
 index-layer regression is attributable without re-profiling.
 
-The JSON schema is ``repro-bench/3`` (per-workload ``matrix`` sections with
-per-phase timings); :func:`upgrade_payload` / :func:`load_bench` still read
-the ``repro-bench/2`` matrix files and the flat ``repro-bench/1`` files
+Sharded cells
+-------------
+``repro bench --workers N`` runs every backend-ported algorithm (see
+``repro.algorithms.registry.PARALLEL_ALGORITHMS``) with its target axis
+sharded across ``N`` workers; serial-only algorithms keep their serial
+cells.  The parity reference is always computed on the serial backend, so
+a ``--workers`` run doubles as a serial-vs-sharded cross-backend parity
+sweep over the whole matrix.  The effective worker count lands in the
+payload (top level and per cell).
+
+The JSON schema is ``repro-bench/4`` (per-workload ``matrix`` sections
+with per-phase timings and ``workers`` fields); :func:`upgrade_payload` /
+:func:`load_bench` still read the ``repro-bench/3`` pre-backend files, the
+``repro-bench/2`` matrix files and the flat ``repro-bench/1`` files
 written before.
 
 ``compare_payloads`` diffs two payloads cell by cell (``repro bench
---compare BASELINE.json``) and flags cells whose median grew beyond a
-configurable regression threshold; the CLI exits non-zero on any flagged
-cell so a bench run doubles as a regression gate.
+--compare BASELINE.json``) and flags cells whose median — or, with
+``--compare-stat min``, whose CI-friendly minimum over runs — grew beyond
+a configurable regression threshold, optionally gating every recorded
+phase too (``--phase-regression-threshold``); the CLI exits non-zero on
+any flagged cell so a bench run doubles as a regression gate.
 """
 
 from __future__ import annotations
@@ -66,10 +79,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..algorithms.registry import (canonical_name, get_algorithm,
-                                   list_algorithms)
+                                   list_algorithms, supports_workers)
 from ..continuous.model import UniformBoxObject
 from ..continuous.sampling import monte_carlo_object_arsp
 from ..core.arsp import arsp_size
+from ..core.backend import resolve_workers
 from ..core.preference import WeightRatioConstraints
 from ..core.profiling import collect_phases
 from ..data.synthetic import generate_certain_points
@@ -81,7 +95,10 @@ from .workloads import (WORKLOAD_AXIS, Workload, WorkloadScale,
 
 #: Schema tag written into the JSON payload so future harness versions can
 #: evolve the format without ambiguity.
-SCHEMA = "repro-bench/3"
+SCHEMA = "repro-bench/4"
+
+#: The schema before the execution backend: no ``workers`` fields.
+SCHEMA_V3 = "repro-bench/3"
 
 #: The matrix schema without per-phase timings.
 SCHEMA_V2 = "repro-bench/2"
@@ -169,23 +186,38 @@ def _phase_fields(phase_runs: Sequence[Dict[str, float]]) -> Dict[str, float]:
 
 
 def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
-                  check: bool) -> Dict[str, object]:
-    """Time the named algorithms on one workload; one matrix section."""
+                  check: bool, workers: int = 1) -> Dict[str, object]:
+    """Time the named algorithms on one workload; one matrix section.
+
+    ``workers > 1`` shards every backend-ported algorithm's target axis;
+    serial-only algorithms keep running unsharded (their cells record
+    ``workers: 1``).  The parity reference is always computed on the
+    serial backend, so a sharded run's cells double as a cross-backend
+    parity sweep.
+    """
     references: Dict[str, Dict[int, float]] = {}
     entries: Dict[str, dict] = {}
     for name in names:
         variant_key = variant_for_algorithm(name)
         variant = workload.variants[variant_key]
         implementation = get_algorithm(name)
-        result, runs, phase_runs = _time_runs(
-            lambda: implementation(variant.dataset, variant.constraints),
-            rounds)
-        entry = dict({"variant": variant_key}, **_timing_fields(runs))
+        cell_workers = workers if (workers > 1
+                                   and supports_workers(name)) else 1
+        if cell_workers > 1:
+            def runner(impl=implementation, data=variant,
+                       count=cell_workers):
+                return impl(data.dataset, data.constraints, workers=count)
+        else:
+            def runner(impl=implementation, data=variant):
+                return impl(data.dataset, data.constraints)
+        result, runs, phase_runs = _time_runs(runner, rounds)
+        entry = dict({"variant": variant_key, "workers": cell_workers},
+                     **_timing_fields(runs))
         entry["phases_s"] = _phase_fields(phase_runs)
         entry["arsp_size"] = arsp_size(result)
         if check:
             if variant_key not in references:
-                if name == _REFERENCE_ALGORITHM:
+                if name == _REFERENCE_ALGORITHM and cell_workers == 1:
                     references[variant_key] = result
                 else:
                     reference = get_algorithm(_REFERENCE_ALGORITHM)
@@ -267,7 +299,8 @@ def run_bench(profile: str = "default",
               workloads: Optional[Sequence[str]] = None,
               repeats: Optional[int] = None,
               output_path: Optional[str] = None,
-              check: bool = True) -> Dict[str, object]:
+              check: bool = True,
+              workers: Optional[int] = None) -> Dict[str, object]:
     """Time the algorithm × workload matrix and return (and optionally
     write) the ``BENCH_arsp.json`` payload.
 
@@ -288,6 +321,10 @@ def run_bench(profile: str = "default",
     check:
         Compare every cell against the reference algorithm on the same
         (dataset, constraints) pair and record the outcome in the payload.
+    workers:
+        Shard the target axis of every backend-ported algorithm across
+        this many workers (``None``/1 keeps everything serial); the
+        parity reference stays on the serial backend either way.
     """
     if profile not in PROFILES:
         raise KeyError("unknown bench profile %r; available: %s"
@@ -296,6 +333,7 @@ def run_bench(profile: str = "default",
     rounds = repeats if repeats is not None else resolved.repeats
     if rounds < 1:
         raise ValueError("repeats must be at least 1")
+    worker_count = resolve_workers(workers)
     # Resolve both axes (canonicalizing aliases and case, validating names,
     # dropping duplicates) before any timing work starts, so a typo in the
     # last name cannot discard minutes of already-measured cells — and so
@@ -315,7 +353,8 @@ def run_bench(profile: str = "default",
     matrix: Dict[str, dict] = {}
     for workload_name in selection:
         workload = build_workload(workload_name, resolved.scale)
-        matrix[workload.name] = _run_workload(workload, names, rounds, check)
+        matrix[workload.name] = _run_workload(workload, names, rounds, check,
+                                              workers=worker_count)
 
     # The extras cover the vectorized paths outside the algorithm registry;
     # an explicit --algorithms subset is a request to time just that subset.
@@ -331,6 +370,7 @@ def run_bench(profile: str = "default",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "reference_algorithm": _REFERENCE_ALGORITHM if check else None,
+        "workers": worker_count,
         "workload_axis": [name for name in matrix],
         "matrix": matrix,
         "extras": extras,
@@ -361,14 +401,16 @@ _V1_EXTRA_WORKLOADS = ("eclipse-ind", "continuous-boxes")
 
 
 def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Return a ``repro-bench/3`` view of any known payload version.
+    """Return a ``repro-bench/4`` view of any known payload version.
 
     ``repro-bench/1`` files carried a single flat ``algorithms`` section
     measured on the default IND workload; they pass through the matrix
     upgrade first.  ``repro-bench/2`` matrix files predate the per-phase
     timings; their algorithm entries gain empty ``phases_s`` mappings.
-    Downstream consumers only ever see the v3 shape; current payloads are
-    returned unchanged.
+    ``repro-bench/3`` files predate the execution backend; they gain
+    ``workers: 1`` at the top level and in every matrix cell (everything
+    before the backend was serial by construction).  Downstream consumers
+    only ever see the v4 shape; current payloads are returned unchanged.
     """
     schema = payload.get("schema")
     if schema == SCHEMA:
@@ -376,9 +418,12 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     if schema == SCHEMA_V1:
         payload = _upgrade_v1(payload)
         schema = SCHEMA_V2
-    if schema != SCHEMA_V2:
+    if schema == SCHEMA_V2:
+        payload = _upgrade_v2(payload)
+        schema = SCHEMA_V3
+    if schema != SCHEMA_V3:
         raise ValueError("unknown bench payload schema %r" % (schema,))
-    return _upgrade_v2(payload)
+    return _upgrade_v3(payload)
 
 
 def _upgrade_v1(payload: Dict[str, object]) -> Dict[str, object]:
@@ -421,12 +466,28 @@ def _upgrade_v1(payload: Dict[str, object]) -> Dict[str, object]:
 def _upgrade_v2(payload: Dict[str, object]) -> Dict[str, object]:
     """``repro-bench/2`` -> ``repro-bench/3``: empty per-phase timings."""
     upgraded = dict(payload)
-    upgraded["schema"] = SCHEMA
+    upgraded["schema"] = SCHEMA_V3
     matrix = {}
     for workload_name, section in dict(payload.get("matrix", {})).items():
         section = dict(section)
         section["algorithms"] = {
             name: dict(entry, phases_s=dict(entry.get("phases_s", {})))
+            for name, entry in dict(section.get("algorithms", {})).items()}
+        matrix[workload_name] = section
+    upgraded["matrix"] = matrix
+    return upgraded
+
+
+def _upgrade_v3(payload: Dict[str, object]) -> Dict[str, object]:
+    """``repro-bench/3`` -> ``repro-bench/4``: serial ``workers`` fields."""
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA
+    upgraded.setdefault("workers", 1)
+    matrix = {}
+    for workload_name, section in dict(payload.get("matrix", {})).items():
+        section = dict(section)
+        section["algorithms"] = {
+            name: dict(entry, workers=entry.get("workers", 1))
             for name, entry in dict(section.get("algorithms", {})).items()}
         matrix[workload_name] = section
     upgraded["matrix"] = matrix
@@ -449,42 +510,103 @@ def load_bench(path: str) -> Dict[str, object]:
 #: setups with quiet runners can tighten it.
 DEFAULT_REGRESSION_THRESHOLD = 1.5
 
+#: ``statistic=`` values accepted by :func:`compare_payloads`: the cell
+#: field each one gates on.  ``min`` is the CI-friendly mode — the minimum
+#: over repeats filters scheduler noise that inflates medians on shared
+#: runners.
+COMPARE_STATISTICS = {"median": "median_s", "min": "min_s"}
+
 
 def compare_payloads(baseline: Dict[str, object],
                      current: Dict[str, object],
-                     threshold: float = DEFAULT_REGRESSION_THRESHOLD
+                     threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+                     statistic: str = "median",
+                     phase_threshold: Optional[float] = None
                      ) -> Tuple[List[str], List[str]]:
-    """Per-cell median deltas between two bench payloads.
+    """Per-cell timing deltas between two bench payloads.
 
     Both payloads may be of any known schema version.  Returns
     ``(lines, regressions)``: ``lines`` is the printable per-cell report
     over every cell of ``current`` (matrix and extras), ``regressions``
-    the subset of cell names whose median grew beyond ``threshold`` times
-    the baseline median.  Cells missing from the baseline (new algorithms,
-    new workloads) are reported but never flagged.
+    the subset of cell names whose ``statistic`` (``median`` or the
+    CI-friendly ``min`` of runs) grew beyond ``threshold`` times the
+    baseline.  When ``phase_threshold`` is given, every phase recorded in
+    both payloads (the ``phases_s`` medians) is additionally gated: a
+    phase regressing beyond it flags ``cell:phase``, so an index-layer
+    regression hiding inside a stable headline time still trips the gate.
+    Cells or phases missing from the baseline (new algorithms, new
+    workloads, newly annotated phases) are reported but never flagged.
     """
     if threshold <= 0:
         raise ValueError("threshold must be positive")
+    if phase_threshold is not None and phase_threshold <= 0:
+        raise ValueError("phase threshold must be positive")
+    if statistic not in COMPARE_STATISTICS:
+        raise ValueError("unknown statistic %r; available: %s"
+                         % (statistic,
+                            ", ".join(sorted(COMPARE_STATISTICS))))
+    field = COMPARE_STATISTICS[statistic]
     baseline = upgrade_payload(baseline)
     current = upgrade_payload(current)
     baseline_matrix = baseline.get("matrix", {})
     lines: List[str] = []
     regressions: List[str] = []
 
+    # Timings taken at different worker counts measure different things
+    # (sharded cells pay pool/ship overhead and, on few cores, contention);
+    # a delta between them is not attributable to a code change, so the
+    # mismatch is called out up front and on every affected cell.
+    base_workers = int(baseline.get("workers", 1))
+    now_workers = int(current.get("workers", 1))
+    if base_workers != now_workers:
+        lines.append("  WARNING: baseline ran with workers=%d but this run "
+                     "with workers=%d; deltas on sharded cells reflect the "
+                     "backend, not code changes" % (base_workers,
+                                                    now_workers))
+
+    def ratio_of(base: float, now: float) -> float:
+        return now / base if base > 0.0 else float("inf")
+
     def compare_cell(cell: str, base_entry, entry) -> None:
         if base_entry is None:
             lines.append("  %-28s %9.4f s  (no baseline)"
-                         % (cell, entry["median_s"]))
+                         % (cell, entry[field]))
             return
-        base = float(base_entry["median_s"])
-        now = float(entry["median_s"])
-        ratio = now / base if base > 0.0 else float("inf")
+        base = float(base_entry[field])
+        now = float(entry[field])
+        ratio = ratio_of(base, now)
         flag = ""
+        cell_base_workers = int(base_entry.get("workers", 1))
+        cell_now_workers = int(entry.get("workers", 1))
+        if cell_base_workers != cell_now_workers:
+            flag += ("  [workers %d -> %d]"
+                     % (cell_base_workers, cell_now_workers))
         if ratio > threshold:
             regressions.append(cell)
-            flag = "  REGRESSION (> %.2fx)" % threshold
+            flag += "  REGRESSION (> %.2fx)" % threshold
         lines.append("  %-28s %9.4f s -> %9.4f s  (%5.2fx)%s"
                      % (cell, base, now, ratio, flag))
+        if phase_threshold is None:
+            return
+        base_phases = base_entry.get("phases_s") or {}
+        for phase_name, now_s in sorted((entry.get("phases_s")
+                                         or {}).items()):
+            if phase_name not in base_phases:
+                # Newly annotated phases: reported, never flagged —
+                # mirroring the cell-level "(no baseline)" convention.
+                lines.append("    %-26s %9.4f s  (no baseline)"
+                             % ("phase " + phase_name, float(now_s)))
+                continue
+            phase_ratio = ratio_of(float(base_phases[phase_name]),
+                                   float(now_s))
+            phase_flag = ""
+            if phase_ratio > phase_threshold:
+                regressions.append("%s:%s" % (cell, phase_name))
+                phase_flag = ("  REGRESSION (> %.2fx)" % phase_threshold)
+            lines.append("    %-26s %9.4f s -> %9.4f s  (%5.2fx)%s"
+                         % ("phase " + phase_name,
+                            float(base_phases[phase_name]), float(now_s),
+                            phase_ratio, phase_flag))
 
     for workload_name, section in current.get("matrix", {}).items():
         base_section = baseline_matrix.get(workload_name, {})
@@ -499,22 +621,28 @@ def compare_payloads(baseline: Dict[str, object],
 
 
 def format_compare(baseline: Dict[str, object], current: Dict[str, object],
-                   threshold: float = DEFAULT_REGRESSION_THRESHOLD
+                   threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+                   statistic: str = "median",
+                   phase_threshold: Optional[float] = None
                    ) -> Tuple[str, bool]:
     """Human-readable :func:`compare_payloads` report.
 
-    Returns ``(text, ok)`` where ``ok`` is False when any cell regressed
-    beyond the threshold.
+    Returns ``(text, ok)`` where ``ok`` is False when any cell (or, with
+    ``phase_threshold``, any phase) regressed beyond its threshold.
     """
     lines, regressions = compare_payloads(baseline, current,
-                                          threshold=threshold)
-    header = ("comparison against baseline (regression threshold %.2fx)"
-              % threshold)
+                                          threshold=threshold,
+                                          statistic=statistic,
+                                          phase_threshold=phase_threshold)
+    header = ("comparison against baseline (%s, regression threshold %.2fx%s)"
+              % (statistic, threshold,
+                 "" if phase_threshold is None
+                 else ", per-phase %.2fx" % phase_threshold))
     if regressions:
-        footer = ("%d cell(s) regressed beyond %.2fx: %s"
-                  % (len(regressions), threshold, ", ".join(regressions)))
+        footer = ("%d cell(s) regressed: %s"
+                  % (len(regressions), ", ".join(regressions)))
     else:
-        footer = "no regressions beyond %.2fx" % threshold
+        footer = "no regressions beyond the thresholds"
     return "\n".join([header] + lines + [footer]), not regressions
 
 
@@ -549,8 +677,10 @@ def format_bench(payload: Dict[str, object]) -> str:
                       for entry in section["algorithms"].values()}
                      | {str(entry["repeats"]) + " runs"
                         for entry in extras.values()})
-    lines = ["bench profile %r (median of %s)"
-             % (payload["profile"], ", ".join(repeats))]
+    workers = payload.get("workers", 1)
+    lines = ["bench profile %r (median of %s%s)"
+             % (payload["profile"], ", ".join(repeats),
+                "" if workers == 1 else ", workers=%d" % workers)]
     for workload_name in payload["workload_axis"]:
         section = matrix[workload_name]
         lines.append("[%s] %s" % (workload_name, section["description"]))

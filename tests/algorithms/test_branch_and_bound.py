@@ -93,3 +93,17 @@ class TestBranchAndBound:
         constraints = LinearConstraints.weak_ranking(2)
         result = branch_and_bound_arsp(dataset, constraints)
         assert result[1] == pytest.approx(0.5)
+
+    def test_ulp_level_score_ties_count_in_both_directions(self):
+        """Regression: a degenerate single-vertex region maps these two
+        points to scores that differ only in the last ulp.  The σ window
+        aggregate must apply the same SCORE_ATOL-tolerant weak dominance
+        as every other algorithm, so the tie is mutual — not one-sided."""
+        constraints = WeightRatioConstraints([(0.75, 0.75), (2.0, 2.0)])
+        dataset = UncertainDataset.from_instance_lists(
+            [[(1.0, 1.0, 3.0)], [(1.0, 2.0, 1.0)]],
+            [[0.5], [0.5]])
+        expected = brute_force_arsp(dataset, constraints)
+        assert expected == {0: 0.25, 1: 0.25}
+        assert_results_close(expected,
+                             branch_and_bound_arsp(dataset, constraints))

@@ -1,0 +1,242 @@
+"""Unit tests for the execution backend (``repro.core.backend``).
+
+The cross-backend *parity* guarantees live in
+``tests/properties/test_property_parallel.py``; this file covers the
+backend machinery itself: the deterministic shard layout, worker-count
+validation and clamping, dataset shipping (shared memory and the pickle
+fallback) and the graceful degradation paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (PickledDataset, ProcessBackend,
+                                SerialBackend, SharedDatasetHandle,
+                                get_backend, pool_size, resolve_workers,
+                                run_sharded, shard_bounds, ship_dataset)
+
+from tests.conftest import make_random_dataset
+
+
+class TestResolveWorkers:
+    def test_none_means_one_serial_shard(self):
+        assert resolve_workers(None) == 1
+
+    @pytest.mark.parametrize("workers", [1, 2, 7, 4096])
+    def test_positive_counts_pass_through_unclamped(self, workers):
+        # The shard layout must be machine-independent, so the CPU clamp
+        # does not apply here (it applies to the pool size instead).
+        assert resolve_workers(workers) == workers
+
+    @pytest.mark.parametrize("workers", [0, -1, -100])
+    def test_non_positive_counts_are_rejected(self, workers):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(workers)
+
+    @pytest.mark.parametrize("workers", [2.0, "2", True])
+    def test_non_integers_are_rejected(self, workers):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(workers)
+
+
+class TestPoolSize:
+    def test_clamps_to_the_cpu_count(self):
+        assert pool_size(64, num_shards=64, available=3) == 3
+
+    def test_clamps_to_the_shard_count(self):
+        assert pool_size(8, num_shards=2, available=16) == 2
+
+    def test_at_least_one_process(self):
+        assert pool_size(4, num_shards=0, available=0) == 1
+
+    def test_uses_os_cpu_count_by_default(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert pool_size(99, num_shards=99) == 2
+        # An undeterminable CPU count means one CPU, never a crash.
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert pool_size(99, num_shards=99) == 1
+
+
+class TestShardBounds:
+    @pytest.mark.parametrize("num_targets,num_shards", [
+        (10, 1), (10, 2), (10, 3), (7, 3), (5, 5),
+        (3, 8),   # m < workers: one shard per target
+        (1, 2),   # m == 1
+        (192, 7),
+    ])
+    def test_bounds_partition_the_axis(self, num_targets, num_shards):
+        bounds = shard_bounds(num_targets, num_shards)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == num_targets
+        for (_, prev_hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert lo == prev_hi
+        sizes = [hi - lo for lo, hi in bounds]
+        assert all(size >= 1 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+        assert len(bounds) == min(num_targets, num_shards)
+
+    def test_layout_is_deterministic(self):
+        assert shard_bounds(11, 3) == shard_bounds(11, 3)
+        assert shard_bounds(11, 3) == [(0, 4), (4, 8), (8, 11)]
+
+    def test_zero_targets_keep_one_empty_shard(self):
+        # Degenerate inputs still reach the shard function, so they fail
+        # (or succeed) exactly like the pre-backend code paths.
+        assert shard_bounds(0, 4) == [(0, 0)]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_bounds(10, 0)
+
+
+class TestDatasetShipping:
+    def _roundtrip_checks(self, dataset, restored):
+        assert restored.num_objects == dataset.num_objects
+        assert restored.num_instances == dataset.num_instances
+        np.testing.assert_array_equal(restored.instance_matrix(),
+                                      dataset.instance_matrix())
+        np.testing.assert_array_equal(restored.probability_vector(),
+                                      dataset.probability_vector())
+        np.testing.assert_array_equal(restored.object_ids(),
+                                      dataset.object_ids())
+        assert ([inst.instance_id for inst in restored.instances]
+                == [inst.instance_id for inst in dataset.instances])
+
+    def test_rebuilt_datasets_serve_flat_accessors_from_the_payload(self):
+        # The shipped arrays *are* the flat views, so a worker's accessor
+        # calls must not re-walk the rebuilt Python instance objects.
+        dataset = make_random_dataset(seed=2, num_objects=6)
+        payload = PickledDataset.create(dataset)
+        restored = payload.restore()
+        assert restored.instance_matrix() is payload.arrays["points"]
+        assert (restored.probability_vector()
+                is payload.arrays["probabilities"])
+        assert restored.object_ids() is payload.arrays["object_ids"]
+
+    def test_pickled_payload_roundtrip(self):
+        dataset = make_random_dataset(seed=3, num_objects=9,
+                                      incomplete_fraction=0.4)
+        payload = PickledDataset.create(dataset)
+        self._roundtrip_checks(dataset, payload.restore())
+        payload.unlink()  # no-op, mirrors the shared-memory API
+
+    def test_shared_memory_payload_roundtrip(self):
+        dataset = make_random_dataset(seed=4, num_objects=9,
+                                      incomplete_fraction=0.4)
+        handle = SharedDatasetHandle.create(dataset)
+        try:
+            self._roundtrip_checks(dataset, handle.restore())
+        finally:
+            handle.unlink()
+
+    def test_shared_memory_descriptor_pickles_without_the_block(self):
+        import pickle
+
+        dataset = make_random_dataset(seed=5, num_objects=4)
+        handle = SharedDatasetHandle.create(dataset)
+        try:
+            shipped = pickle.loads(pickle.dumps(handle))
+            assert not hasattr(shipped, "_block")
+            self._roundtrip_checks(dataset, shipped.restore())
+        finally:
+            handle.unlink()
+
+    def test_ship_prefers_shared_memory(self):
+        dataset = make_random_dataset(seed=6, num_objects=4)
+        payload, release = ship_dataset(dataset)
+        try:
+            assert isinstance(payload, SharedDatasetHandle)
+        finally:
+            release()
+
+    def test_ship_falls_back_to_pickle_when_shm_unavailable(self,
+                                                            monkeypatch):
+        dataset = make_random_dataset(seed=7, num_objects=4)
+
+        def broken_create(cls_dataset):
+            raise OSError("no /dev/shm in this environment")
+
+        monkeypatch.setattr(SharedDatasetHandle, "create",
+                            staticmethod(broken_create))
+        with pytest.warns(RuntimeWarning, match="shared memory unavailable"):
+            payload, release = ship_dataset(dataset)
+        assert isinstance(payload, PickledDataset)
+        self._roundtrip_checks(dataset, payload.restore())
+        release()
+
+
+def _echo_shard(dataset, constraints, lo, hi, scale=1.0):
+    """Toy shard function: instance id -> scaled owner id, shard-tagged."""
+    return {instance.instance_id: scale * instance.object_id
+            for instance in dataset.instances
+            if lo <= instance.object_id < hi}
+
+
+class TestRunSharded:
+    def test_merges_in_target_order_with_base_template(self):
+        dataset = make_random_dataset(seed=8, num_objects=7)
+        base = {inst.instance_id: 0.0 for inst in dataset.instances}
+        merged = run_sharded(_echo_shard, dataset, None,
+                             num_targets=dataset.num_objects, workers=3,
+                             backend="serial", base_result=base,
+                             options={"scale": 2.0})
+        assert list(merged) == list(base)
+        for instance in dataset.instances:
+            assert merged[instance.instance_id] == 2.0 * instance.object_id
+
+    def test_unknown_backend_is_rejected(self):
+        dataset = make_random_dataset(seed=8, num_objects=3)
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            run_sharded(_echo_shard, dataset, None,
+                        num_targets=3, workers=2, backend="threads")
+
+    def test_auto_backend_selection(self):
+        assert isinstance(get_backend("auto", 1), SerialBackend)
+        assert isinstance(get_backend("auto", 2), ProcessBackend)
+        assert isinstance(get_backend("serial", 8), SerialBackend)
+
+    def test_single_shard_never_pays_for_a_pool(self, monkeypatch):
+        # workers > 1 but m == 1: one shard, so no pool may be created.
+        def no_pools(*args, **kwargs):
+            raise AssertionError("a process pool was created for one shard")
+
+        monkeypatch.setattr(ProcessBackend, "map_shards", no_pools)
+        dataset = make_random_dataset(seed=9, num_objects=1)
+        merged = run_sharded(_echo_shard, dataset, None, num_targets=1,
+                             workers=4, backend="process")
+        assert merged == _echo_shard(dataset, None, 0, 1)
+
+    @pytest.mark.parallel
+    def test_process_backend_executes_shards(self):
+        dataset = make_random_dataset(seed=10, num_objects=5)
+        merged = run_sharded(_echo_shard, dataset, None,
+                             num_targets=dataset.num_objects, workers=2,
+                             backend="process", options={"scale": 3.0})
+        assert merged == _echo_shard(dataset, None, 0, 5, scale=3.0)
+
+    def test_falls_back_to_serial_when_pools_are_unavailable(
+            self, monkeypatch):
+        def broken_pool(self, *args, **kwargs):
+            raise OSError("semaphores are locked down here")
+
+        monkeypatch.setattr(ProcessBackend, "map_shards", broken_pool)
+        dataset = make_random_dataset(seed=11, num_objects=6)
+        with pytest.warns(RuntimeWarning, match="process backend "
+                                                "unavailable"):
+            merged = run_sharded(_echo_shard, dataset, None,
+                                 num_targets=dataset.num_objects,
+                                 workers=3, backend="process")
+        assert merged == _echo_shard(dataset, None, 0, 6)
+
+    def test_shard_function_errors_propagate_from_serial(self):
+        def exploding(dataset, constraints, lo, hi):
+            raise RuntimeError("shard failure")
+
+        dataset = make_random_dataset(seed=12, num_objects=4)
+        with pytest.raises(RuntimeError, match="shard failure"):
+            run_sharded(exploding, dataset, None, num_targets=4, workers=2,
+                        backend="serial")

@@ -115,3 +115,45 @@ class TestCommands:
                      "--repeats", "1", "--output", "-", "--no-check"])
         assert code == 0
         assert not (tmp_path / "BENCH_arsp.json").exists()
+
+
+class TestWorkers:
+    @pytest.mark.parametrize("argv", [
+        ["arsp", "--workers", "0"],
+        ["arsp", "--workers", "-3"],
+        ["arsp", "--workers", "two"],
+        ["bench", "--workers", "0"],
+    ])
+    def test_invalid_worker_counts_fail_with_a_clear_error(self, argv,
+                                                          capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "workers must be a positive integer" in \
+            capsys.readouterr().err
+
+    def test_arsp_workers_with_serial_only_algorithm_errors(self, capsys):
+        code = main(["arsp", "--objects", "8", "--instances", "2",
+                     "--dimension", "2", "--algorithm", "enum",
+                     "--workers", "2"])
+        assert code == 2
+        assert "does not support sharded execution" in \
+            capsys.readouterr().err
+
+    @pytest.mark.parallel
+    def test_arsp_workers_sharded_run(self, capsys):
+        code = main(["arsp", "--objects", "24", "--instances", "2",
+                     "--dimension", "3", "--algorithm", "kdtt+",
+                     "--workers", "2", "--top-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(workers=2)" in out
+        assert "ARSP size" in out
+
+    @pytest.mark.parallel
+    def test_bench_workers_cell(self, capsys):
+        code = main(["bench", "--quick", "--algorithms", "kdtt+",
+                     "--workloads", "ind", "--repeats", "1",
+                     "--workers", "2", "--output", "-"])
+        assert code == 0
+        assert "workers=2" in capsys.readouterr().out

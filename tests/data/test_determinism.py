@@ -7,18 +7,29 @@ The cross-process test is the strong form: it fingerprints every generator
 in a *fresh interpreter* and compares against the fingerprint computed in
 this process, which would catch both global-RNG leaks and any accidental
 use of unordered containers in the generation path.
+
+The end-to-end extension covers the execution backend: a seeded
+generate → compute-ARSP run must be *byte-identical* (same result bytes,
+same key order) across the serial and process backends, across worker
+counts, and across repeated runs with the same worker count — the
+shard-merge determinism rule of docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import struct
 import subprocess
 import sys
 from pathlib import Path
 
 import numpy as np
+import pytest
 
+from repro.core.arsp import compute_arsp
+from repro.core.preference import WeightRatioConstraints
+from repro.data.constraints import weak_ranking_constraints
 from repro.data.real import car_dataset, iip_dataset, nba_dataset
 from repro.data.synthetic import SyntheticConfig, generate_uncertain_dataset
 
@@ -72,6 +83,52 @@ def test_generators_deterministic_across_processes():
 
 def test_generators_deterministic_within_process():
     assert _generate_all() == _generate_all()
+
+
+def _result_fingerprint(result) -> str:
+    """Byte-level digest of an ARSP result *including its key order*."""
+    digest = hashlib.sha256()
+    for instance_id, probability in result.items():
+        digest.update(struct.pack("<qd", instance_id, probability))
+    return digest.hexdigest()
+
+
+def _end_to_end(algorithm: str, workers=None, backend=None) -> str:
+    """Seeded generate → compute fingerprint for one backend setting."""
+    config = SyntheticConfig(num_objects=23, max_instances=3, dimension=3,
+                             incomplete_fraction=0.3, distribution="ANTI",
+                             seed=77)
+    dataset = generate_uncertain_dataset(config)
+    if algorithm == "dual":
+        constraints = WeightRatioConstraints([(0.5, 2.0)] * 2)
+    else:
+        constraints = weak_ranking_constraints(3)
+    options = {} if backend is None else {"backend": backend}
+    result = compute_arsp(dataset, constraints, algorithm=algorithm,
+                          workers=workers, **options)
+    return _result_fingerprint(result)
+
+
+@pytest.mark.parametrize("algorithm", ["loop", "kdtt+", "bnb", "dual"])
+def test_end_to_end_runs_are_byte_identical_across_shardings(algorithm):
+    """Serial, one-shard and multi-shard serial runs: one fingerprint."""
+    reference = _end_to_end(algorithm)
+    assert _end_to_end(algorithm, workers=1) == reference
+    for workers in (2, 3, 5):
+        assert _end_to_end(algorithm, workers=workers,
+                           backend="serial") == reference, workers
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("algorithm", ["kdtt+", "dual"])
+def test_end_to_end_runs_are_byte_identical_across_backends(algorithm):
+    """The process backend and repeated runs with the same worker count
+    reproduce the serial fingerprint byte for byte."""
+    reference = _end_to_end(algorithm)
+    first = _end_to_end(algorithm, workers=2, backend="process")
+    second = _end_to_end(algorithm, workers=2, backend="process")
+    assert first == reference
+    assert second == first
 
 
 def test_generators_do_not_touch_global_numpy_state():

@@ -1,0 +1,143 @@
+"""Cross-backend parity: sharded execution is bit-identical to serial.
+
+The execution backend (``repro.core.backend``) promises more than
+approximate agreement: for every ported algorithm, the merged result of a
+``workers=N`` run must equal the ``workers=1`` result *bit for bit*, with
+the same key order, for every N.  Each algorithm earns that guarantee a
+different way — LOOP and DUAL accumulate each target's σ row in a
+target-local order, the traversal family restores tracker snapshots
+bit-exactly so skipped sibling subtrees leave no rounding residue, and
+B&B replays the sequential pruning protocol while batching only its own
+shard's σ queries — so the property suite hammers all of them on
+tie-heavy Hypothesis datasets, including every ragged shard layout
+(``m`` not divisible by the worker count, ``m < workers``, ``m == 1``).
+
+Hypothesis runs use the serial backend with ``workers > 1`` — the shard
+layout and merge are identical to the process backend's, without paying
+process startup per example — and a seeded test per algorithm crosses the
+real process boundary (marked ``parallel`` so constrained CI can deselect
+it).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (branch_and_bound_arsp, dual_arsp,
+                              kdtree_traversal_arsp, loop_arsp,
+                              quadtree_traversal_arsp)
+from repro.data.constraints import weak_ranking_constraints
+
+from tests.conftest import make_random_dataset
+from tests.properties.strategies import ratio_constraints, uncertain_datasets
+
+#: (name, callable, constraints factory) for every ported algorithm; DUAL
+#: needs its weight-ratio constraint class, the rest run the generic WR set.
+PORTED = [
+    ("loop", loop_arsp, "wr"),
+    ("kdtt+", kdtree_traversal_arsp, "wr"),
+    ("qdtt+", quadtree_traversal_arsp, "wr"),
+    ("bnb", branch_and_bound_arsp, "wr"),
+    ("dual", dual_arsp, "ratio"),
+]
+
+
+def assert_bit_identical(expected, actual):
+    """Same keys, same order, same float bits."""
+    assert list(expected) == list(actual)
+    for key, value in expected.items():
+        assert actual[key] == value, (
+            "instance %d: %r != %r" % (key, value, actual[key]))
+    # == treats -0.0 and 0.0 as equal, which is fine: both clamp to the
+    # same serialized value; everything else must match exactly.
+
+
+def _constraints_for(kind, draw=None, dimension=2):
+    if kind == "ratio":
+        return draw(ratio_constraints(dimension=dimension))
+    return weak_ranking_constraints(dimension)
+
+
+@pytest.mark.parametrize("name,algorithm,kind", PORTED,
+                         ids=[name for name, _, _ in PORTED])
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_sharded_runs_are_bit_identical(name, algorithm, kind, data):
+    dataset = data.draw(uncertain_datasets(max_objects=6, max_instances=3))
+    constraints = _constraints_for(kind, data.draw)
+    workers = data.draw(st.integers(min_value=2, max_value=4))
+    serial = algorithm(dataset, constraints, workers=1)
+    sharded = algorithm(dataset, constraints, workers=workers,
+                        backend="serial")
+    assert_bit_identical(serial, sharded)
+
+
+@pytest.mark.parametrize("name,algorithm,kind", PORTED,
+                         ids=[name for name, _, _ in PORTED])
+@pytest.mark.parametrize("num_objects,workers", [
+    (7, 3),    # ragged: m not divisible by the worker count
+    (2, 5),    # m < workers: one single-object shard per object
+    (1, 2),    # m == 1: a single shard despite workers > 1
+    (9, 9),    # every shard holds exactly one object
+])
+def test_ragged_shard_layouts(name, algorithm, kind, num_objects, workers):
+    dataset = make_random_dataset(seed=31, num_objects=num_objects,
+                                  max_instances=3, dimension=3,
+                                  incomplete_fraction=0.4)
+    if kind == "ratio":
+        from repro import WeightRatioConstraints
+
+        constraints = WeightRatioConstraints([(0.5, 2.0)] * 2)
+    else:
+        constraints = weak_ranking_constraints(3)
+    serial = algorithm(dataset, constraints, workers=1)
+    sharded = algorithm(dataset, constraints, workers=workers,
+                        backend="serial")
+    assert_bit_identical(serial, sharded)
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("name,algorithm,kind", PORTED,
+                         ids=[name for name, _, _ in PORTED])
+def test_process_backend_matches_serial(name, algorithm, kind):
+    """The real multi-process path: shared-memory shipping, pool
+    execution, deterministic merge — bit-identical to serial."""
+    dataset = make_random_dataset(seed=17, num_objects=11, max_instances=3,
+                                  dimension=3, incomplete_fraction=0.3)
+    if kind == "ratio":
+        from repro import WeightRatioConstraints
+
+        constraints = WeightRatioConstraints([(0.5, 2.0)] * 2)
+    else:
+        constraints = weak_ranking_constraints(3)
+    serial = algorithm(dataset, constraints, workers=1)
+    process = algorithm(dataset, constraints, workers=3, backend="process")
+    assert_bit_identical(serial, process)
+
+
+def test_default_workers_is_the_serial_path():
+    """Omitting ``workers`` must stay exactly the pre-backend behaviour."""
+    dataset = make_random_dataset(seed=23, num_objects=8, max_instances=3,
+                                  dimension=3)
+    constraints = weak_ranking_constraints(3)
+    for name, algorithm, kind in PORTED:
+        if kind == "ratio":
+            continue
+        assert_bit_identical(algorithm(dataset, constraints),
+                             algorithm(dataset, constraints, workers=1))
+
+
+def test_compute_arsp_threads_workers_through():
+    from repro.core.arsp import compute_arsp
+
+    dataset = make_random_dataset(seed=29, num_objects=6, max_instances=2,
+                                  dimension=3)
+    constraints = weak_ranking_constraints(3)
+    serial = compute_arsp(dataset, constraints, algorithm="kdtt+")
+    sharded = compute_arsp(dataset, constraints, algorithm="kdtt+",
+                           workers=3, backend="serial")
+    assert_bit_identical(serial, sharded)
+    with pytest.raises(ValueError, match="does not support sharded"):
+        compute_arsp(dataset, constraints, algorithm="enum", workers=2)
