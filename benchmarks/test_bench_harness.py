@@ -18,7 +18,8 @@ import pytest
 from repro.algorithms.registry import (PARALLEL_ALGORITHMS, list_algorithms,
                                        supports_workers)
 from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA, SCHEMA_V1,
-                                    SCHEMA_V2, SCHEMA_V3, compare_payloads,
+                                    SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
+                                    compare_payloads,
                                     format_bench, format_compare, load_bench,
                                     run_bench, upgrade_payload)
 from repro.experiments.workloads import (VARIANTS, available_workloads,
@@ -402,3 +403,62 @@ def test_full_matrix_parity_sweep():
         assert sorted(section["algorithms"]) == list_algorithms()
         for name, entry in section["algorithms"].items():
             assert entry["parity"] == "ok", (workload_name, name)
+
+
+def test_v4_payloads_gain_execution_fields():
+    """The v4 -> v5 upgrade path: empty execution reports everywhere."""
+    v4 = {
+        "schema": SCHEMA_V4,
+        "profile": "default",
+        "workers": 2,
+        "workload_axis": ["ind"],
+        "matrix": {"ind": {
+            "kind": "synthetic",
+            "description": "synthetic, independent centres",
+            "datasets": {"wr": {"num_objects": 192}},
+            "algorithms": {
+                "kdtt+": {"variant": "wr", "repeats": 5, "workers": 2,
+                          "runs_s": [0.01], "median_s": 0.01, "min_s": 0.01,
+                          "arsp_size": 39, "phases_s": {}, "parity": "ok"},
+            },
+        }},
+        "extras": {},
+        "extra_workloads": {},
+    }
+    upgraded = upgrade_payload(v4)
+    assert upgraded["schema"] == SCHEMA
+    assert upgraded["backend"] is None
+    entry = upgraded["matrix"]["ind"]["algorithms"]["kdtt+"]
+    assert entry["execution"] is None
+    # The pre-v5 fields survive untouched and the input is not mutated.
+    assert entry["workers"] == 2
+    assert "backend" not in v4
+    assert "execution" not in v4["matrix"]["ind"]["algorithms"]["kdtt+"]
+    # Older schemas ride the whole chain up to v5.
+    v3 = {**v4, "schema": SCHEMA_V3}
+    del v3["workers"]
+    chained = upgrade_payload(v3)
+    assert chained["schema"] == SCHEMA
+    assert chained["matrix"]["ind"]["algorithms"]["kdtt+"]["execution"] \
+        is None
+
+
+@pytest.mark.parallel
+@pytest.mark.faults
+def test_bench_cell_records_crash_recovery(monkeypatch):
+    """Crash-recovery smoke: with ``REPRO_FAULTS`` injecting a worker
+    crash, the bench cell still times the run, stays parity-checked, and
+    records the recovery in its execution summary."""
+    monkeypatch.setenv("REPRO_FAULTS", "crash:shard=1,attempt=1")
+    payload = run_bench(profile="quick", workloads=["ind"],
+                        algorithms=["kdtt+"], repeats=1, workers=2,
+                        backend="process")
+    assert payload["backend"] == "process"
+    entry = payload["matrix"]["ind"]["algorithms"]["kdtt+"]
+    assert entry["parity"] == "ok"
+    execution = entry["execution"]
+    assert execution is not None and not execution["clean"]
+    assert execution["recovered_shards"] == [1]
+    assert execution["pool_rebuilds"] >= 1
+    assert execution["serial_fallback_shards"] == []
+    assert "[exec:" in format_bench(payload)

@@ -1,0 +1,75 @@
+"""Repo-level pytest plugins.
+
+Fallback per-test timeout
+-------------------------
+The suite declares ``pytest-timeout`` in the test extras and a ``timeout``
+cap in ``pyproject.toml`` so no hung worker (the exact failure mode the
+fault-injection tests provoke on purpose) can wedge CI forever.  Not every
+environment has the plugin installed, so this conftest ships a minimal
+SIGALRM-based stand-in that honours the same ``timeout`` ini value and
+``@pytest.mark.timeout(seconds)`` marker.  It deactivates itself entirely
+when the real plugin is importable, and degrades to a no-op on platforms
+without ``SIGALRM`` (Windows) or off the main thread.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+import threading
+
+import pytest
+
+_HAVE_PYTEST_TIMEOUT = (
+    importlib.util.find_spec("pytest_timeout") is not None)
+
+
+def pytest_addoption(parser):
+    if _HAVE_PYTEST_TIMEOUT:
+        return
+    parser.addini(
+        "timeout",
+        "per-test timeout in seconds; enforced by the SIGALRM fallback shim "
+        "when pytest-timeout is not installed (0 disables)",
+        default="0")
+
+
+def pytest_configure(config):
+    if _HAVE_PYTEST_TIMEOUT:
+        return
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout; honoured by the SIGALRM "
+        "fallback shim when pytest-timeout is not installed")
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = 0.0 if _HAVE_PYTEST_TIMEOUT else _timeout_for(item)
+    if (seconds <= 0 or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            "test exceeded the %gs timeout (SIGALRM fallback shim; install "
+            "pytest-timeout for stack dumps)" % seconds)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

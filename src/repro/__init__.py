@@ -18,7 +18,10 @@ Quickstart
 from .core.arsp import (arsp_size, compute_arsp,
                         object_rskyline_probabilities, threshold_query,
                         top_k_objects)
+from .core.backend import (AlgorithmResult, ExecutionPolicy,
+                           ExecutionReport, ShardExecutionError)
 from .core.dataset import Instance, UncertainDataset, UncertainObject
+from .core.faults import FaultPlan
 from .core.preference import (LinearConstraints, PreferenceRegion,
                               WeightRatioConstraints)
 from .core.rskyline import eclipse, rskyline, skyline
@@ -28,9 +31,14 @@ from .algorithms import (compute_asp, compute_skyline_probabilities,
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmResult",
+    "ExecutionPolicy",
+    "ExecutionReport",
+    "FaultPlan",
     "Instance",
     "LinearConstraints",
     "PreferenceRegion",
+    "ShardExecutionError",
     "UncertainDataset",
     "UncertainObject",
     "WeightRatioConstraints",

@@ -14,7 +14,8 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..core.arsp import arsp_size, object_rskyline_probabilities
-from ..core.backend import run_sharded
+from ..core.backend import (AlgorithmResult, ExecutionPolicy,
+                            ExecutionReport, run_sharded)
 from ..core.dataset import UncertainDataset
 from ..core.numeric import PROB_ATOL, SCORE_ATOL, clamp_probability
 from ..core.preference import PreferenceRegion, resolve_preference_region
@@ -108,8 +109,9 @@ def shard_covers_all(dataset: UncertainDataset, lo: int, hi: int) -> bool:
 def sharded_arsp(shard_fn: Callable, dataset: UncertainDataset, constraints,
                  workers: Optional[int] = None,
                  backend: Optional[str] = None,
-                 options: Optional[Dict[str, object]] = None
-                 ) -> Dict[int, float]:
+                 options: Optional[Dict[str, object]] = None,
+                 policy: Optional[ExecutionPolicy] = None
+                 ) -> AlgorithmResult:
     """Run an ARSP shard function over the object axis via the backend layer.
 
     This is the uniform entry point behind every ported algorithm's
@@ -118,13 +120,16 @@ def sharded_arsp(shard_fn: Callable, dataset: UncertainDataset, constraints,
     ``shard_fn(dataset, constraints, lo, hi, **options)`` computes the
     results for the instances owned by objects in ``[lo, hi)``, and the
     shard results are merged into a full result dictionary whose key order
-    is the canonical instance order regardless of worker count.
+    is the canonical instance order regardless of worker count.  The
+    returned :class:`AlgorithmResult` carries the run's
+    :class:`ExecutionReport` (``.execution``); ``policy`` selects the
+    supervision knobs (shard timeout, retry budget, terminal behaviour).
     """
     return run_sharded(shard_fn, dataset, constraints,
                        num_targets=dataset.num_objects,
                        workers=workers, backend=backend,
                        base_result=empty_result(dataset),
-                       options=options)
+                       options=options, policy=policy)
 
 
 def finalize_result(result: Dict[int, float]) -> Dict[int, float]:

@@ -62,7 +62,7 @@ from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import resolve_preference_region
 from ..core.profiling import phase
 from ..index.rtree import FlatRTree, RTreeForest
-from .base import finalize_result, sharded_arsp
+from .base import ExecutionPolicy, finalize_result, sharded_arsp
 
 _NODE = 0
 _INSTANCE = 1
@@ -114,7 +114,9 @@ class _PruningSet:
 def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
                           max_entries: int = 16,
                           workers: Optional[int] = None,
-                          backend: Optional[str] = None) -> Dict[int, float]:
+                          backend: Optional[str] = None,
+                          policy: Optional[ExecutionPolicy] = None
+                          ) -> Dict[int, float]:
     """Compute ARSP with the branch-and-bound algorithm.
 
     Parameters
@@ -135,7 +137,7 @@ def branch_and_bound_arsp(dataset: UncertainDataset, constraints,
     """
     return sharded_arsp(_bnb_shard, dataset, constraints,
                         workers=workers, backend=backend,
-                        options={"max_entries": max_entries})
+                        options={"max_entries": max_entries}, policy=policy)
 
 
 def _bnb_shard(dataset: UncertainDataset, constraints,

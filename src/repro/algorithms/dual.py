@@ -48,8 +48,8 @@ from ..core.numeric import PROB_ATOL, SCORE_ATOL
 from ..core.preference import WeightRatioConstraints
 from ..core.profiling import phase
 from ..index.kdtree import KDTree, build_forest
-from .base import (empty_result, finalize_result, shard_covers_all,
-                   sharded_arsp)
+from .base import (ExecutionPolicy, empty_result, finalize_result,
+                   shard_covers_all, sharded_arsp)
 
 #: Upper bound on the number of (target, tree-root, dimension) floats held
 #: in memory at once — the margin-matrix kernel's largest intermediate is
@@ -358,7 +358,8 @@ def dual_arsp(dataset: UncertainDataset,
               constraints: WeightRatioConstraints,
               leaf_size: int = 16,
               workers: Optional[int] = None,
-              backend: Optional[str] = None) -> Dict[int, float]:
+              backend: Optional[str] = None,
+              policy: Optional[ExecutionPolicy] = None) -> Dict[int, float]:
     """One-shot DUAL: build the index and answer a single constraint set."""
     if not isinstance(constraints, WeightRatioConstraints):
         raise TypeError("the DUAL algorithm requires WeightRatioConstraints; "
@@ -366,4 +367,4 @@ def dual_arsp(dataset: UncertainDataset,
                         "algorithms for general linear constraints")
     return sharded_arsp(_dual_shard, dataset, constraints,
                         workers=workers, backend=backend,
-                        options={"leaf_size": leaf_size})
+                        options={"leaf_size": leaf_size}, policy=policy)

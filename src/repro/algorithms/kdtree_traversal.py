@@ -21,8 +21,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.dataset import UncertainDataset
-from .base import (build_score_space, finalize_result, shard_covers_all,
-                   sharded_arsp)
+from .base import (ExecutionPolicy, build_score_space, finalize_result,
+                   shard_covers_all, sharded_arsp)
 from .tree_traversal import kd_partition, traverse_arsp
 
 
@@ -51,7 +51,9 @@ def _kdtt_shard(dataset: UncertainDataset, constraints,
 def kdtree_traversal_arsp(dataset: UncertainDataset, constraints,
                           integrated: bool = True,
                           workers: Optional[int] = None,
-                          backend: Optional[str] = None) -> Dict[int, float]:
+                          backend: Optional[str] = None,
+                          policy: Optional[ExecutionPolicy] = None
+                          ) -> Dict[int, float]:
     """Compute ARSP with the kd-tree traversal algorithm.
 
     Parameters
@@ -71,20 +73,24 @@ def kdtree_traversal_arsp(dataset: UncertainDataset, constraints,
     """
     return sharded_arsp(_kdtt_shard, dataset, constraints,
                         workers=workers, backend=backend,
-                        options={"integrated": integrated})
+                        options={"integrated": integrated}, policy=policy)
 
 
 def kdtt_plus(dataset: UncertainDataset, constraints,
               workers: Optional[int] = None,
-              backend: Optional[str] = None) -> Dict[int, float]:
+              backend: Optional[str] = None,
+              policy: Optional[ExecutionPolicy] = None) -> Dict[int, float]:
     """Convenience wrapper for the KDTT+ variant."""
     return kdtree_traversal_arsp(dataset, constraints, integrated=True,
-                                 workers=workers, backend=backend)
+                                 workers=workers, backend=backend,
+                                 policy=policy)
 
 
 def kdtt(dataset: UncertainDataset, constraints,
          workers: Optional[int] = None,
-         backend: Optional[str] = None) -> Dict[int, float]:
+         backend: Optional[str] = None,
+         policy: Optional[ExecutionPolicy] = None) -> Dict[int, float]:
     """Convenience wrapper for the original KDTT variant."""
     return kdtree_traversal_arsp(dataset, constraints, integrated=False,
-                                 workers=workers, backend=backend)
+                                 workers=workers, backend=backend,
+                                 policy=policy)

@@ -27,8 +27,8 @@ import numpy as np
 from ..core.dataset import UncertainDataset
 from ..core.kernels import weak_dominance_matrix
 from ..core.numeric import PROB_ATOL, SCORE_ATOL
-from .base import build_score_space, empty_result, finalize_result, \
-    sharded_arsp
+from .base import ExecutionPolicy, build_score_space, empty_result, \
+    finalize_result, sharded_arsp
 
 #: Upper bound on the number of dominance-matrix entries held in memory at
 #: once; the chunked sweep sizes its target chunks accordingly.
@@ -37,7 +37,8 @@ _CHUNK_BUDGET = 4_000_000
 
 def loop_arsp(dataset: UncertainDataset, constraints,
               workers: Optional[int] = None,
-              backend: Optional[str] = None) -> Dict[int, float]:
+              backend: Optional[str] = None,
+              policy: Optional[ExecutionPolicy] = None) -> Dict[int, float]:
     """Compute ARSP with the quadratic LOOP baseline (vectorized).
 
     ``workers`` shards the target axis across the execution backend (see
@@ -46,7 +47,7 @@ def loop_arsp(dataset: UncertainDataset, constraints,
     results are bit-identical for every worker count.
     """
     return sharded_arsp(_loop_shard, dataset, constraints,
-                        workers=workers, backend=backend)
+                        workers=workers, backend=backend, policy=policy)
 
 
 def _loop_shard(dataset: UncertainDataset, constraints,

@@ -15,8 +15,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.dataset import UncertainDataset
-from .base import (build_score_space, finalize_result, shard_covers_all,
-                   sharded_arsp)
+from .base import (ExecutionPolicy, build_score_space, finalize_result,
+                   shard_covers_all, sharded_arsp)
 from .tree_traversal import quad_partition, traverse_arsp
 
 
@@ -37,9 +37,10 @@ def _qdtt_shard(dataset: UncertainDataset, constraints,
 def quadtree_traversal_arsp(dataset: UncertainDataset, constraints,
                             integrated: bool = True,
                             workers: Optional[int] = None,
-                            backend: Optional[str] = None
+                            backend: Optional[str] = None,
+                            policy: Optional[ExecutionPolicy] = None
                             ) -> Dict[int, float]:
     """Compute ARSP with the quadtree traversal algorithm (QDTT+)."""
     return sharded_arsp(_qdtt_shard, dataset, constraints,
                         workers=workers, backend=backend,
-                        options={"integrated": integrated})
+                        options={"integrated": integrated}, policy=policy)

@@ -82,6 +82,75 @@ def _workers_argument(value: str) -> int:
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _timeout_argument(value: str) -> float:
+    """Argparse type for ``--shard-timeout``: positive seconds."""
+    try:
+        timeout = float(value)
+    except ValueError:
+        timeout = 0.0
+    if not timeout > 0:
+        raise argparse.ArgumentTypeError(
+            "shard timeout must be a positive number of seconds, got %r"
+            % value)
+    return timeout
+
+
+def _retries_argument(value: str) -> int:
+    """Argparse type for ``--max-retries``: a non-negative integer."""
+    try:
+        retries = int(value)
+    except ValueError:
+        retries = -1
+    if retries < 0:
+        raise argparse.ArgumentTypeError(
+            "max retries must be a non-negative integer, got %r" % value)
+    return retries
+
+
+def _add_execution_arguments(command: argparse.ArgumentParser) -> None:
+    """The supervised-execution flags shared by ``arsp`` and ``bench``.
+
+    They parameterize :class:`repro.core.backend.ExecutionPolicy`; all are
+    only meaningful together with ``--workers`` on backend-ported
+    algorithms (the serial path has no pool to supervise).
+    """
+    from .core.backend import BACKENDS, ON_FAILURE
+
+    command.add_argument("--backend", default=None, choices=BACKENDS,
+                         help="execution backend for sharded runs "
+                              "(default: auto — process pools when "
+                              "workers > 1)")
+    command.add_argument("--shard-timeout", type=_timeout_argument,
+                         default=None, metavar="SECONDS",
+                         help="wall-clock budget per shard attempt; a hung "
+                              "worker is killed and its shard rescheduled "
+                              "(default: no timeout)")
+    command.add_argument("--max-retries", type=_retries_argument,
+                         default=None, metavar="N",
+                         help="extra submissions granted per shard after an "
+                              "infrastructure failure (default: 2)")
+    command.add_argument("--on-failure", default=None, choices=ON_FAILURE,
+                         help="terminal policy once a shard exhausts its "
+                              "retries: recompute missing shards serially "
+                              "(default), raise after the retries, or raise "
+                              "on the first failure")
+
+
+def _execution_policy(args: argparse.Namespace):
+    """Build the ExecutionPolicy requested by the CLI flags (or None)."""
+    from .core.backend import ExecutionPolicy
+
+    if (args.shard_timeout is None and args.max_retries is None
+            and args.on_failure is None):
+        return None
+    defaults = ExecutionPolicy()
+    return ExecutionPolicy(
+        shard_timeout_s=args.shard_timeout,
+        max_retries=(defaults.max_retries if args.max_retries is None
+                     else args.max_retries),
+        on_failure=args.on_failure or defaults.on_failure)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -106,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     arsp.add_argument("--workers", type=_workers_argument, default=None,
                       help="shard the target axis across this many worker "
                            "processes (backend-ported algorithms only)")
+    _add_execution_arguments(arsp)
 
     figure = subparsers.add_parser("figure", help="re-run a figure sweep")
     figure.add_argument("--id", required=True, choices=FIGURE_IDS,
@@ -152,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "axis across this many worker processes; every "
                             "cell stays parity-checked against the serial "
                             "backend")
+    _add_execution_arguments(bench)
     bench.add_argument("--compare-stat", default="median",
                        choices=sorted(COMPARE_STATISTICS),
                        help="statistic gated by --compare: the median or "
@@ -177,7 +248,9 @@ def run_arsp(args: argparse.Namespace) -> str:
     workers = getattr(args, "workers", None)
     start = time.perf_counter()
     result = compute_arsp(dataset, constraints, algorithm=args.algorithm,
-                          workers=workers)
+                          workers=workers,
+                          backend=getattr(args, "backend", None),
+                          policy=_execution_policy(args))
     elapsed = time.perf_counter() - start
 
     lines = [
@@ -188,8 +261,21 @@ def run_arsp(args: argparse.Namespace) -> str:
         % (args.algorithm, elapsed,
            "" if workers is None else " (workers=%d)" % workers,
            arsp_size(result)),
-        "",
     ]
+    execution = getattr(result, "execution", None)
+    if execution is not None and not execution.clean:
+        summary = execution.summary()
+        note = ("execution: %d attempt(s), %d pool rebuild(s), "
+                "%d timeout(s)"
+                % (summary["attempts"], summary["pool_rebuilds"],
+                   summary["timeouts"]))
+        if summary["recovered_shards"]:
+            note += ", recovered shards %s" % summary["recovered_shards"]
+        if summary["serial_fallback_shards"]:
+            note += (", serial fallback for shards %s"
+                     % summary["serial_fallback_shards"])
+        lines.append(note)
+    lines.append("")
     rows = [(object_id, round(probability, 4))
             for object_id, probability in top_k_objects(dataset, result,
                                                         args.top_k)]
@@ -285,7 +371,8 @@ def run_bench_command(args: argparse.Namespace) -> Tuple[str, int]:
                         algorithms=_parse_names(args.algorithms),
                         workloads=_parse_names(args.workloads),
                         repeats=args.repeats, output_path=output_path,
-                        check=not args.no_check, workers=args.workers)
+                        check=not args.no_check, workers=args.workers,
+                        backend=args.backend, policy=_execution_policy(args))
     lines = [format_bench(payload)]
     if output_path:
         lines.append("wrote %s" % output_path)

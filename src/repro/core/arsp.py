@@ -17,6 +17,7 @@ from .preference import WeightRatioConstraints
 
 def compute_arsp(dataset: UncertainDataset, constraints,
                  algorithm: str = "auto", workers: Optional[int] = None,
+                 backend: Optional[str] = None, policy=None,
                  **options) -> Dict[int, float]:
     """Compute the rskyline probability of every instance.
 
@@ -37,6 +38,13 @@ def compute_arsp(dataset: UncertainDataset, constraints,
         :mod:`repro.core.backend`).  Only the ported algorithms accept it;
         requesting workers for a serial-only algorithm raises
         ``ValueError`` rather than silently running serial.
+    backend:
+        Execution backend name (``auto``/``serial``/``process``); like
+        ``workers``, only meaningful for the ported algorithms.
+    policy:
+        An :class:`~repro.core.backend.ExecutionPolicy` with the
+        supervision knobs (shard timeout, retry budget, ``on_failure``);
+        only meaningful for the ported algorithms.
     options:
         Extra keyword arguments passed to the selected algorithm.
 
@@ -45,6 +53,9 @@ def compute_arsp(dataset: UncertainDataset, constraints,
     dict
         Mapping ``instance_id -> rskyline probability`` covering every
         instance of the dataset (zero-probability instances included).
+        The ported algorithms return an
+        :class:`~repro.core.backend.AlgorithmResult` whose ``execution``
+        attribute records what the execution layer did.
     """
     from ..algorithms.registry import (canonical_name, get_algorithm,
                                        supports_workers)
@@ -56,15 +67,21 @@ def compute_arsp(dataset: UncertainDataset, constraints,
             algorithm = "bnb"
     name = canonical_name(algorithm)
     implementation = get_algorithm(name)
-    if workers is not None:
+    sharded_options = {"workers": workers, "backend": backend,
+                       "policy": policy}
+    requested = {key: value for key, value in sharded_options.items()
+                 if value is not None}
+    if requested:
         if not supports_workers(name):
             from ..algorithms.registry import PARALLEL_ALGORITHMS
 
             raise ValueError(
-                "algorithm %r does not support sharded execution "
-                "(workers=%r); parallel algorithms: %s"
-                % (name, workers, ", ".join(sorted(PARALLEL_ALGORITHMS))))
-        options = dict(options, workers=workers)
+                "algorithm %r does not support sharded execution (%s); "
+                "parallel algorithms: %s"
+                % (name,
+                   ", ".join("%s=%r" % item for item in requested.items()),
+                   ", ".join(sorted(PARALLEL_ALGORITHMS))))
+        options = dict(options, **requested)
     return implementation(dataset, constraints, **options)
 
 

@@ -53,11 +53,22 @@ a ``--workers`` run doubles as a serial-vs-sharded cross-backend parity
 sweep over the whole matrix.  The effective worker count lands in the
 payload (top level and per cell).
 
-The JSON schema is ``repro-bench/4`` (per-workload ``matrix`` sections
-with per-phase timings and ``workers`` fields); :func:`upgrade_payload` /
-:func:`load_bench` still read the ``repro-bench/3`` pre-backend files, the
-``repro-bench/2`` matrix files and the flat ``repro-bench/1`` files
-written before.
+Sharded cells also record what the supervised execution layer did: each
+backend-ported cell's ``execution`` field is the
+:class:`repro.core.backend.ExecutionReport` summary of its last timed run
+(attempts, retried/recovered shards, pool rebuilds, timeouts, fallback
+events), so recovery overhead — e.g. under a ``REPRO_FAULTS`` injection —
+is measured per cell rather than guessed.  ``--backend``,
+``--shard-timeout``, ``--max-retries`` and ``--on-failure`` select the
+backend and its :class:`repro.core.backend.ExecutionPolicy` for the
+sharded cells.
+
+The JSON schema is ``repro-bench/5`` (per-workload ``matrix`` sections
+with per-phase timings, ``workers`` fields and per-cell ``execution``
+summaries); :func:`upgrade_payload` / :func:`load_bench` still read the
+``repro-bench/4`` pre-supervision files, the ``repro-bench/3``
+pre-backend files, the ``repro-bench/2`` matrix files and the flat
+``repro-bench/1`` files written before.
 
 ``compare_payloads`` diffs two payloads cell by cell (``repro bench
 --compare BASELINE.json``) and flags cells whose median — or, with
@@ -95,7 +106,11 @@ from .workloads import (WORKLOAD_AXIS, Workload, WorkloadScale,
 
 #: Schema tag written into the JSON payload so future harness versions can
 #: evolve the format without ambiguity.
-SCHEMA = "repro-bench/4"
+SCHEMA = "repro-bench/5"
+
+#: The schema before the supervised scheduler: no per-cell ``execution``
+#: summaries.
+SCHEMA_V4 = "repro-bench/4"
 
 #: The schema before the execution backend: no ``workers`` fields.
 SCHEMA_V3 = "repro-bench/3"
@@ -186,14 +201,21 @@ def _phase_fields(phase_runs: Sequence[Dict[str, float]]) -> Dict[str, float]:
 
 
 def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
-                  check: bool, workers: int = 1) -> Dict[str, object]:
+                  check: bool, workers: int = 1,
+                  backend: Optional[str] = None,
+                  policy=None) -> Dict[str, object]:
     """Time the named algorithms on one workload; one matrix section.
 
-    ``workers > 1`` shards every backend-ported algorithm's target axis;
-    serial-only algorithms keep running unsharded (their cells record
-    ``workers: 1``).  The parity reference is always computed on the
-    serial backend, so a sharded run's cells double as a cross-backend
-    parity sweep.
+    ``workers > 1`` shards every backend-ported algorithm's target axis
+    (``backend`` and ``policy`` — an
+    :class:`repro.core.backend.ExecutionPolicy` — select the execution
+    backend and its supervision knobs for those cells); serial-only
+    algorithms keep running unsharded (their cells record ``workers: 1``).
+    The parity reference is always computed on the serial backend, so a
+    sharded run's cells double as a cross-backend parity sweep.  Each
+    cell records the execution layer's report summary (its last timed
+    run) under ``execution`` — ``None`` for serial-only algorithms — so
+    retries, pool rebuilds and fallbacks are measured per cell.
     """
     references: Dict[str, Dict[int, float]] = {}
     entries: Dict[str, dict] = {}
@@ -206,7 +228,8 @@ def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
         if cell_workers > 1:
             def runner(impl=implementation, data=variant,
                        count=cell_workers):
-                return impl(data.dataset, data.constraints, workers=count)
+                return impl(data.dataset, data.constraints, workers=count,
+                            backend=backend, policy=policy)
         else:
             def runner(impl=implementation, data=variant):
                 return impl(data.dataset, data.constraints)
@@ -215,6 +238,9 @@ def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
                      **_timing_fields(runs))
         entry["phases_s"] = _phase_fields(phase_runs)
         entry["arsp_size"] = arsp_size(result)
+        execution = getattr(result, "execution", None)
+        entry["execution"] = (execution.summary()
+                              if execution is not None else None)
         if check:
             if variant_key not in references:
                 if name == _REFERENCE_ALGORITHM and cell_workers == 1:
@@ -300,7 +326,9 @@ def run_bench(profile: str = "default",
               repeats: Optional[int] = None,
               output_path: Optional[str] = None,
               check: bool = True,
-              workers: Optional[int] = None) -> Dict[str, object]:
+              workers: Optional[int] = None,
+              backend: Optional[str] = None,
+              policy=None) -> Dict[str, object]:
     """Time the algorithm × workload matrix and return (and optionally
     write) the ``BENCH_arsp.json`` payload.
 
@@ -325,6 +353,11 @@ def run_bench(profile: str = "default",
         Shard the target axis of every backend-ported algorithm across
         this many workers (``None``/1 keeps everything serial); the
         parity reference stays on the serial backend either way.
+    backend:
+        Execution backend for the sharded cells (``auto`` when omitted).
+    policy:
+        :class:`repro.core.backend.ExecutionPolicy` supervision knobs for
+        the sharded cells (shard timeout, retry budget, ``on_failure``).
     """
     if profile not in PROFILES:
         raise KeyError("unknown bench profile %r; available: %s"
@@ -354,7 +387,8 @@ def run_bench(profile: str = "default",
     for workload_name in selection:
         workload = build_workload(workload_name, resolved.scale)
         matrix[workload.name] = _run_workload(workload, names, rounds, check,
-                                              workers=worker_count)
+                                              workers=worker_count,
+                                              backend=backend, policy=policy)
 
     # The extras cover the vectorized paths outside the algorithm registry;
     # an explicit --algorithms subset is a request to time just that subset.
@@ -371,6 +405,7 @@ def run_bench(profile: str = "default",
         "numpy": np.__version__,
         "reference_algorithm": _REFERENCE_ALGORITHM if check else None,
         "workers": worker_count,
+        "backend": backend,
         "workload_axis": [name for name in matrix],
         "matrix": matrix,
         "extras": extras,
@@ -401,7 +436,7 @@ _V1_EXTRA_WORKLOADS = ("eclipse-ind", "continuous-boxes")
 
 
 def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Return a ``repro-bench/4`` view of any known payload version.
+    """Return a ``repro-bench/5`` view of any known payload version.
 
     ``repro-bench/1`` files carried a single flat ``algorithms`` section
     measured on the default IND workload; they pass through the matrix
@@ -409,8 +444,11 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     timings; their algorithm entries gain empty ``phases_s`` mappings.
     ``repro-bench/3`` files predate the execution backend; they gain
     ``workers: 1`` at the top level and in every matrix cell (everything
-    before the backend was serial by construction).  Downstream consumers
-    only ever see the v4 shape; current payloads are returned unchanged.
+    before the backend was serial by construction).  ``repro-bench/4``
+    files predate the supervised scheduler; they gain ``backend: None``
+    at the top level and ``execution: None`` in every matrix cell (no
+    execution reports were recorded).  Downstream consumers only ever see
+    the v5 shape; current payloads are returned unchanged.
     """
     schema = payload.get("schema")
     if schema == SCHEMA:
@@ -421,9 +459,12 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     if schema == SCHEMA_V2:
         payload = _upgrade_v2(payload)
         schema = SCHEMA_V3
-    if schema != SCHEMA_V3:
+    if schema == SCHEMA_V3:
+        payload = _upgrade_v3(payload)
+        schema = SCHEMA_V4
+    if schema != SCHEMA_V4:
         raise ValueError("unknown bench payload schema %r" % (schema,))
-    return _upgrade_v3(payload)
+    return _upgrade_v4(payload)
 
 
 def _upgrade_v1(payload: Dict[str, object]) -> Dict[str, object]:
@@ -481,13 +522,29 @@ def _upgrade_v2(payload: Dict[str, object]) -> Dict[str, object]:
 def _upgrade_v3(payload: Dict[str, object]) -> Dict[str, object]:
     """``repro-bench/3`` -> ``repro-bench/4``: serial ``workers`` fields."""
     upgraded = dict(payload)
-    upgraded["schema"] = SCHEMA
+    upgraded["schema"] = SCHEMA_V4
     upgraded.setdefault("workers", 1)
     matrix = {}
     for workload_name, section in dict(payload.get("matrix", {})).items():
         section = dict(section)
         section["algorithms"] = {
             name: dict(entry, workers=entry.get("workers", 1))
+            for name, entry in dict(section.get("algorithms", {})).items()}
+        matrix[workload_name] = section
+    upgraded["matrix"] = matrix
+    return upgraded
+
+
+def _upgrade_v4(payload: Dict[str, object]) -> Dict[str, object]:
+    """``repro-bench/4`` -> ``repro-bench/5``: empty execution reports."""
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA
+    upgraded.setdefault("backend", None)
+    matrix = {}
+    for workload_name, section in dict(payload.get("matrix", {})).items():
+        section = dict(section)
+        section["algorithms"] = {
+            name: dict(entry, execution=entry.get("execution"))
             for name, entry in dict(section.get("algorithms", {})).items()}
         matrix[workload_name] = section
     upgraded["matrix"] = matrix
@@ -654,6 +711,14 @@ def _format_entry(width: int, name: str, entry: Dict[str, object],
                   size_key: str, workload_key: str) -> str:
     parity = entry.get("parity")
     suffix = "" if parity in (None, "ok") else "  PARITY: %s" % parity
+    execution = entry.get("execution") or {}
+    if execution and not execution.get("clean", True):
+        suffix += ("  [exec: %d attempts, %d rebuild(s), %d timeout(s)%s]"
+                   % (execution.get("attempts", 0),
+                      execution.get("pool_rebuilds", 0),
+                      execution.get("timeouts", 0),
+                      ", serial fallback"
+                      if execution.get("serial_fallback_shards") else ""))
     phases = entry.get("phases_s") or {}
     if phases:
         suffix += "  {%s}" % ", ".join(

@@ -240,3 +240,37 @@ class TestRunSharded:
         with pytest.raises(RuntimeError, match="shard failure"):
             run_sharded(exploding, dataset, None, num_targets=4, workers=2,
                         backend="serial")
+
+    def test_zero_targets_run_the_single_empty_shard(self, monkeypatch):
+        # num_targets == 0 degrades to the one [(0, 0)] shard; it must
+        # reach the shard function (exactly like the pre-backend serial
+        # code) and never pay for a pool.
+        def no_pools(*args, **kwargs):
+            raise AssertionError("a pool was created for an empty shard")
+
+        monkeypatch.setattr(ProcessBackend, "map_shards", no_pools)
+        dataset = make_random_dataset(seed=13, num_objects=4)
+        merged = run_sharded(_echo_shard, dataset, None, num_targets=0,
+                             workers=4, backend="process")
+        assert merged == {}
+        report = merged.execution
+        assert [record.as_dict()["targets"] for record in report.shards] \
+            == [[0, 0]]
+        assert report.clean
+
+    @pytest.mark.parallel
+    def test_process_run_survives_the_pickle_fallback(self, monkeypatch):
+        # Shared memory unavailable at ship time: the dataset rides the
+        # initargs pipe instead, and the pool still computes every shard.
+        def broken_create(cls_dataset):
+            raise OSError("no /dev/shm in this environment")
+
+        monkeypatch.setattr(SharedDatasetHandle, "create",
+                            staticmethod(broken_create))
+        dataset = make_random_dataset(seed=14, num_objects=6)
+        with pytest.warns(RuntimeWarning, match="shared memory unavailable"):
+            merged = run_sharded(_echo_shard, dataset, None,
+                                 num_targets=dataset.num_objects,
+                                 workers=2, backend="process")
+        assert merged == _echo_shard(dataset, None, 0, 6)
+        assert merged.execution.clean

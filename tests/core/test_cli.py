@@ -157,3 +157,52 @@ class TestWorkers:
                      "--workers", "2", "--output", "-"])
         assert code == 0
         assert "workers=2" in capsys.readouterr().out
+
+
+class TestExecutionFlags:
+    @pytest.mark.parametrize("argv,message", [
+        (["arsp", "--shard-timeout", "0"],
+         "shard timeout must be a positive number"),
+        (["arsp", "--shard-timeout", "soon"],
+         "shard timeout must be a positive number"),
+        (["bench", "--max-retries", "-1"],
+         "max retries must be a non-negative integer"),
+        (["arsp", "--on-failure", "shrug"], "invalid choice"),
+        (["arsp", "--backend", "threads"], "invalid choice"),
+    ])
+    def test_invalid_flags_fail_with_a_clear_error(self, argv, message,
+                                                   capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert message in capsys.readouterr().err
+
+    def test_serial_backend_with_many_workers_runs_without_pools(self,
+                                                                 capsys):
+        # workers > 1 + an explicit serial backend must keep the sharded
+        # layout (so results match process runs bit-for-bit) while never
+        # spawning a process — the supported degraded mode for machines
+        # where pools are unavailable.
+        code = main(["arsp", "--objects", "16", "--instances", "2",
+                     "--dimension", "3", "--algorithm", "kdtt+",
+                     "--workers", "3", "--backend", "serial",
+                     "--top-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(workers=3)" in out
+        assert "ARSP size" in out
+
+    @pytest.mark.parallel
+    @pytest.mark.faults
+    def test_arsp_reports_recovery_in_the_summary_line(self, capsys,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:shard=1,attempt=1")
+        code = main(["arsp", "--objects", "16", "--instances", "2",
+                     "--dimension", "3", "--algorithm", "kdtt+",
+                     "--workers", "2", "--backend", "process",
+                     "--shard-timeout", "30", "--max-retries", "2",
+                     "--on-failure", "serial", "--top-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pool rebuild(s)" in out
+        assert "recovered shards [1]" in out
