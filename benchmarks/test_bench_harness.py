@@ -19,7 +19,7 @@ from repro.algorithms.registry import (PARALLEL_ALGORITHMS, list_algorithms,
                                        supports_workers)
 from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA, SCHEMA_V1,
                                     SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
-                                    compare_payloads,
+                                    SCHEMA_V5, compare_payloads,
                                     format_bench, format_compare, load_bench,
                                     run_bench, upgrade_payload)
 from repro.experiments.workloads import (VARIANTS, available_workloads,
@@ -308,7 +308,9 @@ def test_compare_flags_regressions_and_only_regressions(quick_bench_payload):
     assert not regressions
     cells = sum(len(section["algorithms"])
                 for section in payload["matrix"].values())
-    assert len(lines) == cells + len(payload["extras"])
+    serve_modes = sum(1 for mode in ("cold", "warm")
+                      if mode in payload["serve"])
+    assert len(lines) == cells + len(payload["extras"]) + serve_modes
 
     shrunk = json.loads(json.dumps(payload))
     shrunk["matrix"]["ind"]["algorithms"]["kdtt+"]["median_s"] /= 1000.0
@@ -441,6 +443,138 @@ def test_v4_payloads_gain_execution_fields():
     assert chained["schema"] == SCHEMA
     assert chained["matrix"]["ind"]["algorithms"]["kdtt+"]["execution"] \
         is None
+
+
+def test_v5_payloads_gain_serve_and_cache_fields():
+    """The v5 -> v6 upgrade path: empty serve section, null cache stats."""
+    v5 = {
+        "schema": SCHEMA_V5,
+        "profile": "default",
+        "workers": 1,
+        "backend": None,
+        "workload_axis": ["ind"],
+        "matrix": {"ind": {
+            "kind": "synthetic",
+            "description": "synthetic, independent centres",
+            "datasets": {"wr": {"num_objects": 192}},
+            "algorithms": {
+                "kdtt+": {"variant": "wr", "repeats": 5, "workers": 1,
+                          "runs_s": [0.01], "median_s": 0.01, "min_s": 0.01,
+                          "arsp_size": 39, "phases_s": {}, "execution": None,
+                          "parity": "ok"},
+            },
+        }},
+        "extras": {},
+        "extra_workloads": {},
+    }
+    upgraded = upgrade_payload(v5)
+    assert upgraded["schema"] == SCHEMA
+    assert upgraded["serve"] == {}
+    entry = upgraded["matrix"]["ind"]["algorithms"]["kdtt+"]
+    assert entry["cache"] is None
+    # The pre-v6 fields survive untouched and the input is not mutated.
+    assert entry["execution"] is None
+    assert "serve" not in v5
+    assert "cache" not in v5["matrix"]["ind"]["algorithms"]["kdtt+"]
+    # Older schemas ride the whole chain up to v6.
+    v3 = {**v5, "schema": SCHEMA_V3}
+    del v3["workers"], v3["backend"]
+    chained = upgrade_payload(v3)
+    assert chained["schema"] == SCHEMA
+    assert chained["serve"] == {}
+    assert chained["matrix"]["ind"]["algorithms"]["kdtt+"]["cache"] is None
+    # An upgraded payload compares cleanly against a fresh v6 baseline
+    # (the serve comparison skips the absent modes instead of crashing).
+    _, regressions = compare_payloads(upgraded, upgraded)
+    assert not regressions
+
+
+@pytest.mark.serve
+def test_serve_section_measures_warm_vs_cold(quick_bench_payload):
+    """The quick profile's serve section: parity-checked, cache-hitting
+    warm rounds with a recorded speedup over cold-start rounds."""
+    payload, _ = quick_bench_payload
+    serve = payload["serve"]
+    assert serve, "default bench runs must measure the serve workload"
+    assert serve["parity"] == "ok"
+    assert serve["queries_per_round"] > 1
+    for mode in ("cold", "warm"):
+        entry = serve[mode]
+        assert len(entry["runs_s"]) == entry["repeats"], mode
+        assert entry["min_s"] <= entry["median_s"], mode
+    cache = serve["warm"]["cache"]
+    assert cache["hits"] > 0, "warm rounds must hit the cross-query cache"
+    assert cache["hit_rate"] > 0
+    assert serve["speedup"] is not None
+    text = format_bench(payload)
+    assert "[serve]" in text and "serve-warm" in text
+    assert "cache:" in text
+    # Serve rounds compare like any other cell between payloads.
+    slower = json.loads(json.dumps(payload))
+    slower["serve"]["warm"]["median_s"] *= 1000.0
+    baseline = json.loads(json.dumps(payload))
+    lines, regressions = compare_payloads(baseline, slower, threshold=2.0)
+    assert "serve/warm" in regressions
+    assert any("serve/warm" in line for line in lines)
+
+
+@pytest.mark.serve
+def test_serve_daemon_smoke():
+    """Daemon lifecycle smoke: start ``repro serve``, query it over TCP,
+    shut it down over the protocol, and get a clean exit."""
+    import asyncio
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.core.arsp import compute_arsp
+    from repro.core.preference import WeightRatioConstraints
+    from repro.data.synthetic import (SyntheticConfig,
+                                      generate_uncertain_dataset)
+    from repro.serve import ServeClient
+
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--objects", "20",
+         "--instances", "3", "--dimension", "3", "--seed", "11",
+         "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=dict(os.environ, PYTHONPATH=src))
+    try:
+        address = None
+        for _ in range(10):
+            line = process.stdout.readline()
+            assert line, "daemon exited before announcing its port: %s" % (
+                process.stderr.read(),)
+            if "listening on" in line:
+                address = line.rsplit("listening on", 1)[1].strip()
+                break
+        assert address is not None
+        host, port = address.rsplit(":", 1)
+        constraints = WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)])
+
+        async def round_trip():
+            client = await ServeClient.connect(host, int(port))
+            first = await client.query(constraints=constraints)
+            second = await client.query(constraints=constraints)
+            await client.shutdown()
+            await client.close()
+            return first, second
+
+        first, second = asyncio.run(round_trip())
+        dataset = generate_uncertain_dataset(SyntheticConfig(
+            num_objects=20, max_instances=3, dimension=3, seed=11))
+        assert first["result"] == dict(compute_arsp(dataset, constraints))
+        assert second["cached"] is True
+        assert process.wait(timeout=30) == 0
+        remaining = process.stdout.read()
+        assert "answered 2 queries" in remaining
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stdout.close()
+        process.stderr.close()
 
 
 @pytest.mark.parallel

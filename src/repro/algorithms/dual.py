@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.cache import bounded_insert, bounded_lookup
 from ..core.dataset import UncertainDataset
 from ..core.kernels import (MarginTerms, classify_boxes_by_margin,
                             margin_matrix_terms, weight_ratio_margins,
@@ -60,16 +61,11 @@ _CHUNK_BUDGET = 4_000_000
 
 #: Bounds on the per-constraint caches of :class:`DualIndex`.  Results are
 #: O(num_instances) dicts, so only a handful are retained; margin terms are
-#: O(num_objects) arrays and afford a larger window.  Both evict FIFO.
+#: O(num_objects) arrays and afford a larger window.  Both evict LRU via
+#: the shared helpers in :mod:`repro.core.cache` — reads and re-inserts
+#: refresh recency, so a hot constraint survives a long sweep.
 _RESULT_CACHE_LIMIT = 8
 _TERM_CACHE_LIMIT = 64
-
-
-def _bounded_insert(cache: Dict, key, value, limit: int) -> None:
-    """Insert into a FIFO-bounded dict cache, evicting the oldest entry."""
-    if key not in cache and len(cache) >= limit:
-        cache.pop(next(iter(cache)))
-    cache[key] = value
 
 
 class DualIndex:
@@ -91,8 +87,9 @@ class DualIndex:
     constraint box and reused across target chunks and queries, and a full
     repeat of an already-answered constraint box returns the memoised
     result without touching the index (``query_cache_hits`` counts these).
-    Both caches are FIFO-bounded so long constraint sweeps stay within a
-    fixed memory footprint.
+    Both caches are LRU-bounded (:mod:`repro.core.cache`) so long constraint
+    sweeps stay within a fixed memory footprint while hot constraints keep
+    their entries alive.
     """
 
     def __init__(self, dataset: UncertainDataset, leaf_size: int = 16):
@@ -177,16 +174,16 @@ class DualIndex:
         """Cached target-independent margin terms of the root lo corners.
 
         Keyed by ``constraints.ranges`` — the class's canonical hashable
-        identity — and bounded by FIFO eviction so a long constraint sweep
+        identity — and bounded by LRU eviction so a long constraint sweep
         cannot grow the cache without limit.
         """
         key = constraints.ranges
-        terms = self._root_term_cache.get(key)
+        terms = bounded_lookup(self._root_term_cache, key)
         if terms is None:
             terms = margin_matrix_terms(self._root_lo, constraints.lows,
                                         constraints.highs)
-            _bounded_insert(self._root_term_cache, key, terms,
-                            _TERM_CACHE_LIMIT)
+            bounded_insert(self._root_term_cache, key, terms,
+                           _TERM_CACHE_LIMIT)
         return terms
 
     # ------------------------------------------------------------------
@@ -281,7 +278,7 @@ class DualIndex:
                 "has dimension %d"
                 % (constraints.dimension, self.dataset.dimension))
         key = (constraints.ranges, target_range)
-        cached = self._result_cache.get(key)
+        cached = bounded_lookup(self._result_cache, key)
         if cached is not None:
             self.query_cache_hits += 1
             return dict(cached)
@@ -328,7 +325,7 @@ class DualIndex:
                                           values.tolist()):
                 result[instance_id] = value
         final = finalize_result(result)
-        _bounded_insert(self._result_cache, key, final, _RESULT_CACHE_LIMIT)
+        bounded_insert(self._result_cache, key, final, _RESULT_CACHE_LIMIT)
         return dict(final)
 
 

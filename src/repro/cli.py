@@ -17,6 +17,15 @@ without writing code:
 ``python -m repro algorithms``
     List the registered ARSP algorithms.
 
+``python -m repro serve``
+    Start the long-lived query daemon (see docs/ARCHITECTURE.md, "Serving
+    layer"): load one synthetic workload, keep the index state warm, and
+    answer a stream of (constraint, target-set) ARSP queries over a
+    line-delimited JSON protocol on a TCP port.  Served results are
+    byte-identical to one-shot ``repro arsp``; repeated constraints are
+    answered from the shared cross-query cache and concurrent identical
+    queries are coalesced into one kernel pass.
+
 ``python -m repro bench``
     Run the bench-regression harness over the algorithm × workload matrix
     (IND/ANTI/CORR synthetic distributions plus the IIP/CAR/NBA real-data
@@ -177,6 +186,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "processes (backend-ported algorithms only)")
     _add_execution_arguments(arsp)
 
+    serve = subparsers.add_parser(
+        "serve", help="long-lived ARSP query daemon (warm indexes, shared "
+                      "cross-query cache)")
+    serve.add_argument("--objects", type=int, default=200, help="m")
+    serve.add_argument("--instances", type=int, default=4, help="cnt")
+    serve.add_argument("--dimension", type=int, default=4, help="d")
+    serve.add_argument("--region-length", type=float, default=0.2, help="l")
+    serve.add_argument("--incomplete", type=float, default=0.0, help="phi")
+    serve.add_argument("--distribution", default="IND",
+                       choices=["IND", "ANTI", "CORR"])
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--algorithm", default="auto",
+                       help="default algorithm for queries that do not name "
+                            "one (default: auto)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 picks a free one and prints it "
+                            "(default: 0)")
+    serve.add_argument("--cache-limit", type=int, default=None, metavar="N",
+                       help="entry bound of the shared cross-query cache "
+                            "(default: 64)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip the eager index build at startup")
+    serve.add_argument("--workers", type=_workers_argument, default=None,
+                       help="run every computed query sharded across this "
+                            "many worker processes (supervised; the "
+                            "ExecutionReport lands in each response)")
+    _add_execution_arguments(serve)
+
     figure = subparsers.add_parser("figure", help="re-run a figure sweep")
     figure.add_argument("--id", required=True, choices=FIGURE_IDS,
                         help="figure identifier, e.g. 5a")
@@ -282,6 +321,60 @@ def run_arsp(args: argparse.Namespace) -> str:
     lines.append(format_table(["object", "Pr_rsky"], rows,
                               title="top-%d objects" % args.top_k))
     return "\n".join(lines)
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Start the query daemon and serve until a ``shutdown`` op arrives.
+
+    Prints a single flushed ``listening on HOST:PORT`` line once the
+    socket is bound — with ``--port 0`` that line is how callers learn
+    the actual port — and a cache-statistics summary on exit.
+    """
+    import asyncio
+
+    from .serve import ArspServer, ArspService, ArspSession, ServeConfig
+
+    config = SyntheticConfig(num_objects=args.objects,
+                             max_instances=args.instances,
+                             dimension=args.dimension,
+                             region_length=args.region_length,
+                             incomplete_fraction=args.incomplete,
+                             distribution=args.distribution,
+                             seed=args.seed)
+    dataset = generate_uncertain_dataset(config)
+    serve_config = ServeConfig(algorithm=args.algorithm,
+                               workers=args.workers, backend=args.backend,
+                               policy=_execution_policy(args))
+    if args.cache_limit is not None:
+        serve_config.cache_limit = args.cache_limit
+    service = ArspService(dataset, serve_config)
+
+    async def _serve() -> None:
+        session = ArspSession(service)
+        server = ArspServer(session, host=args.host, port=args.port)
+        host, port = await server.start()
+        if not args.no_warm:
+            warm_s = await asyncio.get_running_loop().run_in_executor(
+                None, service.warm)
+            print("repro serve: warm index built in %.3f s" % warm_s,
+                  flush=True)
+        print("repro serve: dataset m=%d n=%d d=%d %s; listening on %s:%d"
+              % (dataset.num_objects, dataset.num_instances,
+                 dataset.dimension, args.distribution, host, port),
+              flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    stats = service.stats()
+    cache = stats["cache"]
+    print("repro serve: answered %d queries; cache %d/%d entries, "
+          "%d hit(s), %d miss(es), %d eviction(s)"
+          % (stats["queries"], cache["size"], cache["limit"],
+             cache["hits"], cache["misses"], cache["evictions"]))
+    return 0
 
 
 def run_figure(figure_id: str) -> str:
@@ -405,6 +498,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("error: %s" % error, file=sys.stderr)
             return 2
         return 0
+    if args.command == "serve":
+        return run_serve(args)
     if args.command == "figure":
         print(run_figure(args.id))
         return 0

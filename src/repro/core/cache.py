@@ -1,0 +1,185 @@
+"""Shared, size-bounded cross-query caches for the serving layer.
+
+Until PR 7 the only result caching in the repository lived inside
+:class:`repro.algorithms.dual.DualIndex` as two private dict caches with a
+``_bounded_insert`` helper.  That helper had FIFO semantics — re-inserting
+(or re-reading) an existing key did *not* refresh its eviction order, so a
+hot constraint queried on every other request was still evicted once
+``limit`` distinct keys had passed since its first insertion.  This module
+promotes the helper to a shared, properly-LRU primitive and builds the
+serving layer's cross-query :class:`QueryCache` on top of it:
+
+``bounded_insert`` / ``bounded_lookup``
+    Plain-dict LRU operations (Python dicts preserve insertion order, so
+    "move to the end" is pop + re-insert).  Both refresh recency: an
+    insert of an existing key re-ranks it newest, and a lookup hit does
+    the same — the property that lets a hot key survive an arbitrarily
+    long sweep of cold keys.  DUAL's per-constraint caches use these
+    directly.
+
+``QueryCache``
+    The serving layer's shared cache: a size-bounded LRU mapping from a
+    query identity (see :func:`constraint_key`) to a full ARSP result,
+    with hit/miss/eviction counters that every ``repro serve`` response
+    exposes (docs/ARCHITECTURE.md, "Serving layer").  Operations take an
+    internal lock so the daemon's compute thread and in-process callers
+    can share one instance.
+
+The cache contract of the serving layer is *full-result granularity*: a
+cached value is the complete ``{instance_id: probability}`` mapping for
+one (algorithm, constraints) identity, in canonical instance order, and
+target-set projections are sliced from it per request.  Cached answers are
+therefore byte-identical to uncached ones by construction — the cache
+stores exactly what the one-shot computation returned.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Iterator, Tuple
+
+import numpy as np
+
+#: Default entry bound of the serving layer's shared cache.  Full results
+#: are O(num_instances) dicts, so the bound is per-entry, not per-byte;
+#: ``repro serve --cache-limit`` overrides it.
+DEFAULT_CACHE_LIMIT = 64
+
+_MISSING = object()
+
+
+def bounded_insert(cache: Dict, key, value, limit: int) -> None:
+    """Insert into an LRU-bounded dict cache, evicting the stalest entry.
+
+    Re-inserting an existing key refreshes its eviction order (it becomes
+    the newest entry) — the LRU fix over the FIFO helper this replaces:
+    dict order is insertion order, so eviction always removes
+    ``next(iter(cache))``, and a key that is never re-ranked dies after
+    ``limit`` distinct inserts no matter how hot it is.
+    """
+    if limit < 1:
+        raise ValueError("cache limit must be positive, got %d" % limit)
+    if key in cache:
+        del cache[key]
+    elif len(cache) >= limit:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def bounded_lookup(cache: Dict, key, default=None):
+    """LRU lookup: a hit re-ranks the key newest and returns its value.
+
+    The read-side half of the LRU contract — without it, a key that is
+    only ever *read* after its first insert still ages out underneath a
+    sweep of cold inserts.
+    """
+    value = cache.get(key, _MISSING)
+    if value is _MISSING:
+        return default
+    # Pop + re-insert moves the key to the (newest) end of the dict.
+    del cache[key]
+    cache[key] = value
+    return value
+
+
+def constraint_key(constraints) -> Tuple:
+    """Hashable identity of a constraint specification.
+
+    Two constraint objects that describe the same preference region the
+    same way map to the same key; the serving layer combines this with the
+    resolved algorithm name to key its cross-query cache.  Supported are
+    the types :func:`repro.core.arsp.compute_arsp` accepts.
+    """
+    # Imported here: preference pulls numpy-heavy modules this leaf module
+    # should not force on import.
+    from .preference import (LinearConstraints, PreferenceRegion,
+                             WeightRatioConstraints)
+
+    if isinstance(constraints, WeightRatioConstraints):
+        return ("ratio", constraints.ranges)
+    if isinstance(constraints, LinearConstraints):
+        return ("linear", constraints.dimension,
+                constraints.matrix.shape, constraints.matrix.tobytes(),
+                constraints.rhs.tobytes())
+    if isinstance(constraints, PreferenceRegion):
+        return ("region", constraints.vertices.shape,
+                constraints.vertices.tobytes())
+    array = np.asarray(constraints, dtype=float)
+    if array.ndim == 2:
+        return ("vertices", array.shape, array.tobytes())
+    raise TypeError("unsupported constraint specification: %r"
+                    % (type(constraints),))
+
+
+class QueryCache:
+    """Size-bounded LRU cache with hit/miss/eviction accounting.
+
+    The shared cross-query cache of the serving layer: one instance fronts
+    every query a daemon answers, so a repeated constraint — no matter
+    which client sends it — is served from memory.  ``get`` refreshes
+    recency (read-side LRU), ``put`` evicts the stalest entry beyond
+    ``limit`` and counts the eviction.  ``stats()`` is the JSON-ready
+    counter snapshot attached to every serve response.
+    """
+
+    def __init__(self, limit: int = DEFAULT_CACHE_LIMIT):
+        if limit < 1:
+            raise ValueError("cache limit must be positive, got %d" % limit)
+        self.limit = limit
+        self._entries: Dict[Hashable, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        """Presence probe; deliberately counts nothing, refreshes nothing."""
+        return key in self._entries
+
+    def __iter__(self) -> Iterator:
+        """Keys, stalest first (the next eviction victim leads)."""
+        return iter(list(self._entries))
+
+    def get(self, key, default=None):
+        """Counted LRU lookup: a hit re-ranks the key newest."""
+        with self._lock:
+            value = bounded_lookup(self._entries, key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) an entry, evicting beyond the bound."""
+        with self._lock:
+            evicting = key not in self._entries \
+                and len(self._entries) >= self.limit
+            bounded_insert(self._entries, key, value, self.limit)
+            if evicting:
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; the counters keep their lifetime totals."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before the first lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready counter snapshot (the per-response ``cache`` field)."""
+        return {
+            "size": len(self._entries),
+            "limit": self.limit,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+        }

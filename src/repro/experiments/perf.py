@@ -63,12 +63,26 @@ is measured per cell rather than guessed.  ``--backend``,
 backend and its :class:`repro.core.backend.ExecutionPolicy` for the
 sharded cells.
 
-The JSON schema is ``repro-bench/5`` (per-workload ``matrix`` sections
-with per-phase timings, ``workers`` fields and per-cell ``execution``
-summaries); :func:`upgrade_payload` / :func:`load_bench` still read the
-``repro-bench/4`` pre-supervision files, the ``repro-bench/3``
-pre-backend files, the ``repro-bench/2`` matrix files and the flat
-``repro-bench/1`` files written before.
+Serve workload
+--------------
+A ``serve`` section (run whenever no explicit ``--algorithms`` subset is
+requested, like the extras) measures the serving layer of PR 7: a
+repeated-constraint query stream against :class:`repro.serve.ArspService`,
+timed cold (a fresh daemon per round — every query pays the index build
+and a cache miss) and warm (a long-lived daemon — every query is a
+cross-query cache hit).  The warm entry records the shared cache's
+hit/miss/eviction counters and the section records the warm-vs-cold
+speedup, so the daemon's reason to exist is measured, not asserted; every
+served result is parity-checked against one-shot ``compute_arsp``.
+
+The JSON schema is ``repro-bench/6`` (per-workload ``matrix`` sections
+with per-phase timings, ``workers`` fields, per-cell ``execution``
+summaries and ``cache`` stats, plus the top-level ``serve`` section);
+:func:`upgrade_payload` / :func:`load_bench` still read the
+``repro-bench/5`` pre-serving files, the ``repro-bench/4``
+pre-supervision files, the ``repro-bench/3`` pre-backend files, the
+``repro-bench/2`` matrix files and the flat ``repro-bench/1`` files
+written before.
 
 ``compare_payloads`` diffs two payloads cell by cell (``repro bench
 --compare BASELINE.json``) and flags cells whose median — or, with
@@ -93,7 +107,7 @@ from ..algorithms.registry import (canonical_name, get_algorithm,
                                    list_algorithms, supports_workers)
 from ..continuous.model import UniformBoxObject
 from ..continuous.sampling import monte_carlo_object_arsp
-from ..core.arsp import arsp_size
+from ..core.arsp import arsp_size, compute_arsp
 from ..core.backend import resolve_workers
 from ..core.preference import WeightRatioConstraints
 from ..core.profiling import collect_phases
@@ -106,7 +120,11 @@ from .workloads import (WORKLOAD_AXIS, Workload, WorkloadScale,
 
 #: Schema tag written into the JSON payload so future harness versions can
 #: evolve the format without ambiguity.
-SCHEMA = "repro-bench/5"
+SCHEMA = "repro-bench/6"
+
+#: The schema before the serving layer: no per-cell ``cache`` stats and no
+#: top-level ``serve`` section.
+SCHEMA_V5 = "repro-bench/5"
 
 #: The schema before the supervised scheduler: no per-cell ``execution``
 #: summaries.
@@ -241,6 +259,10 @@ def _run_workload(workload: Workload, names: Sequence[str], rounds: int,
         execution = getattr(result, "execution", None)
         entry["execution"] = (execution.summary()
                               if execution is not None else None)
+        # One-shot matrix cells never touch the serving layer's shared
+        # cache; the field exists so every cell has the same v6 shape as
+        # the serve section's entries.
+        entry["cache"] = None
         if check:
             if variant_key not in references:
                 if name == _REFERENCE_ALGORITHM and cell_workers == 1:
@@ -320,6 +342,104 @@ def _run_extras(profile: BenchProfile, rounds: int, check: bool
     return entries, workloads
 
 
+#: Distinct constraint boxes in the serve workload's query stream.  Each
+#: round asks all of them, so warm rounds are all cache hits and cold
+#: rounds all misses.
+_SERVE_STREAM_CONSTRAINTS = 4
+
+#: Workload the serve section queries (present in every profile's registry
+#: even when not on its matrix axis).
+_SERVE_WORKLOAD = "ind"
+
+
+def _serve_constraint_stream(variant, count: int
+                             ) -> List[WeightRatioConstraints]:
+    """``count`` distinct WR boxes nested inside the variant's box.
+
+    Each is shrunk a little further toward the box centre, so the stream
+    exercises distinct cache keys while every query stays a valid
+    weight-ratio constraint of the same shape.
+    """
+    stream = []
+    for step in range(count):
+        shrink = 0.08 * step
+        ranges = []
+        for low, high in variant.constraints.ranges:
+            span = high - low
+            ranges.append((low + span * shrink, high - span * shrink))
+        stream.append(WeightRatioConstraints(ranges))
+    return stream
+
+
+def _run_serve(profile: BenchProfile, rounds: int, check: bool
+               ) -> Dict[str, object]:
+    """Measure the serving layer: cold-per-round vs a warm daemon.
+
+    *Cold* rounds start a fresh :class:`repro.serve.ArspService` and
+    answer the whole constraint stream — every query pays its share of
+    the index build and a cross-query cache miss, the cost one-shot
+    ``repro arsp`` pays on every invocation.  *Warm* rounds reuse one
+    pre-warmed service whose cache already holds the stream — every query
+    is a hit.  The warm entry carries the cache counters, and ``check``
+    pins every served result against one-shot ``compute_arsp`` on the
+    same (dataset, constraints) pair.
+    """
+    from ..serve import ArspService
+
+    workload = build_workload(_SERVE_WORKLOAD, profile.scale)
+    variant = workload.variants["ratio"]
+    stream = _serve_constraint_stream(variant, _SERVE_STREAM_CONSTRAINTS)
+
+    cold_runs: List[float] = []
+    cold_results: List[Dict[int, float]] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        service = ArspService(variant.dataset)
+        cold_results = [service.query(constraints).result
+                        for constraints in stream]
+        cold_runs.append(time.perf_counter() - start)
+    cold_entry = _timing_fields(cold_runs)
+
+    warm_service = ArspService(variant.dataset)
+    warm_service.warm()
+    for constraints in stream:
+        warm_service.query(constraints)
+    warm_runs: List[float] = []
+    warm_results: List[Dict[int, float]] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        warm_results = [warm_service.query(constraints).result
+                        for constraints in stream]
+        warm_runs.append(time.perf_counter() - start)
+    warm_entry = dict(_timing_fields(warm_runs),
+                      cache=warm_service.cache.stats())
+
+    warm_median = warm_entry["median_s"]
+    section: Dict[str, object] = {
+        "workload": dict(variant.describe(), workload=_SERVE_WORKLOAD,
+                         variant="ratio"),
+        "queries_per_round": len(stream),
+        "cold": cold_entry,
+        "warm": warm_entry,
+        "speedup": (round(cold_entry["median_s"] / warm_median, 2)
+                    if warm_median > 0 else None),
+    }
+    if check:
+        mismatch = None
+        for constraints, cold, warm in zip(stream, cold_results,
+                                           warm_results):
+            reference = dict(compute_arsp(variant.dataset, constraints,
+                                          algorithm="dual"))
+            if cold != reference:
+                mismatch = "cold served result differs from one-shot"
+                break
+            if warm != reference:
+                mismatch = "warm served result differs from one-shot"
+                break
+        section["parity"] = mismatch if mismatch else "ok"
+    return section
+
+
 def run_bench(profile: str = "default",
               algorithms: Optional[Sequence[str]] = None,
               workloads: Optional[Sequence[str]] = None,
@@ -394,8 +514,10 @@ def run_bench(profile: str = "default",
     # an explicit --algorithms subset is a request to time just that subset.
     extras: Dict[str, dict] = {}
     extra_workloads: Dict[str, dict] = {}
+    serve: Dict[str, object] = {}
     if not algorithms:
         extras, extra_workloads = _run_extras(resolved, rounds, check)
+        serve = _run_serve(resolved, rounds, check)
 
     payload = {
         "schema": SCHEMA,
@@ -410,6 +532,7 @@ def run_bench(profile: str = "default",
         "matrix": matrix,
         "extras": extras,
         "extra_workloads": extra_workloads,
+        "serve": serve,
     }
     if output_path:
         with open(output_path, "w", encoding="utf-8") as handle:
@@ -436,7 +559,7 @@ _V1_EXTRA_WORKLOADS = ("eclipse-ind", "continuous-boxes")
 
 
 def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Return a ``repro-bench/5`` view of any known payload version.
+    """Return a ``repro-bench/6`` view of any known payload version.
 
     ``repro-bench/1`` files carried a single flat ``algorithms`` section
     measured on the default IND workload; they pass through the matrix
@@ -447,8 +570,11 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     before the backend was serial by construction).  ``repro-bench/4``
     files predate the supervised scheduler; they gain ``backend: None``
     at the top level and ``execution: None`` in every matrix cell (no
-    execution reports were recorded).  Downstream consumers only ever see
-    the v5 shape; current payloads are returned unchanged.
+    execution reports were recorded).  ``repro-bench/5`` files predate
+    the serving layer; they gain ``cache: None`` in every matrix cell and
+    an empty top-level ``serve`` section (no serve workload was
+    measured).  Downstream consumers only ever see the v6 shape; current
+    payloads are returned unchanged.
     """
     schema = payload.get("schema")
     if schema == SCHEMA:
@@ -462,9 +588,12 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     if schema == SCHEMA_V3:
         payload = _upgrade_v3(payload)
         schema = SCHEMA_V4
-    if schema != SCHEMA_V4:
+    if schema == SCHEMA_V4:
+        payload = _upgrade_v4(payload)
+        schema = SCHEMA_V5
+    if schema != SCHEMA_V5:
         raise ValueError("unknown bench payload schema %r" % (schema,))
-    return _upgrade_v4(payload)
+    return _upgrade_v5(payload)
 
 
 def _upgrade_v1(payload: Dict[str, object]) -> Dict[str, object]:
@@ -538,13 +667,29 @@ def _upgrade_v3(payload: Dict[str, object]) -> Dict[str, object]:
 def _upgrade_v4(payload: Dict[str, object]) -> Dict[str, object]:
     """``repro-bench/4`` -> ``repro-bench/5``: empty execution reports."""
     upgraded = dict(payload)
-    upgraded["schema"] = SCHEMA
+    upgraded["schema"] = SCHEMA_V5
     upgraded.setdefault("backend", None)
     matrix = {}
     for workload_name, section in dict(payload.get("matrix", {})).items():
         section = dict(section)
         section["algorithms"] = {
             name: dict(entry, execution=entry.get("execution"))
+            for name, entry in dict(section.get("algorithms", {})).items()}
+        matrix[workload_name] = section
+    upgraded["matrix"] = matrix
+    return upgraded
+
+
+def _upgrade_v5(payload: Dict[str, object]) -> Dict[str, object]:
+    """``repro-bench/5`` -> ``repro-bench/6``: no cache stats, no serve."""
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA
+    upgraded.setdefault("serve", {})
+    matrix = {}
+    for workload_name, section in dict(payload.get("matrix", {})).items():
+        section = dict(section)
+        section["algorithms"] = {
+            name: dict(entry, cache=entry.get("cache"))
             for name, entry in dict(section.get("algorithms", {})).items()}
         matrix[workload_name] = section
     upgraded["matrix"] = matrix
@@ -674,6 +819,12 @@ def compare_payloads(baseline: Dict[str, object],
     base_extras = baseline.get("extras") or {}
     for name, entry in (current.get("extras") or {}).items():
         compare_cell("extras/%s" % name, base_extras.get(name), entry)
+    base_serve = baseline.get("serve") or {}
+    current_serve = current.get("serve") or {}
+    for mode in ("cold", "warm"):
+        if mode in current_serve:
+            compare_cell("serve/%s" % mode, base_serve.get(mode),
+                         current_serve[mode])
     return lines, regressions
 
 
@@ -758,4 +909,31 @@ def format_bench(payload: Dict[str, object]) -> str:
         for name in sorted(extras):
             lines.append(_format_entry(width, name, extras[name],
                                        "result_size", "workload"))
+    serve = payload.get("serve") or {}
+    if serve:
+        meta = serve.get("workload") or {}
+        lines.append("[serve] %d-constraint query stream on %s/%s "
+                     "(cold: fresh daemon per round, warm: shared cache)"
+                     % (serve.get("queries_per_round", 0),
+                        meta.get("workload", "?"), meta.get("variant", "?")))
+        serve_width = max(width, len("serve-cold"))
+        for mode in ("cold", "warm"):
+            entry = serve.get(mode)
+            if not entry:
+                continue
+            suffix = ""
+            cache = entry.get("cache")
+            if cache:
+                suffix = ("  [cache: %d hit(s), %d miss(es), hit rate "
+                          "%.2f]" % (cache["hits"], cache["misses"],
+                                     cache["hit_rate"]))
+            lines.append("  %-*s  %9.4f s  (min %.4f)%s"
+                         % (serve_width, "serve-" + mode,
+                            entry["median_s"], entry["min_s"], suffix))
+        if serve.get("speedup") is not None:
+            parity = serve.get("parity")
+            lines.append("  warm rounds %.2fx faster than cold%s"
+                         % (serve["speedup"],
+                            "" if parity in (None, "ok")
+                            else "  PARITY: %s" % parity))
     return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""The serving layer: a long-lived ARSP query daemon (PR 7).
+
+One-shot ``repro arsp`` rebuilds the dataset and every index for a single
+query; this package keeps them alive.  :class:`ArspService` owns a loaded
+dataset, a warm :class:`~repro.algorithms.dual.DualIndex`, and the shared
+cross-query :class:`~repro.core.cache.QueryCache`; :class:`ArspSession`
+puts an asyncio front on it (single compute thread, single-flight
+coalescing of concurrent identical queries); :class:`ArspServer` speaks a
+line-delimited JSON protocol over TCP, and :class:`ServeClient` talks to
+either — in process for tests, over a socket for real traffic.  See
+docs/ARCHITECTURE.md, "Serving layer".
+"""
+
+from .protocol import (PROTOCOL_VERSION, decode_constraints, decode_result,
+                       dump_message, encode_constraints, encode_result,
+                       load_message)
+from .service import ArspService, QueryOutcome, ServeConfig
+from .server import ArspServer, ArspSession
+from .client import ServeClient
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ArspServer",
+    "ArspService",
+    "ArspSession",
+    "QueryOutcome",
+    "ServeClient",
+    "ServeConfig",
+    "decode_constraints",
+    "decode_result",
+    "dump_message",
+    "encode_constraints",
+    "encode_result",
+    "load_message",
+]

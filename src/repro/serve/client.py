@@ -1,0 +1,112 @@
+"""Client for the serve daemon: in-process for tests, TCP for real traffic.
+
+Both transports speak the exact same protocol.  The in-process transport
+does not shortcut past the wire: every request and response is serialized
+through :func:`repro.serve.protocol.dump_message` and parsed back, so an
+in-process test exercises the same JSON round-trip a socket does — the
+byte-identity fingerprints proved in process hold over TCP for free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, Optional
+
+from .protocol import (decode_result, dump_message, encode_constraints,
+                       load_message)
+from .server import ArspSession
+
+
+class ServeClient:
+    """Async client; build with :meth:`in_process` or :meth:`connect`."""
+
+    def __init__(self, session: Optional[ArspSession] = None,
+                 reader: Optional[asyncio.StreamReader] = None,
+                 writer: Optional[asyncio.StreamWriter] = None):
+        if (session is None) == (reader is None):
+            raise ValueError("exactly one transport required: a session "
+                             "(in process) or a reader/writer pair (TCP)")
+        self._session = session
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    def in_process(cls, session: ArspSession) -> "ServeClient":
+        """Client dispatching straight into a session, wire-faithfully."""
+        return cls(session=session)
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        """Client over a TCP connection to a running :class:`ArspServer`."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader=reader, writer=writer)
+
+    # ------------------------------------------------------------------
+    async def request(self, message: Dict) -> Dict:
+        """Send one protocol message, return the parsed response."""
+        if self._session is not None:
+            # Full wire round-trip even in process (see module docstring).
+            response = await self._session.handle_request(
+                load_message(dump_message(message)))
+            return load_message(dump_message(response))
+        self._writer.write(dump_message(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return load_message(line)
+
+    async def query(self, constraints=None,
+                    targets: Optional[Iterable[int]] = None,
+                    algorithm: Optional[str] = None,
+                    spec: Optional[Dict] = None,
+                    request_id=None) -> Dict:
+        """One ARSP query; returns the response with ``result`` decoded.
+
+        ``constraints`` is a constraint object (encoded for the wire
+        here); ``spec`` passes a raw specification dict through instead.
+        Raises ``RuntimeError`` on an error response.
+        """
+        if (constraints is None) == (spec is None):
+            raise ValueError("exactly one of constraints/spec is required")
+        message: Dict[str, object] = {
+            "op": "query",
+            "constraints": (spec if spec is not None
+                            else encode_constraints(constraints)),
+        }
+        if targets is not None:
+            message["targets"] = [int(target) for target in targets]
+        if algorithm is not None:
+            message["algorithm"] = algorithm
+        if request_id is not None:
+            message["id"] = request_id
+        response = await self.request(message)
+        if not response.get("ok"):
+            raise RuntimeError("serve query failed: %s"
+                               % response.get("error", "unknown error"))
+        response["result"] = decode_result(response["result"])
+        return response
+
+    async def stats(self) -> Dict:
+        response = await self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise RuntimeError("stats failed: %s" % response.get("error"))
+        return response["stats"]
+
+    async def ping(self) -> Dict:
+        return await self.request({"op": "ping"})
+
+    async def shutdown(self) -> Dict:
+        """Ask the daemon to stop serving (the response still arrives)."""
+        return await self.request({"op": "shutdown"})
+
+    async def close(self) -> None:
+        """Close the TCP transport (no-op for in-process clients)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None

@@ -1,0 +1,129 @@
+"""Wire protocol of the serve daemon: line-delimited JSON messages.
+
+One request and one response per line, each a single JSON object.  The
+protocol is deliberately boring — the serving guarantees live in the
+*encodings*:
+
+* Probabilities cross the wire as JSON numbers.  Python's ``json`` emits
+  the shortest ``repr`` that round-trips a float exactly, so a decoded
+  result is bit-identical to the dict the service computed — the
+  determinism fingerprints in ``tests/serve/`` rely on this.
+* Instance ids become JSON object keys (strings); :func:`decode_result`
+  restores ``int`` keys *in wire order*, which the service emits in
+  canonical instance order — so a decoded result also fingerprints
+  identically to one-shot :func:`repro.core.arsp.compute_arsp`.
+
+Requests (the ``op`` field selects one; it defaults to ``query``)::
+
+    {"op": "query", "constraints": SPEC, "targets": [0, 3] | null,
+     "algorithm": "auto", "id": ANY}
+    {"op": "stats"} | {"op": "ping"} | {"op": "shutdown"}
+
+Constraint specifications (``SPEC`` above) mirror the constraint types
+:func:`repro.core.arsp.compute_arsp` accepts::
+
+    {"type": "weight-ratio", "ranges": [[0.5, 2.0], ...]}
+    {"type": "weak-ranking", "dimension": 4, "constraints": 2}
+    {"type": "linear", "dimension": 3, "matrix": [[...]], "rhs": [...]}
+    {"type": "vertices", "vertices": [[...], ...]}
+
+Every response carries ``ok`` (errors answer ``{"ok": false, "error":
+...}`` without closing the connection) and echoes the request's ``id``
+when present.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..core.preference import (LinearConstraints, PreferenceRegion,
+                               WeightRatioConstraints)
+
+#: Bumped on incompatible protocol changes; ``ping`` reports it.
+PROTOCOL_VERSION = 1
+
+
+def encode_constraints(constraints) -> Dict[str, object]:
+    """Constraint object -> JSON-ready specification dict."""
+    if isinstance(constraints, WeightRatioConstraints):
+        return {"type": "weight-ratio",
+                "ranges": [[low, high] for low, high in constraints.ranges]}
+    if isinstance(constraints, LinearConstraints):
+        return {"type": "linear", "dimension": constraints.dimension,
+                "matrix": constraints.matrix.tolist(),
+                "rhs": constraints.rhs.tolist()}
+    if isinstance(constraints, PreferenceRegion):
+        return {"type": "vertices",
+                "vertices": constraints.vertices.tolist()}
+    array = np.asarray(constraints, dtype=float)
+    if array.ndim == 2:
+        return {"type": "vertices", "vertices": array.tolist()}
+    raise TypeError("unsupported constraint specification: %r"
+                    % (type(constraints),))
+
+
+def decode_constraints(spec: Mapping):
+    """Specification dict -> the constraint object it describes.
+
+    ``weak-ranking`` exists only on the wire: it names the WR generator of
+    the experiments (:func:`repro.data.constraints.weak_ranking_constraints`)
+    so clients can request the paper's constraint families without
+    shipping a matrix.
+    """
+    if not isinstance(spec, Mapping):
+        raise ValueError("constraint spec must be a JSON object, got %r"
+                         % (type(spec).__name__,))
+    kind = spec.get("type")
+    if kind == "weight-ratio":
+        ranges = spec.get("ranges")
+        if not ranges:
+            raise ValueError("weight-ratio spec requires non-empty 'ranges'")
+        return WeightRatioConstraints([tuple(pair) for pair in ranges])
+    if kind == "weak-ranking":
+        dimension = spec.get("dimension")
+        if dimension is None:
+            raise ValueError("weak-ranking spec requires 'dimension'")
+        return LinearConstraints.weak_ranking(int(dimension),
+                                              spec.get("constraints"))
+    if kind == "linear":
+        dimension = spec.get("dimension")
+        if dimension is None:
+            raise ValueError("linear spec requires 'dimension'")
+        return LinearConstraints(int(dimension), spec.get("matrix"),
+                                 spec.get("rhs"))
+    if kind == "vertices":
+        vertices = spec.get("vertices")
+        if not vertices:
+            raise ValueError("vertices spec requires non-empty 'vertices'")
+        return PreferenceRegion(vertices)
+    raise ValueError("unknown constraint spec type %r" % (kind,))
+
+
+def encode_result(result: Mapping[int, float]) -> Dict[str, float]:
+    """Result dict -> wire form (string keys, canonical order preserved)."""
+    return {str(instance_id): float(value)
+            for instance_id, value in result.items()}
+
+
+def decode_result(wire: Mapping[str, float]) -> Dict[int, float]:
+    """Wire form -> result dict with ``int`` keys, wire order preserved."""
+    return {int(instance_id): float(value)
+            for instance_id, value in wire.items()}
+
+
+def dump_message(message: Mapping) -> bytes:
+    """One protocol message -> one newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":"),
+                       allow_nan=False) + "\n").encode("utf-8")
+
+
+def load_message(line: bytes) -> Dict:
+    """One received line -> the message dict (raises ValueError on junk)."""
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects, got %r"
+                         % (type(message).__name__,))
+    return message

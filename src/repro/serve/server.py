@@ -1,0 +1,228 @@
+"""Async front of the serve daemon: sessions, coalescing, and the TCP server.
+
+Two layers, mirroring the actor shape the ROADMAP names (an async owner of
+loaded state that allocates per-request resources and supervises worker
+sub-pools):
+
+:class:`ArspSession`
+    Wraps one :class:`~repro.serve.service.ArspService` for concurrent
+    asyncio callers.  All compute runs on a dedicated single-thread
+    executor — the service and its warm ``DualIndex`` only ever see one
+    thread, and the event loop stays responsive while a query computes.
+    Concurrent requests for the same (algorithm, constraints) identity are
+    *coalesced* single-flight: the first becomes the leader and computes;
+    the rest await the leader's full result and project their own target
+    sets from it, so a burst of N identical queries costs one kernel
+    pass, not N.  (Distinct constraints serialize on the compute thread —
+    the supervised process pool underneath a sharded compute is not
+    re-entrant.)
+
+:class:`ArspServer`
+    asyncio TCP server speaking the line-delimited JSON protocol of
+    :mod:`repro.serve.protocol`; one request line in, one response line
+    out, malformed input answered with ``{"ok": false}`` rather than a
+    dropped connection.  A ``shutdown`` op (or :meth:`ArspSession.shutdown`)
+    releases :meth:`serve_until_shutdown`.
+
+Both the TCP handler and the in-process
+:class:`~repro.serve.client.ServeClient` funnel through
+:meth:`ArspSession.handle_request`, so tests exercise the exact dispatch
+path production traffic takes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from ..core.cache import constraint_key
+from .protocol import (PROTOCOL_VERSION, decode_constraints, dump_message,
+                       encode_result, load_message)
+from .service import ArspService, QueryOutcome
+
+
+class ArspSession:
+    """Concurrent asyncio access to one service, single-flight coalesced."""
+
+    def __init__(self, service: ArspService):
+        self.service = service
+        self.coalesced = 0
+        self.shutdown_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute")
+        self._inflight: Dict[Tuple, "asyncio.Future"] = {}
+
+    # ------------------------------------------------------------------
+    async def query(self, constraints, targets=None,
+                    algorithm: Optional[str] = None) -> QueryOutcome:
+        """One served query; identical concurrent queries share one compute.
+
+        The leader (first request for a key with none in flight) runs
+        :meth:`ArspService.full_result` on the compute thread and counts
+        the cache miss/hit; followers await the leader's full result and
+        only project — they touch no cache counters, and their outcomes
+        report ``cached=True`` (the answer came from shared state, not
+        from a kernel pass of their own).
+        """
+        start = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        name = self.service.resolve_algorithm(constraints, algorithm)
+        key = (name, constraint_key(constraints))
+        shared = self._inflight.get(key)
+        if shared is None:
+            future = loop.create_future()
+            self._inflight[key] = future
+            try:
+                full, cached, execution = await loop.run_in_executor(
+                    self._executor, self.service.full_result,
+                    constraints, name)
+            except BaseException as error:
+                # Wake followers with the failure; a (tag, payload) pair
+                # instead of set_exception so an unobserved future never
+                # logs "exception was never retrieved".
+                future.set_result(("error", error))
+                raise
+            else:
+                future.set_result(("ok", (full, cached, execution)))
+            finally:
+                del self._inflight[key]
+            coalesced = False
+        else:
+            self.coalesced += 1
+            # shield(): cancelling one follower must not cancel the
+            # shared future the others (and the leader's bookkeeping)
+            # still rely on.
+            tag, payload = await asyncio.shield(shared)
+            if tag == "error":
+                raise payload
+            full, _, execution = payload
+            cached, coalesced = True, True
+        result = self.service.project(full, targets)
+        self.service.queries_answered += 1
+        return QueryOutcome(result=result, full=full, algorithm=name,
+                            cached=cached, execution=execution,
+                            elapsed_s=time.perf_counter() - start,
+                            coalesced=coalesced)
+
+    # ------------------------------------------------------------------
+    async def handle_request(self, request: Dict) -> Dict:
+        """Dispatch one protocol message; never raises, always answers."""
+        if not isinstance(request, dict):
+            return {"ok": False,
+                    "error": "protocol messages must be JSON objects"}
+        op = request.get("op", "query")
+        response: Dict[str, object]
+        try:
+            if op == "ping":
+                response = {"ok": True, "op": "ping",
+                            "protocol": PROTOCOL_VERSION}
+            elif op == "stats":
+                stats = self.service.stats()
+                stats["coalesced"] = self.coalesced
+                response = {"ok": True, "op": "stats", "stats": stats}
+            elif op == "shutdown":
+                self.shutdown_event.set()
+                response = {"ok": True, "op": "shutdown"}
+            elif op == "query":
+                response = await self._handle_query(request)
+            else:
+                response = {"ok": False, "error": "unknown op %r" % (op,)}
+        except Exception as error:
+            response = {"ok": False, "error": str(error) or repr(error)}
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    async def _handle_query(self, request: Dict) -> Dict:
+        constraints = decode_constraints(request.get("constraints"))
+        outcome = await self.query(constraints,
+                                   targets=request.get("targets"),
+                                   algorithm=request.get("algorithm"))
+        return {
+            "ok": True,
+            "op": "query",
+            "algorithm": outcome.algorithm,
+            "result": encode_result(outcome.result),
+            "arsp_size": outcome.arsp_size,
+            "cached": outcome.cached,
+            "coalesced": outcome.coalesced,
+            "execution": outcome.execution,
+            "cache": self.service.cache.stats(),
+            "elapsed_s": outcome.elapsed_s,
+        }
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release :meth:`ArspServer.serve_until_shutdown` (idempotent)."""
+        self.shutdown_event.set()
+
+    def close(self) -> None:
+        """Stop the compute executor (the session is done after this)."""
+        self._executor.shutdown(wait=True)
+
+
+class ArspServer:
+    """Line-delimited JSON TCP front over one :class:`ArspSession`."""
+
+    def __init__(self, session: ArspSession, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.session = session
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port).
+
+        ``port=0`` asks the OS for a free port — the bound port is what
+        callers must advertise (the CLI prints it).
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = load_message(line)
+                except ValueError as error:
+                    response = {"ok": False, "error": str(error)}
+                else:
+                    response = await self.session.handle_request(request)
+                writer.write(dump_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # Server shutdown cancels handlers mid-teardown; the
+                # connection is gone either way, so end the task quietly.
+                pass
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` op (or :meth:`ArspSession.shutdown`)."""
+        if self._server is None:
+            await self.start()
+        await self.session.shutdown_event.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop listening and release the session's compute thread."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.session.close()

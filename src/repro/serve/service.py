@@ -1,0 +1,230 @@
+"""The long-lived query service: warm indexes + the shared cross-query cache.
+
+:class:`ArspService` is the synchronous heart of ``repro serve``.  It owns
+one loaded :class:`~repro.core.dataset.UncertainDataset` and answers a
+stream of (constraints, target-set) ARSP queries against it, keeping the
+expensive constraint-independent state alive between queries:
+
+* the :class:`~repro.algorithms.dual.DualIndex` kd-forest is built once
+  and reused for every weight-ratio query on the serial path — the build
+  cost one-shot ``repro arsp`` pays per invocation is paid once per
+  daemon;
+* a shared, size-bounded :class:`~repro.core.cache.QueryCache` fronts
+  *all* algorithms at full-result granularity, keyed by
+  ``(algorithm, constraint identity)`` — a repeated constraint is a dict
+  copy, regardless of which client sends it or which targets it asks for.
+
+**Byte-identity contract.**  The service always computes (or retrieves)
+the *full* result for a constraint and projects the requested target set
+out of it by walking ``dataset.instances`` in canonical order.  The warm
+path calls the exact code one-shot serial DUAL runs
+(``_dual_shard(dataset, c, 0, m)`` is ``DualIndex.query(c, None)``), and
+every other path *is* :func:`repro.core.arsp.compute_arsp` — so served
+values are bit-identical to one-shot answers by construction, and the
+sharded path's :class:`~repro.core.backend.ExecutionReport` recovery
+ladder (``REPRO_FAULTS`` included) works unchanged under the daemon.
+
+Thread-safety: the service itself is synchronous and must be driven from
+one thread at a time; :class:`repro.serve.server.ArspSession` guarantees
+that with a single-thread compute executor.  The cache is internally
+locked so ``stats()`` may be read from anywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..algorithms.dual import DualIndex
+from ..algorithms.registry import canonical_name
+from ..core.arsp import arsp_size, compute_arsp
+from ..core.backend import ExecutionPolicy
+from ..core.cache import DEFAULT_CACHE_LIMIT, QueryCache, constraint_key
+from ..core.dataset import UncertainDataset
+from ..core.preference import WeightRatioConstraints
+
+
+@dataclass
+class ServeConfig:
+    """Per-daemon execution configuration (one per service, not per query).
+
+    ``workers``/``backend``/``policy`` are the sharded-execution knobs of
+    :func:`repro.core.arsp.compute_arsp`; when ``workers`` is set, every
+    computed query runs through the supervised shard scheduler and its
+    :class:`~repro.core.backend.ExecutionReport` lands in the response.
+    """
+
+    algorithm: str = "auto"
+    workers: Optional[int] = None
+    backend: Optional[str] = None
+    policy: Optional[ExecutionPolicy] = None
+    cache_limit: int = DEFAULT_CACHE_LIMIT
+    leaf_size: int = 16
+
+
+@dataclass
+class QueryOutcome:
+    """What one served query did, ready for response encoding.
+
+    ``result`` is the target-set projection actually returned; ``full``
+    is the complete per-instance mapping it was sliced from (and what the
+    cross-query cache stores).  ``execution`` is the JSON-ready
+    ``ExecutionReport.summary()`` when the compute ran sharded, ``None``
+    for warm-index and cached answers.
+    """
+
+    result: Dict[int, float]
+    full: Dict[int, float]
+    algorithm: str
+    cached: bool
+    execution: Optional[Dict[str, object]]
+    elapsed_s: float
+    #: True for a follower that piggybacked on a concurrent identical
+    #: query (set by the async session; the sync service never coalesces).
+    coalesced: bool = False
+
+    @property
+    def arsp_size(self) -> int:
+        return arsp_size(self.result)
+
+
+class ArspService:
+    """Answer ARSP queries against one dataset with warm state in between."""
+
+    def __init__(self, dataset: UncertainDataset,
+                 config: Optional[ServeConfig] = None):
+        self.dataset = dataset
+        self.config = config or ServeConfig()
+        self.cache = QueryCache(self.config.cache_limit)
+        self.queries_answered = 0
+        self._dual_index: Optional[DualIndex] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dual_index(self) -> DualIndex:
+        """The warm constraint-independent kd-forest, built on first use."""
+        if self._dual_index is None:
+            self._dual_index = DualIndex(self.dataset,
+                                         leaf_size=self.config.leaf_size)
+        return self._dual_index
+
+    def warm(self) -> float:
+        """Eagerly build the warm index; returns the build seconds."""
+        start = time.perf_counter()
+        self.dual_index
+        return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def resolve_algorithm(self, constraints,
+                          algorithm: Optional[str] = None) -> str:
+        """Canonical algorithm name for a query (the cache-key half).
+
+        Mirrors :func:`repro.core.arsp.compute_arsp`'s ``auto`` rule so a
+        served ``auto`` query and a one-shot ``auto`` call pick the same
+        implementation.
+        """
+        requested = algorithm or self.config.algorithm
+        if requested == "auto":
+            requested = ("dual"
+                         if isinstance(constraints, WeightRatioConstraints)
+                         else "bnb")
+        return canonical_name(requested)
+
+    def query_key(self, constraints,
+                  algorithm: Optional[str] = None) -> Tuple:
+        """Cross-query cache identity: (algorithm, constraint identity)."""
+        return (self.resolve_algorithm(constraints, algorithm),
+                constraint_key(constraints))
+
+    # ------------------------------------------------------------------
+    def full_result(self, constraints, algorithm: Optional[str] = None
+                    ) -> Tuple[Dict[int, float], bool,
+                               Optional[Dict[str, object]]]:
+        """The complete result for a constraint: cached or computed.
+
+        Returns ``(full, cached, execution_summary)``.  The cached value
+        is never handed out by reference — callers get what they need via
+        :meth:`project` — so cache entries stay immutable.
+        """
+        name = self.resolve_algorithm(constraints, algorithm)
+        key = (name, constraint_key(constraints))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, True, None
+        full, execution = self._compute(name, constraints)
+        self.cache.put(key, full)
+        return full, False, execution
+
+    def _compute(self, name: str, constraints
+                 ) -> Tuple[Dict[int, float], Optional[Dict[str, object]]]:
+        config = self.config
+        if (name == "dual" and config.workers is None
+                and isinstance(constraints, WeightRatioConstraints)):
+            # Warm path: the exact code serial one-shot DUAL runs, minus
+            # the per-invocation forest build.
+            return self.dual_index.query(constraints), None
+        result = compute_arsp(self.dataset, constraints, algorithm=name,
+                              workers=config.workers, backend=config.backend,
+                              policy=config.policy,
+                              **({"leaf_size": config.leaf_size}
+                                 if name == "dual" else {}))
+        execution = getattr(result, "execution", None)
+        return dict(result), (execution.summary()
+                              if execution is not None else None)
+
+    def project(self, full: Dict[int, float],
+                targets: Optional[Iterable[int]] = None) -> Dict[int, float]:
+        """Slice a full result down to the instances of ``targets``.
+
+        ``targets`` are object ids; ``None`` means all of them.  The
+        projection walks ``dataset.instances`` — the canonical order every
+        algorithm emits — so projected dicts fingerprint identically to
+        the matching slice of a one-shot result.
+        """
+        if targets is None:
+            return dict(full)
+        wanted = set()
+        for target in targets:
+            object_id = int(target)
+            if not 0 <= object_id < self.dataset.num_objects:
+                raise ValueError(
+                    "target object %d out of range [0, %d)"
+                    % (object_id, self.dataset.num_objects))
+            wanted.add(object_id)
+        return {instance.instance_id: full[instance.instance_id]
+                for instance in self.dataset.instances
+                if instance.object_id in wanted}
+
+    def query(self, constraints, targets: Optional[Iterable[int]] = None,
+              algorithm: Optional[str] = None) -> QueryOutcome:
+        """One served query: full result (cached or computed) + projection."""
+        start = time.perf_counter()
+        name = self.resolve_algorithm(constraints, algorithm)
+        full, cached, execution = self.full_result(constraints, name)
+        result = self.project(full, targets)
+        self.queries_answered += 1
+        return QueryOutcome(result=result, full=full, algorithm=name,
+                            cached=cached, execution=execution,
+                            elapsed_s=time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready daemon statistics (the ``stats`` op's payload)."""
+        dataset = self.dataset
+        return {
+            "queries": self.queries_answered,
+            "cache": self.cache.stats(),
+            "warm_index": self._dual_index is not None,
+            "dataset": {
+                "objects": dataset.num_objects,
+                "instances": dataset.num_instances,
+                "dimension": dataset.dimension,
+            },
+            "config": {
+                "algorithm": self.config.algorithm,
+                "workers": self.config.workers,
+                "backend": self.config.backend,
+                "cache_limit": self.config.cache_limit,
+            },
+        }

@@ -1,0 +1,245 @@
+"""The shared cross-query cache layer (repro.core.cache).
+
+Covers the satellite guarantees of PR 7: the LRU fix over the old FIFO
+``_bounded_insert`` (re-inserts *and* reads refresh eviction order, so a
+hot constraint survives a long sweep of cold ones), the bounded-size
+invariants and counter accuracy of :class:`QueryCache`, and a Hypothesis
+property that cached and uncached ARSP answers are bit-identical across
+random constraint sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dual import (_RESULT_CACHE_LIMIT, _TERM_CACHE_LIMIT,
+                                   DualIndex)
+from repro.core.arsp import compute_arsp
+from repro.core.cache import (DEFAULT_CACHE_LIMIT, QueryCache, bounded_insert,
+                              bounded_lookup, constraint_key)
+from repro.core.preference import (LinearConstraints, PreferenceRegion,
+                                   WeightRatioConstraints)
+from repro.data.constraints import weak_ranking_constraints
+from repro.serve import ArspService
+
+from tests.conftest import make_random_dataset
+
+
+# ----------------------------------------------------------------------
+# bounded_insert / bounded_lookup: the LRU dict primitives
+# ----------------------------------------------------------------------
+
+def test_bounded_insert_evicts_stalest_beyond_limit():
+    cache = {}
+    for key in "abcd":
+        bounded_insert(cache, key, key.upper(), 3)
+    assert list(cache) == ["b", "c", "d"]
+    assert len(cache) == 3
+
+
+def test_bounded_insert_reinsert_refreshes_recency():
+    # The FIFO bug this replaces: re-inserting "a" did not re-rank it, so
+    # the next eviction removed the hot key instead of the stale one.
+    cache = {}
+    for key in "abc":
+        bounded_insert(cache, key, key, 3)
+    bounded_insert(cache, "a", "a2", 3)
+    bounded_insert(cache, "d", "d", 3)
+    assert "a" in cache and cache["a"] == "a2"
+    assert "b" not in cache  # the genuinely stalest key was evicted
+    assert list(cache) == ["c", "a", "d"]
+
+
+def test_bounded_lookup_hit_refreshes_recency():
+    cache = {}
+    for key in "abc":
+        bounded_insert(cache, key, key, 3)
+    assert bounded_lookup(cache, "a") == "a"
+    bounded_insert(cache, "d", "d", 3)
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_bounded_lookup_miss_returns_default():
+    cache = {"a": 1}
+    assert bounded_lookup(cache, "zzz") is None
+    assert bounded_lookup(cache, "zzz", default=-1) == -1
+    assert list(cache) == ["a"]
+
+
+def test_bounded_insert_rejects_nonpositive_limit():
+    with pytest.raises(ValueError):
+        bounded_insert({}, "a", 1, 0)
+
+
+def test_hot_key_survives_long_sweep():
+    """A key touched every other insert outlives limit-many cold keys.
+
+    This is the regression the ISSUE names: under FIFO semantics the hot
+    key dies once ``limit`` distinct keys have passed since its first
+    insert, no matter how often it is reused.
+    """
+    limit = 8
+    cache = {}
+    bounded_insert(cache, "hot", 0, limit)
+    for sweep in range(10 * limit):
+        bounded_insert(cache, ("cold", sweep), sweep, limit)
+        assert bounded_lookup(cache, "hot") == 0, (
+            "hot key evicted after %d cold inserts" % (sweep + 1))
+    assert len(cache) == limit
+
+
+# ----------------------------------------------------------------------
+# QueryCache: bounded size + counter accuracy
+# ----------------------------------------------------------------------
+
+def test_query_cache_counts_hits_misses_evictions():
+    cache = QueryCache(limit=2)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1
+    cache.put("c", 3)  # evicts "b" ("a" was refreshed by the get)
+    assert cache.get("b") is None
+    assert cache.get("c") == 3
+    assert (cache.hits, cache.misses, cache.evictions) == (2, 2, 1)
+    stats = cache.stats()
+    assert stats == {"size": 2, "limit": 2, "hits": 2, "misses": 2,
+                     "evictions": 1, "hit_rate": 0.5}
+
+
+def test_query_cache_size_never_exceeds_limit():
+    cache = QueryCache(limit=4)
+    for index in range(40):
+        cache.put(("key", index % 7), index)
+        assert len(cache) <= 4
+    assert cache.evictions > 0
+
+
+def test_query_cache_refresh_put_is_not_an_eviction():
+    cache = QueryCache(limit=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # refresh at the bound: nothing leaves
+    assert cache.evictions == 0
+    assert len(cache) == 2
+    assert cache.get("a") == 10
+
+
+def test_query_cache_hit_rate_and_clear():
+    cache = QueryCache(limit=4)
+    assert cache.hit_rate == 0.0
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("nope")
+    assert cache.hit_rate == 0.5
+    cache.clear()
+    assert len(cache) == 0
+    # Counters keep lifetime totals across a clear.
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_query_cache_rejects_nonpositive_limit():
+    with pytest.raises(ValueError):
+        QueryCache(limit=0)
+
+
+def test_query_cache_iterates_stalest_first():
+    cache = QueryCache(limit=3)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")
+    assert list(cache) == ["b", "a"]
+    assert "a" in cache and "zzz" not in cache
+
+
+# ----------------------------------------------------------------------
+# constraint_key: query identity across constraint types
+# ----------------------------------------------------------------------
+
+def test_constraint_key_weight_ratio_identity():
+    a = WeightRatioConstraints([(0.5, 2.0), (0.25, 4.0)])
+    b = WeightRatioConstraints([(0.5, 2.0), (0.25, 4.0)])
+    c = WeightRatioConstraints([(0.5, 2.0), (0.25, 3.0)])
+    assert constraint_key(a) == constraint_key(b)
+    assert constraint_key(a) != constraint_key(c)
+
+
+def test_constraint_key_linear_identity():
+    a = weak_ranking_constraints(4, 2)
+    b = weak_ranking_constraints(4, 2)
+    c = weak_ranking_constraints(4, 3)
+    assert constraint_key(a) == constraint_key(b)
+    assert constraint_key(a) != constraint_key(c)
+    assert isinstance(a, LinearConstraints)
+
+
+def test_constraint_key_region_and_vertices():
+    region = PreferenceRegion([[0.5, 0.5], [0.25, 0.75]])
+    raw = [[0.5, 0.5], [0.25, 0.75]]
+    assert constraint_key(region) != constraint_key(raw)  # typed prefixes
+    assert constraint_key(raw) == constraint_key([[0.5, 0.5], [0.25, 0.75]])
+    assert hash(constraint_key(region)) is not None
+
+
+def test_constraint_key_rejects_junk():
+    with pytest.raises(TypeError):
+        constraint_key(object())
+
+
+# ----------------------------------------------------------------------
+# DualIndex on the migrated helpers: hot-constraint regression
+# ----------------------------------------------------------------------
+
+def test_dual_index_hot_constraint_survives_sweep():
+    """A constraint re-queried throughout a long sweep never recomputes.
+
+    Pins the LRU migration inside :class:`DualIndex`: under the old FIFO
+    caches the hot constraint's entry died after ``_RESULT_CACHE_LIMIT``
+    distinct constraints, so its repeat queries stopped hitting.
+    """
+    dataset = make_random_dataset(seed=5, num_objects=8)
+    index = DualIndex(dataset)
+    hot = WeightRatioConstraints([(0.5, 2.0)] * (dataset.dimension - 1))
+    expected = index.query(hot)
+    hits = 0
+    for step in range(3 * _RESULT_CACHE_LIMIT):
+        low = 0.5 + 0.001 * (step + 1)
+        cold = WeightRatioConstraints([(low, 2.0)]
+                                      * (dataset.dimension - 1))
+        index.query(cold)
+        before = index.query_cache_hits
+        assert index.query(hot) == expected
+        assert index.query_cache_hits == before + 1, (
+            "hot constraint fell out of the result cache after %d cold "
+            "constraints" % (step + 1))
+        hits += 1
+    assert hits == 3 * _RESULT_CACHE_LIMIT
+    assert len(index._result_cache) <= _RESULT_CACHE_LIMIT
+    assert len(index._root_term_cache) <= _TERM_CACHE_LIMIT
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: cached and uncached answers are bit-identical
+# ----------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.sampled_from([(0.5, 2.0), (0.25, 4.0), (0.8, 1.25),
+                                 (0.5, 1.0), (1.0, 2.0)]),
+                min_size=1, max_size=12),
+       st.integers(min_value=0, max_value=3))
+def test_cached_answers_bit_identical_across_sequences(boxes, seed):
+    """Any interleaving of repeated constraints serves bit-identical
+    results to a cache-free one-shot run of the same query."""
+    dataset = make_random_dataset(seed=seed, num_objects=7)
+    # A tiny cache forces evictions mid-sequence, so hits, misses and
+    # recomputes after eviction are all exercised.
+    service = ArspService(dataset)
+    service.cache = QueryCache(limit=2)
+    for low, high in boxes:
+        constraints = WeightRatioConstraints(
+            [(low, high)] * (dataset.dimension - 1))
+        served = service.query(constraints).result
+        one_shot = dict(compute_arsp(dataset, constraints,
+                                     algorithm="dual"))
+        assert served == one_shot  # dict equality is exact float equality

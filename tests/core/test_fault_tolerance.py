@@ -246,6 +246,66 @@ class TestDatasetRestoreValidation:
             payload.restore()
 
 
+class TestServePathRecovery:
+    """The recovery ladder works unchanged underneath the query daemon."""
+
+    @pytest.mark.serve
+    def test_daemon_query_recovers_from_injected_crash(self, workload):
+        import asyncio
+
+        from repro.serve import (ArspService, ArspSession, ServeClient,
+                                 ServeConfig)
+
+        dataset, constraints = workload
+        reference = ArspService(
+            dataset, ServeConfig(workers=2, backend="process",
+                                 policy=_policy())).query(constraints)
+        assert reference.execution["clean"] is True
+
+        service = ArspService(
+            dataset,
+            ServeConfig(workers=2, backend="process",
+                        policy=_policy(fault_plan=FaultPlan.from_spec(
+                            "crash:shard=1,attempt=1"))))
+
+        async def scenario():
+            session = ArspSession(service)
+            client = ServeClient.in_process(session)
+            injected = await client.query(constraints=constraints)
+            repeat = await client.query(constraints=constraints)
+            session.close()
+            return injected, repeat
+
+        injected, repeat = asyncio.run(scenario())
+        # The injected crash changed nothing about the answer...
+        assert (_fingerprint(injected["result"])
+                == _fingerprint(reference.result))
+        # ...and the response carries the populated ExecutionReport that
+        # proves recovery actually happened under the daemon.
+        execution = injected["execution"]
+        assert execution["clean"] is False
+        assert 1 in execution["recovered_shards"]
+        assert execution["pool_rebuilds"] >= 1
+        # The repeat came from the cross-query cache: same bytes, no
+        # second trip through the (still fault-injected) scheduler.
+        assert repeat["cached"] is True
+        assert repeat["execution"] is None
+        assert (_fingerprint(repeat["result"])
+                == _fingerprint(reference.result))
+
+    @pytest.mark.serve
+    def test_env_fault_spec_reaches_the_serve_path(self, workload,
+                                                   monkeypatch):
+        from repro.serve import ArspService, ServeConfig
+
+        dataset, constraints = workload
+        monkeypatch.setenv("REPRO_FAULTS", "crash:shard=0,attempt=1")
+        outcome = ArspService(
+            dataset, ServeConfig(workers=2, backend="process",
+                                 policy=_policy())).query(constraints)
+        assert 0 in outcome.execution["recovered_shards"]
+
+
 def test_crash_exit_code_is_distinctive():
     # 87 deliberately differs from every exit code the interpreter or a
     # signal produces, so a supervisor log line can attribute the loss.

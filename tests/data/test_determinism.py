@@ -131,6 +131,54 @@ def test_end_to_end_runs_are_byte_identical_across_backends(algorithm):
     assert second == first
 
 
+@pytest.mark.serve
+@pytest.mark.parametrize("algorithm", ["dual", "bnb"])
+def test_served_query_stream_is_byte_identical_to_one_shot(algorithm):
+    """A daemon answering a repeated-constraint stream fingerprints
+    identically to fresh one-shot runs — warm index, cross-query cache
+    hits and all (the serving-layer byte-identity rule of
+    docs/ARCHITECTURE.md)."""
+    import asyncio
+
+    from repro.serve import ArspServer, ArspService, ArspSession, ServeClient
+
+    config = SyntheticConfig(num_objects=23, max_instances=3, dimension=3,
+                             incomplete_fraction=0.3, distribution="ANTI",
+                             seed=77)
+    dataset = generate_uncertain_dataset(config)
+    if algorithm == "dual":
+        stream = [WeightRatioConstraints([(low, 2.0)] * 2)
+                  for low in (0.5, 0.8, 0.5, 0.8, 0.5)]
+    else:
+        stream = [weak_ranking_constraints(3, count)
+                  for count in (1, 2, 1, 2, 1)]
+    references = [_result_fingerprint(
+        dict(compute_arsp(dataset, constraints, algorithm=algorithm)))
+        for constraints in stream]
+
+    async def served_fingerprints():
+        service = ArspService(dataset)
+        service.warm()
+        session = ArspSession(service)
+        server = ArspServer(session, port=0)
+        host, port = await server.start()
+        client = await ServeClient.connect(host, port)
+        fingerprints = []
+        hit_cache = False
+        for constraints in stream:
+            response = await client.query(constraints=constraints,
+                                          algorithm=algorithm)
+            fingerprints.append(_result_fingerprint(response["result"]))
+            hit_cache = hit_cache or response["cached"]
+        await client.close()
+        await server.close()
+        return fingerprints, hit_cache
+
+    fingerprints, hit_cache = asyncio.run(served_fingerprints())
+    assert fingerprints == references
+    assert hit_cache  # the repeats in the stream came from the cache
+
+
 def test_generators_do_not_touch_global_numpy_state():
     """Generation must neither read nor advance ``np.random``'s global RNG."""
     np.random.seed(1234)

@@ -1,0 +1,392 @@
+"""Serving-layer tests: daemon protocol, cache behaviour, coalescing, TCP.
+
+The suite pins the serving contract of docs/ARCHITECTURE.md ("Serving
+layer"): served results are byte-identical to one-shot ``compute_arsp``
+(fingerprints over result bytes *and* key order), repeated constraints
+hit the shared cross-query cache, concurrent identical queries coalesce
+into one compute, and the line-delimited JSON protocol survives junk
+input.  Everything runs under the ``serve`` marker — tier-1 by default,
+deselectable with ``-m 'not serve'``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import struct
+import threading
+
+import pytest
+
+from repro.core.arsp import compute_arsp
+from repro.core.preference import (LinearConstraints, PreferenceRegion,
+                                   WeightRatioConstraints)
+from repro.data.constraints import weak_ranking_constraints
+from repro.serve import (ArspServer, ArspService, ArspSession, ServeClient,
+                         ServeConfig, decode_constraints, decode_result,
+                         dump_message, encode_constraints, encode_result,
+                         load_message)
+
+from tests.conftest import make_random_dataset
+
+pytestmark = pytest.mark.serve
+
+
+def _fingerprint(result) -> str:
+    """Byte-level digest of an ARSP result *including its key order*."""
+    digest = hashlib.sha256()
+    for instance_id, probability in result.items():
+        digest.update(struct.pack("<qd", instance_id, probability))
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_random_dataset(seed=61, num_objects=14, max_instances=3,
+                               dimension=3, incomplete_fraction=0.25)
+
+
+@pytest.fixture(scope="module")
+def ratio_constraints():
+    return WeightRatioConstraints([(0.5, 2.0), (0.25, 4.0)])
+
+
+# ----------------------------------------------------------------------
+# Protocol encodings
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_weight_ratio_spec_round_trips(self, ratio_constraints):
+        spec = encode_constraints(ratio_constraints)
+        decoded = decode_constraints(load_message(dump_message(spec)))
+        assert isinstance(decoded, WeightRatioConstraints)
+        assert decoded.ranges == ratio_constraints.ranges
+
+    def test_linear_spec_round_trips(self):
+        constraints = weak_ranking_constraints(4, 2)
+        spec = load_message(dump_message(encode_constraints(constraints)))
+        decoded = decode_constraints(spec)
+        assert isinstance(decoded, LinearConstraints)
+        assert decoded.dimension == 4
+        assert (decoded.matrix == constraints.matrix).all()
+        assert (decoded.rhs == constraints.rhs).all()
+
+    def test_weak_ranking_spec_builds_the_wr_generator(self):
+        decoded = decode_constraints({"type": "weak-ranking",
+                                      "dimension": 3, "constraints": 2})
+        reference = weak_ranking_constraints(3, 2)
+        assert (decoded.matrix == reference.matrix).all()
+
+    def test_vertices_spec_round_trips(self):
+        region = PreferenceRegion([[0.5, 0.5], [0.25, 0.75]])
+        decoded = decode_constraints(encode_constraints(region))
+        assert isinstance(decoded, PreferenceRegion)
+        assert (decoded.vertices == region.vertices).all()
+
+    def test_result_round_trip_is_bit_exact_and_order_preserving(self):
+        result = {7: 0.1234567890123456789, 2: 1.0 / 3.0, 11: 0.0}
+        wire = load_message(dump_message(encode_result(result)))
+        decoded = decode_result(wire)
+        assert decoded == result
+        assert _fingerprint(decoded) == _fingerprint(result)
+
+    @pytest.mark.parametrize("spec", [
+        {"type": "nope"},
+        {"type": "weight-ratio", "ranges": []},
+        {"type": "weak-ranking"},
+        {"type": "linear"},
+        {"type": "vertices", "vertices": []},
+        "not-an-object",
+    ])
+    def test_bad_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            decode_constraints(spec)
+
+    def test_non_object_lines_are_rejected(self):
+        with pytest.raises(ValueError):
+            load_message(b"[1, 2, 3]\n")
+
+
+# ----------------------------------------------------------------------
+# The sync service: byte-identity, cache, projection
+# ----------------------------------------------------------------------
+
+class TestService:
+    def test_served_equals_one_shot_bit_for_bit(self, dataset,
+                                                ratio_constraints):
+        service = ArspService(dataset)
+        one_shot = dict(compute_arsp(dataset, ratio_constraints))
+        outcome = service.query(ratio_constraints)
+        assert _fingerprint(outcome.result) == _fingerprint(one_shot)
+        assert outcome.algorithm == "dual"
+        assert not outcome.cached
+
+    def test_repeat_constraint_hits_the_shared_cache(self, dataset,
+                                                     ratio_constraints):
+        service = ArspService(dataset)
+        first = service.query(ratio_constraints)
+        second = service.query(ratio_constraints)
+        assert second.cached and not first.cached
+        assert second.result == first.result
+        stats = service.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] > 0
+
+    def test_linear_constraints_served_through_bnb(self, dataset):
+        constraints = weak_ranking_constraints(3)
+        service = ArspService(dataset)
+        outcome = service.query(constraints)
+        assert outcome.algorithm == "bnb"
+        reference = dict(compute_arsp(dataset, constraints))
+        assert _fingerprint(outcome.result) == _fingerprint(reference)
+        assert service.query(constraints).cached
+
+    def test_projection_matches_one_shot_slice(self, dataset,
+                                               ratio_constraints):
+        service = ArspService(dataset)
+        targets = [0, 3, 7]
+        outcome = service.query(ratio_constraints, targets=targets)
+        one_shot = dict(compute_arsp(dataset, ratio_constraints))
+        expected = {instance.instance_id: one_shot[instance.instance_id]
+                    for instance in dataset.instances
+                    if instance.object_id in set(targets)}
+        assert _fingerprint(outcome.result) == _fingerprint(expected)
+        # Different target sets share one cache entry (full-result
+        # granularity).
+        assert service.query(ratio_constraints, targets=[1]).cached
+
+    def test_out_of_range_target_raises(self, dataset, ratio_constraints):
+        service = ArspService(dataset)
+        with pytest.raises(ValueError, match="out of range"):
+            service.query(ratio_constraints,
+                          targets=[dataset.num_objects + 5])
+
+    def test_cached_entry_is_isolated_from_caller_mutation(
+            self, dataset, ratio_constraints):
+        service = ArspService(dataset)
+        first = service.query(ratio_constraints)
+        first.result.clear()
+        again = service.query(ratio_constraints)
+        assert again.cached
+        assert again.result == dict(compute_arsp(dataset,
+                                                 ratio_constraints))
+
+    def test_warm_builds_the_index_once(self, dataset):
+        service = ArspService(dataset)
+        assert service.stats()["warm_index"] is False
+        service.warm()
+        assert service.stats()["warm_index"] is True
+        index = service.dual_index
+        service.warm()
+        assert service.dual_index is index
+
+    def test_sharded_config_attaches_execution_reports(self, dataset,
+                                                       ratio_constraints):
+        service = ArspService(dataset, ServeConfig(workers=2,
+                                                   backend="serial"))
+        outcome = service.query(ratio_constraints)
+        assert outcome.execution is not None
+        assert outcome.execution["workers"] == 2
+        reference = dict(compute_arsp(dataset, ratio_constraints))
+        assert _fingerprint(outcome.result) == _fingerprint(reference)
+        # The cached repeat skips the backend entirely.
+        assert service.query(ratio_constraints).execution is None
+
+
+# ----------------------------------------------------------------------
+# The async session: dispatch and single-flight coalescing
+# ----------------------------------------------------------------------
+
+class TestSession:
+    def test_in_process_client_speaks_the_full_protocol(self, dataset,
+                                                        ratio_constraints):
+        async def scenario():
+            session = ArspSession(ArspService(dataset))
+            client = ServeClient.in_process(session)
+            pong = await client.ping()
+            assert pong["ok"] and pong["protocol"] >= 1
+            response = await client.query(constraints=ratio_constraints,
+                                          request_id="q-1")
+            assert response["id"] == "q-1"
+            assert response["cache"]["misses"] == 1
+            stats = await client.stats()
+            assert stats["queries"] == 1
+            assert (await client.shutdown())["ok"]
+            assert session.shutdown_event.is_set()
+            session.close()
+            return response
+
+        response = asyncio.run(scenario())
+        one_shot = dict(compute_arsp(dataset, ratio_constraints))
+        assert _fingerprint(response["result"]) == _fingerprint(one_shot)
+
+    def test_errors_answer_without_killing_the_session(self, dataset):
+        async def scenario():
+            session = ArspSession(ArspService(dataset))
+            client = ServeClient.in_process(session)
+            bad_spec = await client.request(
+                {"op": "query", "constraints": {"type": "nope"}, "id": 9})
+            bad_op = await client.request({"op": "explode"})
+            bad_target = await client.request(
+                {"op": "query",
+                 "constraints": {"type": "weight-ratio",
+                                 "ranges": [[0.5, 2.0], [0.5, 2.0]]},
+                 "targets": [999]})
+            good = await client.query(
+                spec={"type": "weight-ratio",
+                      "ranges": [[0.5, 2.0], [0.5, 2.0]]})
+            session.close()
+            return bad_spec, bad_op, bad_target, good
+
+        bad_spec, bad_op, bad_target, good = asyncio.run(scenario())
+        assert bad_spec["ok"] is False and bad_spec["id"] == 9
+        assert bad_op["ok"] is False and "unknown op" in bad_op["error"]
+        assert bad_target["ok"] is False
+        assert "out of range" in bad_target["error"]
+        assert good["ok"] is True
+
+    def test_concurrent_identical_queries_coalesce_into_one_compute(
+            self, dataset, ratio_constraints):
+        """N concurrent identical queries: one kernel pass, N answers."""
+        service = ArspService(dataset)
+        release = threading.Event()
+        compute_calls = []
+        original = service.full_result
+
+        def gated_full_result(constraints, algorithm=None):
+            compute_calls.append(algorithm)
+            assert release.wait(timeout=30), "test gate never released"
+            return original(constraints, algorithm)
+
+        service.full_result = gated_full_result
+
+        async def scenario():
+            session = ArspSession(service)
+            tasks = [asyncio.ensure_future(
+                         session.query(ratio_constraints,
+                                       targets=[index % 4]))
+                     for index in range(5)]
+            # Let the leader reach the compute thread and every follower
+            # park on the shared in-flight future, then open the gate.
+            while not compute_calls:
+                await asyncio.sleep(0.01)
+            await asyncio.sleep(0.05)
+            release.set()
+            outcomes = await asyncio.gather(*tasks)
+            session.close()
+            return session, outcomes
+
+        session, outcomes = asyncio.run(scenario())
+        assert len(compute_calls) == 1, "compute ran more than once"
+        assert session.coalesced == 4
+        assert sum(1 for outcome in outcomes if outcome.coalesced) == 4
+        one_shot = dict(compute_arsp(dataset, ratio_constraints))
+        for index, outcome in enumerate(outcomes):
+            expected = {instance.instance_id:
+                        one_shot[instance.instance_id]
+                        for instance in dataset.instances
+                        if instance.object_id == index % 4}
+            assert outcome.result == expected
+        # The leader counted the only miss; followers touched no counters.
+        assert service.cache.stats()["misses"] == 1
+
+    def test_leader_failure_wakes_followers_with_the_error(self, dataset,
+                                                           ratio_constraints):
+        service = ArspService(dataset)
+        release = threading.Event()
+
+        def failing_full_result(constraints, algorithm=None):
+            assert release.wait(timeout=30)
+            raise RuntimeError("injected compute failure")
+
+        service.full_result = failing_full_result
+
+        async def scenario():
+            session = ArspSession(service)
+            tasks = [asyncio.ensure_future(session.query(ratio_constraints))
+                     for _ in range(3)]
+            await asyncio.sleep(0.05)
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            session.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 3
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+
+# ----------------------------------------------------------------------
+# The TCP server
+# ----------------------------------------------------------------------
+
+class TestServer:
+    def test_tcp_round_trip_is_byte_identical(self, dataset,
+                                              ratio_constraints):
+        async def scenario():
+            session = ArspSession(ArspService(dataset))
+            server = ArspServer(session, port=0)
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            response = await client.query(constraints=ratio_constraints)
+            junk_reply = None
+            if client._writer is not None:
+                client._writer.write(b"this is not json\n")
+                await client._writer.drain()
+                junk_reply = load_message(await client._reader.readline())
+            again = await client.query(constraints=ratio_constraints)
+            await client.shutdown()
+            await client.close()
+            await server.serve_until_shutdown()
+            return response, junk_reply, again
+
+        response, junk_reply, again = asyncio.run(scenario())
+        one_shot = dict(compute_arsp(dataset, ratio_constraints))
+        assert _fingerprint(response["result"]) == _fingerprint(one_shot)
+        assert junk_reply["ok"] is False
+        assert again["cached"] is True
+
+    def test_many_tcp_clients_interleaved_match_serial_one_shots(
+            self, dataset):
+        """Overlapping clients with interleaved constraint streams each
+        get byte-identical answers to serial one-shot runs."""
+        streams = [
+            WeightRatioConstraints([(0.5, 2.0), (0.5, 2.0)]),
+            WeightRatioConstraints([(0.8, 1.25), (0.25, 4.0)]),
+            WeightRatioConstraints([(0.5, 1.0), (1.0, 2.0)]),
+        ]
+        references = {
+            index: _fingerprint(dict(compute_arsp(dataset, constraints)))
+            for index, constraints in enumerate(streams)}
+
+        async def one_client(host, port, client_id):
+            client = await ServeClient.connect(host, port)
+            fingerprints = {}
+            # Each client walks the streams in a different order, so the
+            # server sees interleaved, repeated constraints.
+            for offset in range(len(streams)):
+                index = (client_id + offset) % len(streams)
+                response = await client.query(constraints=streams[index])
+                fingerprints[index] = _fingerprint(response["result"])
+            await client.close()
+            return fingerprints
+
+        async def scenario():
+            session = ArspSession(ArspService(dataset))
+            server = ArspServer(session, port=0)
+            host, port = await server.start()
+            results = await asyncio.gather(
+                *(one_client(host, port, client_id)
+                  for client_id in range(4)))
+            stats = session.service.cache.stats()
+            await server.close()
+            return results, stats
+
+        results, stats = asyncio.run(scenario())
+        for fingerprints in results:
+            assert fingerprints == references
+        # 4 clients x 3 constraints = 12 lookups over 3 distinct keys:
+        # everything after the first sight of a key is a hit (or a
+        # coalesced follower, which skips the counters entirely).
+        assert stats["misses"] == len(streams)
+        assert stats["hits"] > 0
