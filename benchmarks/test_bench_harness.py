@@ -17,9 +17,10 @@ import pytest
 
 from repro.algorithms.registry import (PARALLEL_ALGORITHMS, list_algorithms,
                                        supports_workers)
-from repro.experiments.perf import (EXTRA_PATHS, PROFILES, SCHEMA, SCHEMA_V1,
+from repro.experiments.perf import (EXTRA_PATHS, HIT_RATE_TOLERANCE,
+                                    PROFILES, SCHEMA, SCHEMA_V1,
                                     SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
-                                    SCHEMA_V5, compare_payloads,
+                                    SCHEMA_V5, SCHEMA_V6, compare_payloads,
                                     format_bench, format_compare, load_bench,
                                     run_bench, upgrade_payload)
 from repro.experiments.workloads import (VARIANTS, available_workloads,
@@ -310,7 +311,12 @@ def test_compare_flags_regressions_and_only_regressions(quick_bench_payload):
                 for section in payload["matrix"].values())
     serve_modes = sum(1 for mode in ("cold", "warm")
                       if mode in payload["serve"])
-    assert len(lines) == cells + len(payload["extras"]) + serve_modes
+    stream_lines = sum(1 for mode in ("cold", "incremental", "warm")
+                       if mode in payload["stream"])
+    if "hit_rate" in (payload["stream"].get("warm") or {}):
+        stream_lines += 1  # the hit-rate gate prints its own line
+    assert len(lines) == (cells + len(payload["extras"]) + serve_modes +
+                          stream_lines)
 
     shrunk = json.loads(json.dumps(payload))
     shrunk["matrix"]["ind"]["algorithms"]["kdtt+"]["median_s"] /= 1000.0
@@ -575,6 +581,107 @@ def test_serve_daemon_smoke():
             process.kill()
         process.stdout.close()
         process.stderr.close()
+
+
+def test_v6_payloads_gain_an_empty_stream_section():
+    """The v6 -> v7 upgrade path: pre-scenario payloads read cleanly and
+    compare without tripping the stream hit-rate gate."""
+    v6 = {
+        "schema": SCHEMA_V6,
+        "profile": "default",
+        "workers": 1,
+        "backend": None,
+        "workload_axis": ["ind"],
+        "matrix": {"ind": {
+            "kind": "synthetic",
+            "description": "synthetic, independent centres",
+            "datasets": {"wr": {"num_objects": 192}},
+            "algorithms": {
+                "kdtt+": {"variant": "wr", "repeats": 5, "workers": 1,
+                          "runs_s": [0.01], "median_s": 0.01, "min_s": 0.01,
+                          "arsp_size": 39, "phases_s": {}, "execution": None,
+                          "cache": None, "parity": "ok"},
+            },
+        }},
+        "extras": {},
+        "extra_workloads": {},
+        "serve": {},
+    }
+    upgraded = upgrade_payload(v6)
+    assert upgraded["schema"] == SCHEMA
+    assert upgraded["stream"] == {}
+    # The input is not mutated, and older schemas ride the whole chain.
+    assert "stream" not in v6
+    v3 = {**v6, "schema": SCHEMA_V3}
+    del v3["workers"], v3["backend"], v3["serve"]
+    chained = upgrade_payload(v3)
+    assert chained["schema"] == SCHEMA
+    assert chained["stream"] == {} and chained["serve"] == {}
+    # A v6 baseline has no stream cells or hit rate: reported as missing,
+    # never flagged.
+    _, regressions = compare_payloads(upgraded, upgraded)
+    assert not regressions
+
+
+@pytest.mark.stream
+def test_stream_section_measures_incremental_and_warm_replays(
+        quick_bench_payload):
+    """The quick profile's stream section: one deterministic scenario
+    replayed cold / incremental / warm, byte-identical fingerprints, σ
+    maintenance and cache counters recorded."""
+    payload, _ = quick_bench_payload
+    stream = payload["stream"]
+    assert stream, "default bench runs must measure the stream workload"
+    assert stream["parity"] == "ok"
+    workload = stream["workload"]
+    quick = PROFILES["quick"]
+    assert workload["steps"] == quick.stream_steps
+    assert workload["queries"] == quick.stream_steps * quick.stream_queries
+    assert workload["script_fingerprint"]
+    for mode in ("cold", "incremental", "warm"):
+        entry = stream[mode]
+        assert len(entry["runs_s"]) == entry["repeats"], mode
+        assert entry["min_s"] <= entry["median_s"], mode
+        # Per-step seconds stand in for runs: one entry per scenario step.
+        assert entry["repeats"] == quick.stream_steps, mode
+    maintenance = stream["incremental"]["maintenance"]
+    assert maintenance["sigma_hits"] > 0
+    assert 0.0 < maintenance["copied_fraction"] <= 1.0
+    warm = stream["warm"]
+    assert warm["cache"]["hits"] > 0
+    assert warm["hit_rate"] > 0
+    assert warm["coalesced"] >= 0
+    assert stream["speedup"] is not None
+    text = format_bench(payload)
+    assert "[stream]" in text and "stream-incremental" in text
+    assert "sigma:" in text and "hit rate" in text
+
+
+@pytest.mark.stream
+def test_compare_gates_on_stream_hit_rate(quick_bench_payload):
+    """A warm hit-rate drop beyond the tolerance flags even when every
+    timing cell is clean; per-step slowdowns gate like any other cell."""
+    payload, _ = quick_bench_payload
+    degraded = json.loads(json.dumps(payload))
+    degraded["stream"]["warm"]["hit_rate"] = max(
+        0.0, payload["stream"]["warm"]["hit_rate"] - 2 * HIT_RATE_TOLERANCE)
+    lines, regressions = compare_payloads(payload, degraded,
+                                          threshold=1000.0)
+    assert regressions == ["stream/warm:hit_rate"]
+    assert any("stream/warm:hit_rate" in line and "REGRESSION" in line
+               for line in lines)
+    # A drop inside the tolerance band stays green.
+    wobble = json.loads(json.dumps(payload))
+    wobble["stream"]["warm"]["hit_rate"] = max(
+        0.0, payload["stream"]["warm"]["hit_rate"] -
+        HIT_RATE_TOLERANCE / 2.0)
+    _, regressions = compare_payloads(payload, wobble, threshold=1000.0)
+    assert not regressions
+    # Stream timing cells ride the ordinary regression gate.
+    slower = json.loads(json.dumps(payload))
+    slower["stream"]["incremental"]["median_s"] *= 1000.0
+    _, regressions = compare_payloads(payload, slower, threshold=2.0)
+    assert "stream/incremental" in regressions
 
 
 @pytest.mark.parallel

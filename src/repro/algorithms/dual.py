@@ -94,22 +94,76 @@ class DualIndex:
 
     def __init__(self, dataset: UncertainDataset, leaf_size: int = 16):
         self.dataset = dataset
+        self.leaf_size = int(leaf_size)
         # The flat instance views are constraint-independent; materialise
         # them once here and share them between the forest build and every
         # query instead of re-walking the Python instance objects per query.
+        self._load_flat_views(dataset)
+        self.trees: List[KDTree] = build_forest(
+            self._targets, self._target_objects, dataset.num_objects,
+            weights=self._target_probabilities, leaf_size=self.leaf_size)
+        self._build_batch_views()
+        self._root_term_cache: Dict[tuple, MarginTerms] = {}
+        self._result_cache: Dict[tuple, Dict[int, float]] = {}
+        self.query_cache_hits = 0
+
+    def _load_flat_views(self, dataset: UncertainDataset) -> None:
         self._targets = dataset.instance_matrix()
         self._target_objects = dataset.object_ids()
         self._target_probabilities = dataset.probability_vector()
         self._target_instance_ids = np.asarray(
             [instance.instance_id for instance in dataset.instances],
             dtype=int)
-        self.trees: List[KDTree] = build_forest(
-            self._targets, self._target_objects, dataset.num_objects,
-            weights=self._target_probabilities, leaf_size=leaf_size)
+
+    def apply_delta(self, new_dataset: UncertainDataset,
+                    unchanged: np.ndarray) -> None:
+        """Delta-aware index update: rebuild only the changed trees.
+
+        ``unchanged`` is the per-new-object translation of
+        :meth:`repro.core.dataset.DatasetDelta.mappings`: entry ``j >= 0``
+        names the old object whose instance list new object ``j`` carries
+        unmodified — its kd-tree is reused verbatim (``build_forest`` is a
+        deterministic per-object function of the instance segment, so the
+        reused tree is identical to a fresh build).  Entries of ``-1``
+        (inserted or updated objects) get their trees rebuilt from the new
+        dataset.  The batch views are restacked and the per-constraint
+        caches invalidated, after which every query is bit-identical to a
+        query against ``DualIndex(new_dataset)`` built from scratch — the
+        update-vs-rebuild delta contract of docs/ARCHITECTURE.md.
+        """
+        unchanged = np.asarray(unchanged, dtype=int)
+        if unchanged.shape != (new_dataset.num_objects,):
+            raise ValueError("unchanged mapping must have one entry per "
+                             "object of the new dataset")
+        old_trees = self.trees
+        old_count = len(old_trees)
+        self.dataset = new_dataset
+        self._load_flat_views(new_dataset)
+        changed = np.flatnonzero(unchanged < 0)
+        rebuilt: List[KDTree] = []
+        if len(changed):
+            mask = np.isin(self._target_objects, changed)
+            dense_ids = np.searchsorted(changed, self._target_objects[mask])
+            rebuilt = build_forest(
+                self._targets[mask], dense_ids, len(changed),
+                weights=self._target_probabilities[mask],
+                leaf_size=self.leaf_size)
+        position = {int(j): k for k, j in enumerate(changed)}
+        trees: List[KDTree] = []
+        for j in range(new_dataset.num_objects):
+            old = int(unchanged[j])
+            if old >= 0:
+                if not 0 <= old < old_count:
+                    raise ValueError("unchanged[%d] names old object %d "
+                                     "out of range [0, %d)"
+                                     % (j, old, old_count))
+                trees.append(old_trees[old])
+            else:
+                trees.append(rebuilt[position[j]])
+        self.trees = trees
         self._build_batch_views()
-        self._root_term_cache: Dict[tuple, MarginTerms] = {}
-        self._result_cache: Dict[tuple, Dict[int, float]] = {}
-        self.query_cache_hits = 0
+        self._root_term_cache.clear()
+        self._result_cache.clear()
 
     def _build_batch_views(self) -> None:
         """Stack per-tree state into the arrays the batched query consumes."""
@@ -257,6 +311,44 @@ class DualIndex:
             object_id = int(self._root_objects[root_col])
             sigma[target_row, object_id] += self._tree_mass(
                 targets[target_row], object_id, lows, highs)
+        return sigma
+
+    # ------------------------------------------------------------------
+    def sigma_targets(self, constraints: WeightRatioConstraints,
+                      targets: np.ndarray) -> np.ndarray:
+        """Raw σ matrix of arbitrary target coordinates against the forest.
+
+        ``targets`` is ``(T, d)``; the return value is the
+        ``(T, num_objects)`` matrix :meth:`query` folds into rskyline
+        probabilities, *before* the own-column zeroing (the targets here
+        need not be dataset instances, so there is no "own" object).  Every
+        entry is accumulated per (target, tree) pair in tree point order —
+        independent of how the target axis is chunked — so the entries are
+        bit-identical to the σ values a full query computes for the same
+        (coordinate, tree-content) pairs.  This is the primitive the
+        incremental-maintenance engine
+        (:mod:`repro.algorithms.incremental`) uses to recompute only the
+        σ rows and columns a delta invalidated.
+        """
+        if constraints.dimension != self.dataset.dimension:
+            raise ValueError(
+                "constraints are defined for dimension %d but the dataset "
+                "has dimension %d"
+                % (constraints.dimension, self.dataset.dimension))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        sigma = np.zeros((targets.shape[0], self.dataset.num_objects))
+        if not targets.shape[0] or not self.dataset.instances:
+            return sigma
+        root_lo_terms = self._root_terms(constraints)
+        lows = constraints.lows
+        highs = constraints.highs
+        entries_per_target = (max(1, len(self._root_objects))
+                              * max(1, self.dataset.dimension - 1))
+        chunk = max(1, _CHUNK_BUDGET // entries_per_target)
+        for begin in range(0, targets.shape[0], chunk):
+            block = targets[begin:begin + chunk]
+            sigma[begin:begin + block.shape[0]] = self._sigma_chunk(
+                block, lows, highs, root_lo_terms)
         return sigma
 
     # ------------------------------------------------------------------

@@ -26,6 +26,15 @@ without writing code:
     answered from the shared cross-query cache and concurrent identical
     queries are coalesced into one kernel pass.
 
+``python -m repro stream``
+    Build a deterministic time-stepped scenario (per-step dataset deltas
+    plus a Zipf-skewed, bursty query stream; see
+    :mod:`repro.experiments.scenarios`) and replay it in the requested
+    modes — ``oneshot`` recompute, ``incremental`` σ-matrix maintenance,
+    warm ``service``, and the ``daemon`` session — printing per-step
+    latency, maintenance/cache counters and the byte-equivalence verdict
+    across the replayed modes.
+
 ``python -m repro bench``
     Run the bench-regression harness over the algorithm × workload matrix
     (IND/ANTI/CORR synthetic distributions plus the IIP/CAR/NBA real-data
@@ -216,6 +225,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "ExecutionReport lands in each response)")
     _add_execution_arguments(serve)
 
+    stream = subparsers.add_parser(
+        "stream", help="replay a time-stepped delta + Zipf query scenario "
+                       "and check replay-mode equivalence")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="scenario seed; same seed, same script in any "
+                             "process (default: 0)")
+    stream.add_argument("--steps", type=int, default=4,
+                        help="number of time steps (default: 4)")
+    stream.add_argument("--objects", type=int, default=48, help="m")
+    stream.add_argument("--instances", type=int, default=4, help="cnt")
+    stream.add_argument("--dimension", type=int, default=3, help="d")
+    stream.add_argument("--distribution", default="IND",
+                        choices=["IND", "ANTI", "CORR"])
+    stream.add_argument("--inserts", type=int, default=2,
+                        help="objects inserted per step (default: 2)")
+    stream.add_argument("--deletes", type=int, default=2,
+                        help="objects deleted per step (default: 2)")
+    stream.add_argument("--updates", type=int, default=2,
+                        help="objects updated per step (default: 2)")
+    stream.add_argument("--queries", type=int, default=12,
+                        help="queries per step (default: 12)")
+    stream.add_argument("--pool", type=int, default=6,
+                        help="distinct constraints in the pool (default: 6)")
+    stream.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf popularity exponent of the pool "
+                             "(default: 1.1)")
+    stream.add_argument("--modes", default="oneshot,incremental,daemon",
+                        help="comma-separated replay modes out of "
+                             "oneshot,incremental,service,daemon "
+                             "(default: oneshot,incremental,daemon)")
+
     figure = subparsers.add_parser("figure", help="re-run a figure sweep")
     figure.add_argument("--id", required=True, choices=FIGURE_IDS,
                         help="figure identifier, e.g. 5a")
@@ -377,6 +417,77 @@ def run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_stream(args: argparse.Namespace) -> Tuple[str, int]:
+    """Build and replay one scenario; returns (report, exit status).
+
+    The exit status is non-zero when the replayed modes disagree on the
+    stream fingerprint — the CLI doubles as an equivalence check.
+    """
+    from .experiments.scenarios import (REPLAY_MODES, ScenarioSpec,
+                                        build_scenario, replay_scenario)
+
+    modes = _parse_names(args.modes) or []
+    for mode in modes:
+        if mode not in REPLAY_MODES:
+            raise ValueError("unknown replay mode %r (expected a subset of "
+                             "%s)" % (mode, ", ".join(REPLAY_MODES)))
+    if not modes:
+        raise ValueError("at least one replay mode is required")
+    spec = ScenarioSpec(name="cli", seed=args.seed, steps=args.steps,
+                        num_objects=args.objects,
+                        max_instances=args.instances,
+                        dimension=args.dimension,
+                        distribution=args.distribution,
+                        inserts_per_step=args.inserts,
+                        deletes_per_step=args.deletes,
+                        updates_per_step=args.updates,
+                        queries_per_step=args.queries,
+                        constraint_pool=args.pool,
+                        zipf_exponent=args.zipf)
+    script = build_scenario(spec)
+    lines = [
+        "scenario seed=%d: %d steps x (%d inserts, %d deletes, %d updates, "
+        "%d queries), pool=%d, zipf=%.2f"
+        % (spec.seed, spec.steps, spec.inserts_per_step,
+           spec.deletes_per_step, spec.updates_per_step,
+           spec.queries_per_step, spec.constraint_pool, spec.zipf_exponent),
+        "script fingerprint %s" % script.fingerprint()[:16],
+    ]
+    reports = []
+    for mode in modes:
+        report = replay_scenario(script, mode)
+        reports.append(report)
+        steps = " ".join("%.4f" % seconds for seconds in report.step_seconds)
+        lines.append("%-12s total %.4f s  per-step [%s]"
+                     % (mode, report.total_seconds, steps))
+        stats = report.engine_stats
+        if "sigma_hits" in stats:
+            lines.append("             sigma cache: %d hit(s), %.0f%% of "
+                         "entries copied across deltas"
+                         % (stats["sigma_hits"],
+                            100.0 * stats["copied_fraction"]))
+        cache = stats.get("cache")
+        if cache:
+            note = ("             query cache: %d hit(s), %d miss(es), hit "
+                    "rate %.2f" % (cache["hits"], cache["misses"],
+                                   cache["hit_rate"]))
+            if "coalesced" in stats:
+                note += "; %d coalesced" % stats["coalesced"]
+            lines.append(note)
+    fingerprints = {report.result_fingerprint for report in reports}
+    if len(fingerprints) == 1:
+        lines.append("all %d replay mode(s) byte-identical (stream "
+                     "fingerprint %s)"
+                     % (len(reports), reports[0].result_fingerprint[:16]))
+        return "\n".join(lines), 0
+    lines.append("EQUIVALENCE FAILURE: replay modes disagree on the stream "
+                 "fingerprint")
+    for report in reports:
+        lines.append("  %-12s %s" % (report.mode,
+                                     report.result_fingerprint[:16]))
+    return "\n".join(lines), 1
+
+
 def run_figure(figure_id: str) -> str:
     algorithms = ("loop", "kdtt+", "bnb")
     if figure_id == "5a":
@@ -500,6 +611,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "stream":
+        try:
+            text, status = run_stream(args)
+        except ValueError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        print(text)
+        return status
     if args.command == "figure":
         print(run_figure(args.id))
         return 0

@@ -11,6 +11,11 @@ every algorithm in the package:
   probabilities sum to at most one.
 * :class:`UncertainDataset` — the full dataset, with validation, convenient
   accessors and the aggregation used by the paper's effectiveness study.
+* :class:`ObjectSpec` / :class:`DatasetDelta` — a declarative batch of
+  object-level edits (insert / delete / update), applied with
+  :meth:`UncertainDataset.apply_delta`.  Deltas are the unit of change of
+  the scenario engine (:mod:`repro.experiments.scenarios`): a time step
+  applies one delta and then answers its query stream.
 """
 
 from __future__ import annotations
@@ -132,6 +137,126 @@ class UncertainObject:
             raise ValueError(
                 "object %d has total probability %g > 1"
                 % (self.object_id, self.total_probability))
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """Instance list of one inserted or replacement uncertain object.
+
+    A value object: coordinates and probabilities are stored as nested
+    tuples so specs are hashable and safely shareable between the scenario
+    script that declares them and every replay mode that applies them.
+    """
+
+    instances: Tuple[Tuple[float, ...], ...]
+    probabilities: Tuple[float, ...]
+    label: Optional[str] = None
+
+    @classmethod
+    def make(cls, rows: Sequence[Sequence[float]],
+             probabilities: Optional[Sequence[float]] = None,
+             label: Optional[str] = None) -> "ObjectSpec":
+        """Normalise nested sequences (e.g. numpy rows) into a spec."""
+        instances = tuple(tuple(float(v) for v in row) for row in rows)
+        if probabilities is None:
+            if not instances:
+                raise ValueError("an object spec needs at least one instance")
+            probs = (1.0 / len(instances),) * len(instances)
+        else:
+            probs = tuple(float(p) for p in probabilities)
+        return cls(instances=instances, probabilities=probs, label=label)
+
+    def validate(self) -> None:
+        if not self.instances:
+            raise ValueError("an object spec needs at least one instance")
+        if len(self.probabilities) != len(self.instances):
+            raise ValueError(
+                "object spec has %d probabilities for %d instances"
+                % (len(self.probabilities), len(self.instances)))
+        dim = len(self.instances[0])
+        for row in self.instances:
+            if len(row) != dim:
+                raise ValueError("object spec mixes dimensions %d and %d"
+                                 % (dim, len(row)))
+
+
+@dataclass(frozen=True)
+class DatasetDelta:
+    """One declarative batch of object-level edits.
+
+    ``deletes`` and the first element of every ``updates`` pair name object
+    ids *of the dataset the delta is applied to*; ``inserts`` are appended
+    after the survivors.  :meth:`UncertainDataset.apply_delta` renumbers the
+    result canonically (dense object and instance ids, survivors keeping
+    their relative order), so applying a delta is equivalent to rebuilding
+    the edited object list through ``from_instance_lists`` — the recompute
+    specification every incremental index update is pinned against.
+    """
+
+    inserts: Tuple[ObjectSpec, ...] = ()
+    deletes: Tuple[int, ...] = ()
+    updates: Tuple[Tuple[int, ObjectSpec], ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.inserts or self.deletes or self.updates)
+
+    def validate(self, num_objects: int) -> None:
+        """Raise ``ValueError`` unless the delta fits a ``num_objects``
+        dataset: ids in range, no duplicate edits, no update of a deleted
+        object, and at least one object surviving."""
+        deleted = set()
+        for object_id in self.deletes:
+            if not 0 <= object_id < num_objects:
+                raise ValueError("delete of object %d out of range [0, %d)"
+                                 % (object_id, num_objects))
+            if object_id in deleted:
+                raise ValueError("object %d deleted twice" % object_id)
+            deleted.add(object_id)
+        updated = set()
+        for object_id, spec in self.updates:
+            if not 0 <= object_id < num_objects:
+                raise ValueError("update of object %d out of range [0, %d)"
+                                 % (object_id, num_objects))
+            if object_id in deleted:
+                raise ValueError("object %d is both updated and deleted"
+                                 % object_id)
+            if object_id in updated:
+                raise ValueError("object %d updated twice" % object_id)
+            updated.add(object_id)
+            spec.validate()
+        for spec in self.inserts:
+            spec.validate()
+        if num_objects - len(deleted) + len(self.inserts) < 1:
+            raise ValueError("delta leaves the dataset empty")
+
+    def mappings(self, num_objects: int
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Object-id translation tables for a ``num_objects`` dataset.
+
+        Returns ``(old_to_new, unchanged)``:
+
+        * ``old_to_new`` has one entry per old object: its dense id in the
+          result, or ``-1`` when deleted.
+        * ``unchanged`` has one entry per *new* object: the old id whose
+          instance list it carries **unmodified** (neither updated nor
+          inserted), or ``-1``.  This is the contract delta-aware index
+          updates consume — an ``unchanged[j] >= 0`` object's per-object
+          state (kd-tree, σ column, σ rows) may be reused verbatim;
+          everything else must be recomputed.
+        """
+        self.validate(num_objects)
+        deleted = set(self.deletes)
+        updated = {object_id for object_id, _ in self.updates}
+        old_to_new = np.full(num_objects, -1, dtype=int)
+        survivors = [i for i in range(num_objects) if i not in deleted]
+        old_to_new[survivors] = np.arange(len(survivors))
+        unchanged = np.full(len(survivors) + len(self.inserts), -1,
+                            dtype=int)
+        for new_id, old_id in enumerate(survivors):
+            if old_id not in updated:
+                unchanged[new_id] = old_id
+        return old_to_new, unchanged
 
 
 class UncertainDataset:
@@ -373,6 +498,46 @@ class UncertainDataset:
         expect.
         """
         return self._rebuild([self._objects[i] for i in object_ids])
+
+    def apply_delta(self, delta: DatasetDelta) -> "UncertainDataset":
+        """Return the dataset with one :class:`DatasetDelta` applied.
+
+        Survivors keep their relative order, updated objects are replaced
+        in place, inserts are appended, and the result is renumbered
+        densely through ``from_instance_lists`` — so an object whose
+        instance list the delta did not touch is *identical* (coordinates,
+        probabilities, within-object instance order) to its old self, only
+        under possibly different dense ids.  That invariant is what lets
+        delta-aware indexes reuse per-object state
+        (see :meth:`DatasetDelta.mappings`).
+        """
+        delta.validate(self.num_objects)
+        deleted = set(delta.deletes)
+        updates = dict(delta.updates)
+        instance_lists: List[Sequence[Sequence[float]]] = []
+        probability_lists: List[Sequence[float]] = []
+        labels: List[Optional[str]] = []
+        for obj in self._objects:
+            if obj.object_id in deleted:
+                continue
+            spec = updates.get(obj.object_id)
+            if spec is not None:
+                instance_lists.append(spec.instances)
+                probability_lists.append(spec.probabilities)
+                labels.append(spec.label if spec.label is not None
+                              else obj.label)
+            else:
+                instance_lists.append([inst.values
+                                       for inst in obj.instances])
+                probability_lists.append([inst.probability
+                                          for inst in obj.instances])
+                labels.append(obj.label)
+        for spec in delta.inserts:
+            instance_lists.append(spec.instances)
+            probability_lists.append(spec.probabilities)
+            labels.append(spec.label)
+        return UncertainDataset.from_instance_lists(
+            instance_lists, probability_lists, labels=labels)
 
     # ------------------------------------------------------------------
     # Validation and summaries

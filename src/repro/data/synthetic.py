@@ -97,16 +97,24 @@ def generate_centers(num_objects: int, dimension: int, distribution: str,
 
 
 def generate_uncertain_dataset(config: SyntheticConfig,
-                               return_regions: bool = False):
+                               return_regions: bool = False,
+                               rng: Optional[np.random.Generator] = None):
     """Generate an uncertain dataset following the paper's procedure.
 
     With ``return_regions=True`` the per-object instance rectangles are
     returned alongside the dataset as an ``(m, 2, d)`` array of ``[lo, hi]``
     corners, so callers (and the property tests) can verify that every
     instance lies inside the hyper-rectangle it was drawn from.
+
+    ``rng`` overrides the internally seeded generator.  Callers that derive
+    streams from a shared :class:`numpy.random.SeedSequence` (the scenario
+    engine spawns one child per concern) pass their own generator here so
+    the dataset draw is independent of ``config.seed`` and of every other
+    stream spawned from the same root.
     """
     config.validate()
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
     centers = generate_centers(config.num_objects, config.dimension,
                                config.distribution, rng)
 

@@ -75,14 +75,29 @@ hit/miss/eviction counters and the section records the warm-vs-cold
 speedup, so the daemon's reason to exist is measured, not asserted; every
 served result is parity-checked against one-shot ``compute_arsp``.
 
-The JSON schema is ``repro-bench/6`` (per-workload ``matrix`` sections
-with per-phase timings, ``workers`` fields, per-cell ``execution``
-summaries and ``cache`` stats, plus the top-level ``serve`` section);
-:func:`upgrade_payload` / :func:`load_bench` still read the
-``repro-bench/5`` pre-serving files, the ``repro-bench/4``
-pre-supervision files, the ``repro-bench/3`` pre-backend files, the
-``repro-bench/2`` matrix files and the flat ``repro-bench/1`` files
-written before.
+Stream workload
+---------------
+A ``stream`` section (run with the extras) replays one deterministic
+scenario from :mod:`repro.experiments.scenarios` — per-step dataset
+deltas plus a Zipf-skewed, bursty query stream — in three ways: *cold*
+(one-shot ``compute_arsp`` recompute per query, the specification),
+*incremental* (σ-matrix maintenance through
+:class:`repro.algorithms.incremental.IncrementalArsp`) and *warm* (the
+PR 7 daemon session with the cross-query LRU cache, bursts coalescing
+in flight).  Per-step wall-clock lands in each entry's ``runs_s``, the
+warm entry records the cache hit rate under the skewed stream, and the
+three replays' stream fingerprints must agree byte for byte (recorded
+as the section's ``parity``).
+
+The JSON schema is ``repro-bench/7`` (adds the top-level ``stream``
+section to the ``repro-bench/6`` shape of per-workload ``matrix``
+sections with per-phase timings, ``workers`` fields, per-cell
+``execution`` summaries and ``cache`` stats, plus the top-level
+``serve`` section); :func:`upgrade_payload` / :func:`load_bench` still
+read the ``repro-bench/6`` pre-stream files, the ``repro-bench/5``
+pre-serving files, the ``repro-bench/4`` pre-supervision files, the
+``repro-bench/3`` pre-backend files, the ``repro-bench/2`` matrix files
+and the flat ``repro-bench/1`` files written before.
 
 ``compare_payloads`` diffs two payloads cell by cell (``repro bench
 --compare BASELINE.json``) and flags cells whose median — or, with
@@ -120,7 +135,10 @@ from .workloads import (WORKLOAD_AXIS, Workload, WorkloadScale,
 
 #: Schema tag written into the JSON payload so future harness versions can
 #: evolve the format without ambiguity.
-SCHEMA = "repro-bench/6"
+SCHEMA = "repro-bench/7"
+
+#: The schema before the scenario engine: no top-level ``stream`` section.
+SCHEMA_V6 = "repro-bench/6"
 
 #: The schema before the serving layer: no per-cell ``cache`` stats and no
 #: top-level ``serve`` section.
@@ -158,6 +176,9 @@ class BenchProfile:
     #: Continuous Monte Carlo extras workload.
     mc_objects: int = 16
     mc_trials: int = 400
+    #: Scenario replayed by the ``stream`` section (steps × queries/step).
+    stream_steps: int = 4
+    stream_queries: int = 12
 
 
 PROFILES: Dict[str, BenchProfile] = {
@@ -173,7 +194,8 @@ PROFILES: Dict[str, BenchProfile] = {
         repeats=2,
         workload_names=("ind", "anti", "iip"),
         eclipse_points=192, eclipse_dimension=2,
-        mc_objects=8, mc_trials=100),
+        mc_objects=8, mc_trials=100,
+        stream_steps=3, stream_queries=8),
 }
 
 #: Reference algorithm used for the parity check of every matrix cell.
@@ -440,6 +462,99 @@ def _run_serve(profile: BenchProfile, rounds: int, check: bool
     return section
 
 
+#: Seed of the bench scenario.  Fixed so the stream section measures the
+#: same script in every run of a given profile — the comparison gate
+#: depends on the offered load being identical across runs.
+_STREAM_SEED = 2024
+
+#: Hit-rate guardrail of the ``--compare`` gate: the warm stream's cache
+#: hit rate may drop at most this much (absolute) below the baseline's
+#: before the cell flags.  Timing thresholds don't protect the cache — a
+#: broken eviction policy can stay fast on bench-sized data while ruining
+#: production hit rates, so the counter itself is gated.
+HIT_RATE_TOLERANCE = 0.05
+
+
+def _stream_spec(profile: BenchProfile):
+    """The deterministic scenario the ``stream`` section replays."""
+    from .scenarios import ScenarioSpec
+    scale = profile.scale
+    return ScenarioSpec(
+        name="bench-%s" % profile.name,
+        seed=_STREAM_SEED,
+        steps=profile.stream_steps,
+        num_objects=scale.num_objects,
+        max_instances=scale.max_instances,
+        dimension=scale.dimension,
+        inserts_per_step=max(1, scale.num_objects // 24),
+        deletes_per_step=max(1, scale.num_objects // 24),
+        updates_per_step=max(1, scale.num_objects // 24),
+        queries_per_step=profile.stream_queries)
+
+
+def _run_stream(profile: BenchProfile, check: bool) -> Dict[str, object]:
+    """Replay the bench scenario cold / incremental / warm.
+
+    *Cold* is the specification — every query recomputed one-shot after
+    each step's delta.  *Incremental* maintains σ matrices through
+    :class:`repro.algorithms.incremental.IncrementalArsp`.  *Warm* runs
+    the stream through the PR 7 daemon session: deltas and queries on
+    the single compute thread, bursts submitted concurrently so repeated
+    in-flight constraints coalesce, the cross-query LRU absorbing the
+    Zipf repetition.  Per-step wall-clock becomes each entry's
+    ``runs_s`` (so ``--compare`` gates per-step latency), and ``check``
+    records whether all three stream fingerprints agree byte for byte.
+    """
+    from .scenarios import build_scenario, replay_scenario
+
+    spec = _stream_spec(profile)
+    script = build_scenario(spec)
+    replays = {mode: replay_scenario(script, bench_mode)
+               for mode, bench_mode in (("cold", "oneshot"),
+                                        ("incremental", "incremental"),
+                                        ("warm", "daemon"))}
+
+    section: Dict[str, object] = {
+        "workload": {
+            "scenario": spec.name,
+            "seed": spec.seed,
+            "steps": spec.steps,
+            "queries": script.num_queries,
+            "num_objects": spec.num_objects,
+            "max_instances": spec.max_instances,
+            "dimension": spec.dimension,
+            "constraint_pool": spec.constraint_pool,
+            "zipf_exponent": spec.zipf_exponent,
+            "script_fingerprint": script.fingerprint(),
+        },
+    }
+    for mode, report in replays.items():
+        entry = _timing_fields(report.step_seconds)
+        if mode == "incremental":
+            stats = report.engine_stats
+            entry["maintenance"] = {
+                "sigma_hits": stats["sigma_hits"],
+                "copied_fraction": stats["copied_fraction"],
+            }
+        if mode == "warm":
+            stats = report.engine_stats
+            entry["cache"] = stats["cache"]
+            entry["hit_rate"] = stats["cache"]["hit_rate"]
+            entry["coalesced"] = stats["coalesced"]
+        section[mode] = entry
+    cold_total = sum(replays["cold"].step_seconds)
+    warm_total = sum(replays["warm"].step_seconds)
+    section["speedup"] = (round(cold_total / warm_total, 2)
+                          if warm_total > 0 else None)
+    if check:
+        fingerprints = {report.result_fingerprint
+                        for report in replays.values()}
+        section["parity"] = ("ok" if len(fingerprints) == 1
+                             else "replay modes disagree on the stream "
+                                  "fingerprint")
+    return section
+
+
 def run_bench(profile: str = "default",
               algorithms: Optional[Sequence[str]] = None,
               workloads: Optional[Sequence[str]] = None,
@@ -515,9 +630,11 @@ def run_bench(profile: str = "default",
     extras: Dict[str, dict] = {}
     extra_workloads: Dict[str, dict] = {}
     serve: Dict[str, object] = {}
+    stream: Dict[str, object] = {}
     if not algorithms:
         extras, extra_workloads = _run_extras(resolved, rounds, check)
         serve = _run_serve(resolved, rounds, check)
+        stream = _run_stream(resolved, check)
 
     payload = {
         "schema": SCHEMA,
@@ -533,6 +650,7 @@ def run_bench(profile: str = "default",
         "extras": extras,
         "extra_workloads": extra_workloads,
         "serve": serve,
+        "stream": stream,
     }
     if output_path:
         with open(output_path, "w", encoding="utf-8") as handle:
@@ -559,7 +677,7 @@ _V1_EXTRA_WORKLOADS = ("eclipse-ind", "continuous-boxes")
 
 
 def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Return a ``repro-bench/6`` view of any known payload version.
+    """Return a ``repro-bench/7`` view of any known payload version.
 
     ``repro-bench/1`` files carried a single flat ``algorithms`` section
     measured on the default IND workload; they pass through the matrix
@@ -573,7 +691,9 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     execution reports were recorded).  ``repro-bench/5`` files predate
     the serving layer; they gain ``cache: None`` in every matrix cell and
     an empty top-level ``serve`` section (no serve workload was
-    measured).  Downstream consumers only ever see the v6 shape; current
+    measured).  ``repro-bench/6`` files predate the scenario engine; they
+    gain an empty top-level ``stream`` section (no stream replay was
+    measured).  Downstream consumers only ever see the v7 shape; current
     payloads are returned unchanged.
     """
     schema = payload.get("schema")
@@ -591,9 +711,12 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     if schema == SCHEMA_V4:
         payload = _upgrade_v4(payload)
         schema = SCHEMA_V5
-    if schema != SCHEMA_V5:
+    if schema == SCHEMA_V5:
+        payload = _upgrade_v5(payload)
+        schema = SCHEMA_V6
+    if schema != SCHEMA_V6:
         raise ValueError("unknown bench payload schema %r" % (schema,))
-    return _upgrade_v5(payload)
+    return _upgrade_v6(payload)
 
 
 def _upgrade_v1(payload: Dict[str, object]) -> Dict[str, object]:
@@ -683,7 +806,7 @@ def _upgrade_v4(payload: Dict[str, object]) -> Dict[str, object]:
 def _upgrade_v5(payload: Dict[str, object]) -> Dict[str, object]:
     """``repro-bench/5`` -> ``repro-bench/6``: no cache stats, no serve."""
     upgraded = dict(payload)
-    upgraded["schema"] = SCHEMA
+    upgraded["schema"] = SCHEMA_V6
     upgraded.setdefault("serve", {})
     matrix = {}
     for workload_name, section in dict(payload.get("matrix", {})).items():
@@ -693,6 +816,14 @@ def _upgrade_v5(payload: Dict[str, object]) -> Dict[str, object]:
             for name, entry in dict(section.get("algorithms", {})).items()}
         matrix[workload_name] = section
     upgraded["matrix"] = matrix
+    return upgraded
+
+
+def _upgrade_v6(payload: Dict[str, object]) -> Dict[str, object]:
+    """``repro-bench/6`` -> ``repro-bench/7``: no stream section."""
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA
+    upgraded.setdefault("stream", {})
     return upgraded
 
 
@@ -825,6 +956,32 @@ def compare_payloads(baseline: Dict[str, object],
         if mode in current_serve:
             compare_cell("serve/%s" % mode, base_serve.get(mode),
                          current_serve[mode])
+    base_stream = baseline.get("stream") or {}
+    current_stream = current.get("stream") or {}
+    for mode in ("cold", "incremental", "warm"):
+        if mode in current_stream:
+            compare_cell("stream/%s" % mode, base_stream.get(mode),
+                         current_stream[mode])
+    # Per-step timings don't protect the cache; gate the warm replay's
+    # hit rate directly so a cache/coalescing regression that stays fast
+    # on bench-sized data still flags.
+    warm = current_stream.get("warm") or {}
+    base_warm = base_stream.get("warm") or {}
+    if "hit_rate" in warm:
+        now_rate = float(warm["hit_rate"])
+        if "hit_rate" in base_warm:
+            base_rate = float(base_warm["hit_rate"])
+            flag = ""
+            if now_rate < base_rate - HIT_RATE_TOLERANCE:
+                regressions.append("stream/warm:hit_rate")
+                flag = ("  REGRESSION (dropped > %.2f)"
+                        % HIT_RATE_TOLERANCE)
+            lines.append("  %-28s %9.2f   -> %9.2f%s"
+                         % ("stream/warm:hit_rate", base_rate, now_rate,
+                            flag))
+        else:
+            lines.append("  %-28s %9.2f    (no baseline)"
+                         % ("stream/warm:hit_rate", now_rate))
     return lines, regressions
 
 
@@ -934,6 +1091,43 @@ def format_bench(payload: Dict[str, object]) -> str:
             parity = serve.get("parity")
             lines.append("  warm rounds %.2fx faster than cold%s"
                          % (serve["speedup"],
+                            "" if parity in (None, "ok")
+                            else "  PARITY: %s" % parity))
+    stream = payload.get("stream") or {}
+    if stream:
+        meta = stream.get("workload") or {}
+        lines.append("[stream] scenario %r: %d steps, %d queries "
+                     "(Zipf s=%.2f over %d constraints; cold: per-query "
+                     "recompute, incremental: sigma maintenance, warm: "
+                     "daemon replay)"
+                     % (meta.get("scenario", "?"), meta.get("steps", 0),
+                        meta.get("queries", 0),
+                        meta.get("zipf_exponent", 0.0),
+                        meta.get("constraint_pool", 0)))
+        stream_width = max(width, len("stream-incremental"))
+        for mode in ("cold", "incremental", "warm"):
+            entry = stream.get(mode)
+            if not entry:
+                continue
+            suffix = ""
+            maintenance = entry.get("maintenance")
+            if maintenance:
+                suffix = ("  [sigma: %d hit(s), %.0f%% copied]"
+                          % (maintenance["sigma_hits"],
+                             100.0 * maintenance["copied_fraction"]))
+            cache = entry.get("cache")
+            if cache:
+                suffix = ("  [cache: %d hit(s), %d miss(es), hit rate "
+                          "%.2f; %d coalesced]"
+                          % (cache["hits"], cache["misses"],
+                             cache["hit_rate"], entry.get("coalesced", 0)))
+            lines.append("  %-*s  %9.4f s/step  (min %.4f)%s"
+                         % (stream_width, "stream-" + mode,
+                            entry["median_s"], entry["min_s"], suffix))
+        if stream.get("speedup") is not None:
+            parity = stream.get("parity")
+            lines.append("  warm replay %.2fx faster than cold%s"
+                         % (stream["speedup"],
                             "" if parity in (None, "ok")
                             else "  PARITY: %s" % parity))
     return "\n".join(lines)

@@ -1,0 +1,555 @@
+"""Time-stepped scenarios: dataset deltas + Zipf/bursty query streams.
+
+The benchmarks elsewhere in :mod:`repro.experiments` measure *one-shot*
+ARSP — a fixed dataset, a fixed constraint, one answer.  Real deployments
+of the paper's setting (Section I's motivating examples — products and
+reviews arriving, analysts re-asking hot preference ranges) look
+different: the dataset drifts in small batches while a skewed stream of
+queries arrives in bursts.  This module makes that shape a first-class,
+reproducible artifact:
+
+:class:`ScenarioSpec`
+    Declarative description: base synthetic dataset parameters, the
+    number of time steps, per-step insert/delete/update batch sizes, and
+    a query stream drawn from a fixed constraint pool with
+    Zipf-distributed popularity (rank ``k`` drawn with probability
+    ``∝ k^-s``) and bursty arrivals (geometric burst sizes separated by
+    exponential gaps).
+
+:func:`build_scenario`
+    Expands a spec into a fully materialised :class:`ScenarioScript` —
+    the base dataset, the constraint pool, and per step one
+    :class:`~repro.core.dataset.DatasetDelta` plus the arrival-timed
+    query events.  All randomness flows from one
+    :class:`numpy.random.SeedSequence` spawned into independent child
+    streams (dataset / pool / deltas / queries, then one child per
+    step), so the same seed produces the same script in any process, on
+    any platform, regardless of what else consumed random numbers —
+    pinned by ``tests/data/test_determinism.py``.
+
+:func:`replay_scenario`
+    Runs a script end to end in one of four modes — ``oneshot`` (full
+    recompute per query, the specification), ``incremental``
+    (:class:`~repro.algorithms.incremental.IncrementalArsp` σ-matrix
+    maintenance), ``service`` (warm :class:`~repro.serve.service.ArspService`
+    with the cross-query LRU cache), and ``daemon``
+    (:class:`~repro.serve.server.ArspSession`, bursts submitted
+    concurrently so identical in-flight queries coalesce).  Every mode
+    folds its answers into one stream fingerprint; all four must agree
+    byte for byte (``tests/experiments/test_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.incremental import IncrementalArsp
+from ..core.arsp import compute_arsp
+from ..core.dataset import DatasetDelta, ObjectSpec, UncertainDataset
+from ..core.preference import WeightRatioConstraints
+from ..data.synthetic import SyntheticConfig, generate_centers, \
+    generate_uncertain_dataset
+
+REPLAY_MODES = ("oneshot", "incremental", "service", "daemon")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative scenario description (everything a seed expands from).
+
+    Dataset knobs mirror :class:`~repro.data.synthetic.SyntheticConfig`;
+    stream knobs control the constraint pool and arrival process:
+
+    ``constraint_pool``
+        Number of distinct weight-ratio constraints queries draw from.
+    ``zipf_exponent``
+        Popularity skew ``s``: pool rank ``k`` (1-based) is queried with
+        probability ``∝ k^-s``.  ``0`` is uniform; the paper-scale
+        default ``1.1`` concentrates most of the stream on a few hot
+        constraints — the regime the serve cache and σ-matrix cache are
+        sized for.
+    ``mean_burst`` / ``mean_gap_s``
+        Arrival process: burst sizes are geometric with this mean, and
+        consecutive bursts are separated by exponential gaps with this
+        mean (seconds).  Arrival times are part of the script so replays
+        can reconstruct the offered load; replay itself runs as fast as
+        the engine allows.
+    """
+
+    name: str = "scenario"
+    seed: int = 0
+    steps: int = 4
+    # Base dataset (paper notation; scaled down from the paper defaults
+    # like the benchmarks are).
+    num_objects: int = 48
+    max_instances: int = 4
+    dimension: int = 3
+    region_length: float = 0.2
+    incomplete_fraction: float = 0.0
+    distribution: str = "IND"
+    # Per-step delta batch sizes.
+    inserts_per_step: int = 2
+    deletes_per_step: int = 2
+    updates_per_step: int = 2
+    # Query stream.
+    queries_per_step: int = 12
+    constraint_pool: int = 6
+    zipf_exponent: float = 1.1
+    mean_burst: float = 3.0
+    mean_gap_s: float = 0.05
+
+    def validate(self) -> None:
+        if self.steps < 1:
+            raise ValueError("a scenario needs at least one step")
+        if self.num_objects < 2:
+            raise ValueError("num_objects must be at least 2")
+        if self.dimension < 2:
+            raise ValueError("weight-ratio scenarios need dimension >= 2")
+        if min(self.inserts_per_step, self.deletes_per_step,
+               self.updates_per_step, self.queries_per_step) < 0:
+            raise ValueError("per-step batch sizes must be non-negative")
+        if self.constraint_pool < 1:
+            raise ValueError("constraint_pool must be positive")
+        if self.zipf_exponent < 0.0:
+            raise ValueError("zipf_exponent must be non-negative")
+        if self.mean_burst < 1.0:
+            raise ValueError("mean_burst must be at least 1")
+        if self.mean_gap_s < 0.0:
+            raise ValueError("mean_gap_s must be non-negative")
+        if (self.deletes_per_step + self.updates_per_step
+                >= self.num_objects):
+            raise ValueError("per-step deletes + updates must leave room "
+                             "inside the object population")
+
+    def synthetic_config(self) -> SyntheticConfig:
+        return SyntheticConfig(
+            num_objects=self.num_objects,
+            max_instances=self.max_instances,
+            dimension=self.dimension,
+            region_length=self.region_length,
+            incomplete_fraction=self.incomplete_fraction,
+            distribution=self.distribution)
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One arrival in the stream: when, which pool constraint, which burst."""
+
+    arrival_s: float
+    constraint_index: int
+    burst: int
+
+
+@dataclass(frozen=True)
+class ScenarioStep:
+    """One time step: apply ``delta``, then answer ``queries`` in order."""
+
+    index: int
+    delta: DatasetDelta
+    queries: Tuple[QueryEvent, ...]
+
+
+@dataclass(frozen=True)
+class ScenarioScript:
+    """A fully materialised scenario, ready to replay in any mode."""
+
+    spec: ScenarioSpec
+    base_dataset: UncertainDataset
+    constraint_pool: Tuple[WeightRatioConstraints, ...]
+    steps: Tuple[ScenarioStep, ...]
+
+    @property
+    def num_queries(self) -> int:
+        return sum(len(step.queries) for step in self.steps)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the whole script (dataset, pool, steps).
+
+        Two processes that build the same spec must agree on this before
+        any replay comparison makes sense; the cross-process determinism
+        tests pin exactly that.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr(self.spec).encode())
+        for instance in self.base_dataset.instances:
+            digest.update(struct.pack("<qqd", instance.instance_id,
+                                      instance.object_id,
+                                      instance.probability))
+            digest.update(np.asarray(instance.values,
+                                     dtype=float).tobytes())
+        for constraints in self.constraint_pool:
+            digest.update(np.asarray(constraints.ranges,
+                                     dtype=float).tobytes())
+        for step in self.steps:
+            digest.update(_delta_bytes(step.delta))
+            for event in step.queries:
+                digest.update(struct.pack("<dqq", event.arrival_s,
+                                          event.constraint_index,
+                                          event.burst))
+        return digest.hexdigest()
+
+
+@dataclass
+class StepReport:
+    """Replay measurements for one step."""
+
+    index: int
+    num_queries: int
+    seconds: float
+
+
+@dataclass
+class ScenarioReport:
+    """What one replay of a script did, byte-comparable across modes."""
+
+    mode: str
+    script_fingerprint: str
+    result_fingerprint: str
+    steps: List[StepReport] = field(default_factory=list)
+    engine_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(step.seconds for step in self.steps)
+
+    @property
+    def step_seconds(self) -> List[float]:
+        return [step.seconds for step in self.steps]
+
+
+# ----------------------------------------------------------------------
+# Script generation
+# ----------------------------------------------------------------------
+
+def zipf_probabilities(pool_size: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf popularity over pool ranks (rank 1 is hottest)."""
+    ranks = np.arange(1, pool_size + 1, dtype=float)
+    weights = ranks ** (-float(exponent))
+    return weights / weights.sum()
+
+
+def build_scenario(spec: ScenarioSpec) -> ScenarioScript:
+    """Expand a spec into a materialised script, deterministically.
+
+    One :class:`numpy.random.SeedSequence` rooted at ``spec.seed`` is
+    spawned into independent children — dataset, constraint pool, and
+    one (delta, stream) pair per step — so every component is a pure
+    function of the spec alone: changing, say, ``queries_per_step`` does
+    not perturb the deltas, and no component depends on global numpy
+    state or on draw ordering elsewhere in the process.
+    """
+    spec.validate()
+    root = np.random.SeedSequence(spec.seed)
+    data_seq, pool_seq, delta_seq, query_seq = root.spawn(4)
+
+    base_dataset = generate_uncertain_dataset(
+        spec.synthetic_config(), rng=np.random.default_rng(data_seq))
+    constraint_pool = _build_constraint_pool(
+        spec, np.random.default_rng(pool_seq))
+
+    popularity = zipf_probabilities(spec.constraint_pool,
+                                    spec.zipf_exponent)
+    steps = []
+    num_objects = base_dataset.num_objects
+    for index, (step_delta_seq, step_query_seq) in enumerate(
+            zip(delta_seq.spawn(spec.steps), query_seq.spawn(spec.steps))):
+        delta = _build_delta(spec, num_objects,
+                             np.random.default_rng(step_delta_seq))
+        num_objects += len(delta.inserts) - len(delta.deletes)
+        queries = _build_stream(spec, popularity,
+                                np.random.default_rng(step_query_seq))
+        steps.append(ScenarioStep(index=index, delta=delta, queries=queries))
+    return ScenarioScript(spec=spec, base_dataset=base_dataset,
+                          constraint_pool=constraint_pool,
+                          steps=tuple(steps))
+
+
+def _build_constraint_pool(spec: ScenarioSpec, rng: np.random.Generator
+                           ) -> Tuple[WeightRatioConstraints, ...]:
+    """``constraint_pool`` distinct weight-ratio boxes, hottest first."""
+    pool = []
+    for _ in range(spec.constraint_pool):
+        lows = rng.uniform(0.3, 0.8, size=spec.dimension - 1)
+        highs = lows * rng.uniform(1.5, 3.0, size=spec.dimension - 1)
+        pool.append(WeightRatioConstraints(
+            [(float(low), float(high)) for low, high in zip(lows, highs)]))
+    return tuple(pool)
+
+
+def _random_object_spec(spec: ScenarioSpec, rng: np.random.Generator
+                        ) -> ObjectSpec:
+    """One synthetic object following the paper generator's procedure.
+
+    Mirrors :func:`~repro.data.synthetic.generate_uncertain_dataset` —
+    distribution-shaped centre, clipped-normal region edge, uniform
+    instances with equal probabilities — so scenario-inserted objects
+    are statistically indistinguishable from base-dataset objects.
+    """
+    center = generate_centers(1, spec.dimension, spec.distribution, rng)[0]
+    edge = float(np.clip(rng.normal(spec.region_length / 2.0,
+                                    spec.region_length / 8.0),
+                         0.0, spec.region_length))
+    lo = np.clip(center - edge / 2.0, 0.0, 1.0)
+    hi = np.clip(center + edge / 2.0, 0.0, 1.0)
+    count = int(rng.integers(1, spec.max_instances + 1))
+    points = rng.uniform(lo, hi, size=(count, spec.dimension))
+    return ObjectSpec.make([tuple(float(x) for x in point)
+                            for point in points],
+                           [1.0 / count] * count)
+
+
+def _build_delta(spec: ScenarioSpec, num_objects: int,
+                 rng: np.random.Generator) -> DatasetDelta:
+    """One step's edit batch against a population of ``num_objects``."""
+    touched = min(spec.deletes_per_step + spec.updates_per_step,
+                  num_objects - 1)
+    chosen = (rng.choice(num_objects, size=touched, replace=False)
+              if touched else np.empty(0, dtype=int))
+    num_deletes = min(spec.deletes_per_step, touched)
+    deletes = tuple(int(x) for x in np.sort(chosen[:num_deletes]))
+    updates = tuple((int(x), _random_object_spec(spec, rng))
+                    for x in np.sort(chosen[num_deletes:]))
+    inserts = tuple(_random_object_spec(spec, rng)
+                    for _ in range(spec.inserts_per_step))
+    return DatasetDelta(inserts=inserts, deletes=deletes, updates=updates)
+
+
+def _build_stream(spec: ScenarioSpec, popularity: np.ndarray,
+                  rng: np.random.Generator) -> Tuple[QueryEvent, ...]:
+    """``queries_per_step`` arrivals: geometric bursts, exponential gaps."""
+    events: List[QueryEvent] = []
+    clock = 0.0
+    burst_id = 0
+    while len(events) < spec.queries_per_step:
+        clock += float(rng.exponential(spec.mean_gap_s))
+        size = int(rng.geometric(1.0 / spec.mean_burst))
+        size = min(size, spec.queries_per_step - len(events))
+        # One hot pick per burst: bursts model one client hammering one
+        # constraint, which is what single-flight coalescing absorbs.
+        constraint = int(rng.choice(len(popularity), p=popularity))
+        for _ in range(size):
+            events.append(QueryEvent(arrival_s=clock,
+                                     constraint_index=constraint,
+                                     burst=burst_id))
+            clock += 1e-4
+        burst_id += 1
+    return tuple(events)
+
+
+def _delta_bytes(delta: DatasetDelta) -> bytes:
+    digest = hashlib.sha256()
+    for spec in delta.inserts:
+        digest.update(np.asarray(spec.instances, dtype=float).tobytes())
+        digest.update(np.asarray(spec.probabilities, dtype=float).tobytes())
+    digest.update(np.asarray(delta.deletes, dtype=np.int64).tobytes())
+    for object_id, spec in delta.updates:
+        digest.update(struct.pack("<q", object_id))
+        digest.update(np.asarray(spec.instances, dtype=float).tobytes())
+        digest.update(np.asarray(spec.probabilities, dtype=float).tobytes())
+    return digest.digest()
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+def replay_scenario(script: ScenarioScript, mode: str = "oneshot",
+                    workers: Optional[int] = None,
+                    backend: Optional[str] = None,
+                    cache_limit: Optional[int] = None) -> ScenarioReport:
+    """Replay a script end to end; all modes must fingerprint identically.
+
+    ``workers``/``backend`` shard the per-query compute in ``oneshot``
+    mode (the other modes run the warm serial DUAL path, which is
+    byte-identical to sharded execution by the PR 5 parity suite).
+    ``cache_limit`` overrides the serve cache size in the ``service`` and
+    ``daemon`` modes.
+    """
+    if mode not in REPLAY_MODES:
+        raise ValueError("unknown replay mode %r (expected one of %s)"
+                         % (mode, ", ".join(REPLAY_MODES)))
+    replay = {"oneshot": _replay_oneshot,
+              "incremental": _replay_incremental,
+              "service": _replay_service,
+              "daemon": _replay_daemon}[mode]
+    return replay(script, workers=workers, backend=backend,
+                  cache_limit=cache_limit)
+
+
+def stream_fingerprint(results) -> str:
+    """Digest of an ordered sequence of full ARSP results.
+
+    Per result this is the same ``struct.pack("<qd", id, probability)``
+    walk the determinism suite uses for single results, chained across
+    the stream — so two replays agree iff every query's answer is
+    byte-identical and arrives in the same stream position.
+    """
+    digest = hashlib.sha256()
+    for result in results:
+        for instance_id, probability in result.items():
+            digest.update(struct.pack("<qd", instance_id, probability))
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def _timed_steps(script, answer_step):
+    """Shared replay loop: per step, time ``answer_step`` and collect."""
+    import time as _time
+    reports = []
+    results = []
+    for step in script.steps:
+        start = _time.perf_counter()
+        step_results = answer_step(step)
+        seconds = _time.perf_counter() - start
+        results.extend(step_results)
+        reports.append(StepReport(index=step.index,
+                                  num_queries=len(step.queries),
+                                  seconds=seconds))
+    return reports, results
+
+
+def _replay_oneshot(script: ScenarioScript, workers=None, backend=None,
+                    cache_limit=None) -> ScenarioReport:
+    """The specification: recompute every query from scratch, per step."""
+    state = {"dataset": script.base_dataset}
+
+    def answer_step(step):
+        state["dataset"] = state["dataset"].apply_delta(step.delta)
+        dataset = state["dataset"]
+        return [dict(compute_arsp(
+                    dataset, script.constraint_pool[event.constraint_index],
+                    algorithm="dual", workers=workers, backend=backend))
+                for event in step.queries]
+
+    reports, results = _timed_steps(script, answer_step)
+    return ScenarioReport(mode="oneshot",
+                          script_fingerprint=script.fingerprint(),
+                          result_fingerprint=stream_fingerprint(results),
+                          steps=reports,
+                          engine_stats={"queries": script.num_queries})
+
+
+def _replay_incremental(script: ScenarioScript, workers=None, backend=None,
+                        cache_limit=None) -> ScenarioReport:
+    """σ-matrix maintenance: deltas repair, repeats fold cached matrices."""
+    engine = IncrementalArsp(script.base_dataset)
+
+    def answer_step(step):
+        engine.apply_delta(step.delta)
+        return [engine.query(script.constraint_pool[event.constraint_index])
+                for event in step.queries]
+
+    reports, results = _timed_steps(script, answer_step)
+    return ScenarioReport(mode="incremental",
+                          script_fingerprint=script.fingerprint(),
+                          result_fingerprint=stream_fingerprint(results),
+                          steps=reports, engine_stats=engine.stats())
+
+
+def _serve_config(cache_limit):
+    from ..serve.service import ServeConfig
+    config = ServeConfig()
+    if cache_limit is not None:
+        config.cache_limit = int(cache_limit)
+    return config
+
+
+def _replay_service(script: ScenarioScript, workers=None, backend=None,
+                    cache_limit=None) -> ScenarioReport:
+    """Warm service: cross-query LRU absorbs the Zipf repetition."""
+    from ..serve.service import ArspService
+    service = ArspService(script.base_dataset,
+                          config=_serve_config(cache_limit))
+    service.warm()
+
+    def answer_step(step):
+        service.apply_delta(step.delta)
+        return [dict(service.query(
+                    script.constraint_pool[event.constraint_index]).full)
+                for event in step.queries]
+
+    reports, results = _timed_steps(script, answer_step)
+    stats = service.stats()
+    return ScenarioReport(mode="service",
+                          script_fingerprint=script.fingerprint(),
+                          result_fingerprint=stream_fingerprint(results),
+                          steps=reports,
+                          engine_stats={"queries": stats["queries"],
+                                        "deltas": stats["deltas"],
+                                        "cache": stats["cache"]})
+
+
+def _replay_daemon(script: ScenarioScript, workers=None, backend=None,
+                   cache_limit=None) -> ScenarioReport:
+    """Through the PR 7 daemon session: bursts submitted concurrently.
+
+    Queries of one burst are gathered concurrently so identical in-flight
+    constraints coalesce single-flight (the arrival process emits one
+    constraint per burst precisely to exercise this); bursts stay ordered
+    so the stream fingerprint is reproducible.
+    """
+    import asyncio
+
+    from ..serve.server import ArspSession
+    from ..serve.service import ArspService
+
+    async def run():
+        service = ArspService(script.base_dataset,
+                              config=_serve_config(cache_limit))
+        service.warm()
+        session = ArspSession(service)
+        try:
+            async def answer_step_async(step):
+                await session.apply_delta(step.delta)
+                step_results = []
+                for burst in _bursts(step.queries):
+                    outcomes = await asyncio.gather(*[
+                        session.query(
+                            script.constraint_pool[event.constraint_index])
+                        for event in burst])
+                    step_results.extend(dict(outcome.full)
+                                        for outcome in outcomes)
+                return step_results
+
+            import time as _time
+            reports = []
+            results = []
+            for step in script.steps:
+                start = _time.perf_counter()
+                step_results = await answer_step_async(step)
+                seconds = _time.perf_counter() - start
+                results.extend(step_results)
+                reports.append(StepReport(index=step.index,
+                                          num_queries=len(step.queries),
+                                          seconds=seconds))
+            stats = service.stats()
+            stats["coalesced"] = session.coalesced
+            return reports, results, stats
+        finally:
+            session.close()
+
+    reports, results, stats = asyncio.run(run())
+    return ScenarioReport(mode="daemon",
+                          script_fingerprint=script.fingerprint(),
+                          result_fingerprint=stream_fingerprint(results),
+                          steps=reports,
+                          engine_stats={"queries": stats["queries"],
+                                        "deltas": stats["deltas"],
+                                        "coalesced": stats["coalesced"],
+                                        "cache": stats["cache"]})
+
+
+def _bursts(queries: Tuple[QueryEvent, ...]) -> List[List[QueryEvent]]:
+    """Group a step's arrival-ordered events by burst id."""
+    grouped: List[List[QueryEvent]] = []
+    for event in queries:
+        if grouped and grouped[-1][0].burst == event.burst:
+            grouped[-1].append(event)
+        else:
+            grouped.append([event])
+    return grouped

@@ -107,6 +107,19 @@ class ArspSession:
                             coalesced=coalesced)
 
     # ------------------------------------------------------------------
+    async def apply_delta(self, delta):
+        """Apply a dataset delta through the daemon's compute thread.
+
+        Runs :meth:`ArspService.apply_delta` on the same single-thread
+        executor queries compute on, so the delta is strictly ordered
+        against in-flight and queued queries — a query either sees the
+        dataset before the delta or after it, never a half-applied state.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self.service.apply_delta, delta)
+
+    # ------------------------------------------------------------------
     async def handle_request(self, request: Dict) -> Dict:
         """Dispatch one protocol message; never raises, always answers."""
         if not isinstance(request, dict):

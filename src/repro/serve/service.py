@@ -41,7 +41,7 @@ from ..algorithms.registry import canonical_name
 from ..core.arsp import arsp_size, compute_arsp
 from ..core.backend import ExecutionPolicy
 from ..core.cache import DEFAULT_CACHE_LIMIT, QueryCache, constraint_key
-from ..core.dataset import UncertainDataset
+from ..core.dataset import DatasetDelta, UncertainDataset
 from ..core.preference import WeightRatioConstraints
 
 
@@ -98,6 +98,7 @@ class ArspService:
         self.config = config or ServeConfig()
         self.cache = QueryCache(self.config.cache_limit)
         self.queries_answered = 0
+        self.deltas_applied = 0
         self._dual_index: Optional[DualIndex] = None
 
     # ------------------------------------------------------------------
@@ -114,6 +115,30 @@ class ArspService:
         start = time.perf_counter()
         self.dual_index
         return time.perf_counter() - start
+
+    def apply_delta(self, delta: DatasetDelta) -> UncertainDataset:
+        """Advance the served dataset one delta without a daemon restart.
+
+        The warm DUAL index is *updated* (only changed objects' trees are
+        rebuilt, :meth:`DualIndex.apply_delta`) rather than rebuilt from
+        scratch, and the cross-query cache is **cleared**: its keys are
+        (algorithm, constraint identity) with no dataset version in them,
+        so every cached full result is stale the moment the dataset moves.
+        The counters keep their lifetime totals — a post-delta stream
+        shows up as fresh misses, which is exactly what it costs.
+
+        Must be called from the same single thread that computes queries
+        (:class:`repro.serve.server.ArspSession.apply_delta` guarantees
+        that ordering for concurrent callers).
+        """
+        _, unchanged = delta.mappings(self.dataset.num_objects)
+        new_dataset = self.dataset.apply_delta(delta)
+        self.dataset = new_dataset
+        if self._dual_index is not None:
+            self._dual_index.apply_delta(new_dataset, unchanged)
+        self.cache.clear()
+        self.deltas_applied += 1
+        return new_dataset
 
     # ------------------------------------------------------------------
     def resolve_algorithm(self, constraints,
@@ -214,6 +239,7 @@ class ArspService:
         dataset = self.dataset
         return {
             "queries": self.queries_answered,
+            "deltas": self.deltas_applied,
             "cache": self.cache.stats(),
             "warm_index": self._dual_index is not None,
             "dataset": {

@@ -154,6 +154,77 @@ def test_query_cache_iterates_stalest_first():
 
 
 # ----------------------------------------------------------------------
+# QueryCache under a Zipf query stream (the PR 8 scenario workload)
+# ----------------------------------------------------------------------
+
+def _zipf_stream_events(seed=7, queries=240, pool=6, exponent=1.4):
+    """One scenario step's worth of bursty Zipf-skewed query events."""
+    from repro.experiments.scenarios import ScenarioSpec, build_scenario
+
+    spec = ScenarioSpec(name="cache-zipf", seed=seed, steps=1,
+                        num_objects=8, dimension=3,
+                        queries_per_step=queries, constraint_pool=pool,
+                        zipf_exponent=exponent, mean_burst=4.0,
+                        inserts_per_step=0, deletes_per_step=0,
+                        updates_per_step=0)
+    return build_scenario(spec).steps[0].queries
+
+
+@pytest.mark.stream
+def test_query_cache_counters_match_replayed_oracle():
+    """Replaying a Zipf stream, the live counters agree event-for-event
+    with an independent LRU oracle (an OrderedDict moved-to-end by hand).
+    """
+    import collections
+
+    events = _zipf_stream_events()
+    cache = QueryCache(limit=3)
+    oracle = collections.OrderedDict()
+    hits = misses = evictions = 0
+    for event in events:
+        key = event.constraint_index
+        if oracle.pop(key, None) is not None:
+            hits += 1
+        else:
+            misses += 1
+            if len(oracle) == 3:
+                oracle.popitem(last=False)
+                evictions += 1
+        oracle[key] = True
+
+        if cache.get(key) is None:
+            cache.put(key, True)
+        assert (cache.hits, cache.misses, cache.evictions) == \
+            (hits, misses, evictions)
+        assert list(cache) == list(oracle)
+    # The skew must have produced real contention, not a degenerate run.
+    assert hits > 0 and evictions > 0
+    assert cache.stats()["hit_rate"] == pytest.approx(hits / (hits + misses))
+
+
+@pytest.mark.stream
+def test_hot_constraint_survives_bursty_zipf_sweep():
+    """Under bursty Zipf arrivals the rank-0 constraint is re-touched
+    often enough that LRU keeps it resident: every arrival after its
+    first is a hit even though the pool exceeds the cache limit."""
+    events = _zipf_stream_events(seed=11, queries=300, pool=8,
+                                 exponent=1.6)
+    cache = QueryCache(limit=4)
+    hot_hits = hot_arrivals = 0
+    for event in events:
+        key = event.constraint_index
+        is_hit = cache.get(key) is not None
+        if not is_hit:
+            cache.put(key, True)
+        if key == 0:
+            hot_arrivals += 1
+            hot_hits += int(is_hit)
+    assert hot_arrivals > 50  # the head really dominates the stream
+    assert hot_hits == hot_arrivals - 1
+    assert 0 in cache
+
+
+# ----------------------------------------------------------------------
 # constraint_key: query identity across constraint types
 # ----------------------------------------------------------------------
 

@@ -117,6 +117,46 @@ class TestCommands:
         assert not (tmp_path / "BENCH_arsp.json").exists()
 
 
+@pytest.mark.stream
+class TestStreamCommand:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.command == "stream"
+        assert args.seed == 0 and args.steps == 4
+        assert args.modes == "oneshot,incremental,daemon"
+
+    def test_stream_smoke_all_modes_agree(self, capsys):
+        code = main(["stream", "--seed", "9", "--steps", "2",
+                     "--objects", "18", "--instances", "3",
+                     "--dimension", "3", "--queries", "6", "--pool", "3",
+                     "--modes", "oneshot,incremental,service,daemon"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario seed=9" in out
+        assert "script fingerprint" in out
+        for mode in ("oneshot", "incremental", "service", "daemon"):
+            assert mode in out
+        assert "sigma cache" in out and "query cache" in out
+        assert "byte-identical" in out
+        assert "EQUIVALENCE FAILURE" not in out
+
+    def test_stream_mode_subset(self, capsys):
+        code = main(["stream", "--steps", "2", "--objects", "16",
+                     "--queries", "4", "--pool", "2",
+                     "--modes", "incremental"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all 1 replay mode(s) byte-identical" in out
+
+    def test_stream_rejects_unknown_mode(self, capsys):
+        assert main(["stream", "--modes", "warp"]) == 2
+        assert "unknown replay mode" in capsys.readouterr().err
+
+    def test_stream_rejects_bad_spec(self, capsys):
+        assert main(["stream", "--steps", "0"]) == 2
+        assert "at least one step" in capsys.readouterr().err
+
+
 class TestWorkers:
     @pytest.mark.parametrize("argv", [
         ["arsp", "--workers", "0"],

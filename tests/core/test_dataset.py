@@ -190,3 +190,128 @@ class TestUncertainDataset:
         dataset = UncertainDataset.from_instance_lists(
             [[(0.0,)], [(1.0,)]], [[0.5], [1.0]])
         assert dataset.summary()["objects_below_full_probability"] == 1
+
+
+# ----------------------------------------------------------------------
+# Deltas: ObjectSpec / DatasetDelta / apply_delta (the scenario engine's
+# edit contract)
+# ----------------------------------------------------------------------
+
+from repro.core.dataset import DatasetDelta, ObjectSpec  # noqa: E402
+
+
+def _spec(*rows, probabilities=None, label=None):
+    return ObjectSpec.make(rows, probabilities=probabilities, label=label)
+
+
+class TestObjectSpec:
+    def test_make_defaults_to_uniform_probabilities(self):
+        spec = _spec((0.0, 1.0), (1.0, 0.0))
+        assert spec.probabilities == pytest.approx((0.5, 0.5))
+        spec.validate()
+
+    def test_make_normalises_numpy_rows(self):
+        spec = ObjectSpec.make(np.array([[0.25, 0.75]]))
+        assert spec.instances == ((0.25, 0.75),)
+        assert isinstance(spec.instances[0][0], float)
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one instance"):
+            ObjectSpec(instances=(), probabilities=()).validate()
+
+    def test_validate_rejects_probability_count_mismatch(self):
+        spec = ObjectSpec(instances=((0.0,), (1.0,)), probabilities=(0.5,))
+        with pytest.raises(ValueError, match="probabilities"):
+            spec.validate()
+
+    def test_validate_rejects_mixed_dimensions(self):
+        spec = _spec((0.0, 1.0), (1.0,))
+        with pytest.raises(ValueError, match="dimensions"):
+            spec.validate()
+
+    def test_specs_are_hashable_values(self):
+        assert hash(_spec((0.0, 1.0))) == hash(_spec((0.0, 1.0)))
+
+
+class TestDatasetDelta:
+    def test_is_empty(self):
+        assert DatasetDelta().is_empty
+        assert not DatasetDelta(deletes=(0,)).is_empty
+
+    def test_validate_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DatasetDelta(deletes=(4,)).validate(num_objects=4)
+        with pytest.raises(ValueError, match="out of range"):
+            DatasetDelta(updates=((-1, _spec((0.0,))),)).validate(4)
+
+    def test_validate_rejects_duplicate_edits(self):
+        with pytest.raises(ValueError, match="deleted twice"):
+            DatasetDelta(deletes=(1, 1)).validate(4)
+        with pytest.raises(ValueError, match="updated twice"):
+            DatasetDelta(updates=((1, _spec((0.0,))),
+                                  (1, _spec((1.0,))))).validate(4)
+
+    def test_validate_rejects_update_of_deleted(self):
+        delta = DatasetDelta(deletes=(2,), updates=((2, _spec((0.0,))),))
+        with pytest.raises(ValueError, match="both updated and deleted"):
+            delta.validate(4)
+
+    def test_validate_rejects_emptying_delta(self):
+        with pytest.raises(ValueError, match="empty"):
+            DatasetDelta(deletes=(0, 1)).validate(2)
+
+    def test_mappings_translation_tables(self):
+        # 5 objects; delete 1 and 3, update 4, insert one: survivors are
+        # old 0, 2, 4 -> new 0, 1, 2; the insert is new 3.
+        delta = DatasetDelta(inserts=(_spec((0.5,)),), deletes=(1, 3),
+                             updates=((4, _spec((0.25,))),))
+        old_to_new, unchanged = delta.mappings(5)
+        assert old_to_new.tolist() == [0, -1, 1, -1, 2]
+        assert unchanged.tolist() == [0, 2, -1, -1]
+
+    def test_mappings_identity_for_empty_delta(self):
+        old_to_new, unchanged = DatasetDelta().mappings(3)
+        assert old_to_new.tolist() == [0, 1, 2]
+        assert unchanged.tolist() == [0, 1, 2]
+
+
+class TestApplyDelta:
+    def test_apply_delta_matches_manual_rebuild(self, example1_dataset):
+        delta = DatasetDelta(
+            inserts=(_spec((1.0, 2.0), label="new"),),
+            deletes=(1,),
+            updates=((2, _spec((3.0, 4.0), (5.0, 6.0),
+                               probabilities=(0.4, 0.4))),))
+        result = example1_dataset.apply_delta(delta)
+        result.validate()
+        assert result.num_objects == 4
+        # Survivors keep their relative order and labels; the update's
+        # replacement spec takes the old object's label by default.
+        assert [obj.label for obj in result.objects] == ["T1", "T3", "T4",
+                                                         "new"]
+        assert result.objects[1].instances[0].values == (3.0, 4.0)
+        assert result.objects[1].total_probability == pytest.approx(0.8)
+        # Canonical renumbering: dense global instance ids.
+        ids = [inst.instance_id for inst in result.instances]
+        assert ids == list(range(result.num_instances))
+
+    def test_unchanged_objects_keep_identical_segments(self, example1_dataset):
+        delta = DatasetDelta(deletes=(0,))
+        result = example1_dataset.apply_delta(delta)
+        for new_id, old_id in enumerate([1, 2, 3]):
+            old = example1_dataset.objects[old_id]
+            new = result.objects[new_id]
+            assert [i.values for i in new.instances] == \
+                [i.values for i in old.instances]
+            assert [i.probability for i in new.instances] == \
+                [i.probability for i in old.instances]
+
+    def test_apply_delta_validates(self, example1_dataset):
+        with pytest.raises(ValueError, match="out of range"):
+            example1_dataset.apply_delta(DatasetDelta(deletes=(99,)))
+
+    def test_empty_delta_is_an_equal_rebuild(self, example1_dataset):
+        result = example1_dataset.apply_delta(DatasetDelta())
+        assert result.num_objects == example1_dataset.num_objects
+        assert [i.values for i in result.instances] == \
+            [i.values for i in example1_dataset.instances]

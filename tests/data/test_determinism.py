@@ -179,6 +179,64 @@ def test_served_query_stream_is_byte_identical_to_one_shot(algorithm):
     assert hit_cache  # the repeats in the stream came from the cache
 
 
+def _scenario_fingerprints() -> dict:
+    """Script + replay fingerprints for a small fixed scenario."""
+    from repro.experiments.scenarios import (ScenarioSpec, build_scenario,
+                                             replay_scenario)
+
+    spec = ScenarioSpec(name="xproc", seed=13, steps=2, num_objects=18,
+                        max_instances=3, dimension=3, queries_per_step=6,
+                        constraint_pool=3)
+    script = build_scenario(spec)
+    report = replay_scenario(script, "incremental")
+    return {"script": script.fingerprint(),
+            "result": report.result_fingerprint}
+
+
+_SCENARIO_CHILD_SCRIPT = """\
+import json
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+from tests.data.test_determinism import _scenario_fingerprints
+print(json.dumps(_scenario_fingerprints()))
+"""
+
+
+@pytest.mark.stream
+def test_scenario_scripts_deterministic_across_processes():
+    """Scenario build + replay is a pure function of the spec: a fresh
+    interpreter reproduces both the script fingerprint and the end-to-end
+    stream result fingerprint bit for bit."""
+    root = str(Path(__file__).resolve().parents[2])
+    script = _SCENARIO_CHILD_SCRIPT.format(src=_SRC, root=root)
+    output = subprocess.run([sys.executable, "-c", script],
+                            capture_output=True, text=True, check=True,
+                            timeout=120)
+    child = json.loads(output.stdout)
+    assert child == _scenario_fingerprints()
+
+
+@pytest.mark.stream
+@pytest.mark.serve
+def test_scenario_stream_through_daemon_matches_recompute():
+    """The same scenario replayed through the PR 7 daemon (warm index,
+    cross-query cache, burst coalescing, in-daemon delta application)
+    fingerprints identically to cold per-step recompute."""
+    from repro.experiments.scenarios import (ScenarioSpec, build_scenario,
+                                             replay_scenario)
+
+    spec = ScenarioSpec(name="daemon-det", seed=21, steps=2, num_objects=18,
+                        max_instances=3, dimension=3, queries_per_step=6,
+                        constraint_pool=3)
+    script = build_scenario(spec)
+    cold = replay_scenario(script, "oneshot")
+    warm = replay_scenario(script, "daemon")
+    second = replay_scenario(script, "daemon")
+    assert warm.result_fingerprint == cold.result_fingerprint
+    assert second.result_fingerprint == warm.result_fingerprint
+
+
 def test_generators_do_not_touch_global_numpy_state():
     """Generation must neither read nor advance ``np.random``'s global RNG."""
     np.random.seed(1234)

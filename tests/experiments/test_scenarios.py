@@ -1,0 +1,210 @@
+"""The scenario engine (repro.experiments.scenarios).
+
+Covers the tentpole guarantees of the scenario PR: seeded scripts are
+process-independent pure functions of their spec (and their component
+streams are independent of each other), the query stream is genuinely
+Zipf-skewed and bursty, and — the pinning property — every replay mode
+(one-shot recompute, incremental σ maintenance, the warm service, the
+PR 7 daemon) produces a byte-identical stream fingerprint.
+"""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import (REPLAY_MODES, ScenarioSpec,
+                                         build_scenario, replay_scenario,
+                                         zipf_probabilities)
+
+pytestmark = pytest.mark.stream
+
+#: Small but non-trivial quick-profile spec used across this module: every
+#: step inserts, deletes, updates and queries, and the pool is large
+#: enough for both hot repeats and cold misses.
+QUICK = ScenarioSpec(name="quick", seed=5, steps=3, num_objects=20,
+                     max_instances=3, dimension=3, queries_per_step=8,
+                     constraint_pool=4)
+
+
+@pytest.fixture(scope="module")
+def quick_script():
+    return build_scenario(QUICK)
+
+
+class TestZipf:
+    def test_probabilities_normalised_and_monotone(self):
+        popularity = zipf_probabilities(8, 1.1)
+        assert popularity.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(popularity) < 0)
+
+    def test_zero_exponent_is_uniform(self):
+        popularity = zipf_probabilities(5, 0.0)
+        np.testing.assert_allclose(popularity, np.full(5, 0.2))
+
+    def test_stream_is_skewed_toward_the_head(self):
+        spec = ScenarioSpec(name="skew", seed=3, steps=1, num_objects=8,
+                            dimension=3, queries_per_step=300,
+                            constraint_pool=6, zipf_exponent=1.4,
+                            inserts_per_step=0, deletes_per_step=0,
+                            updates_per_step=0)
+        script = build_scenario(spec)
+        counts = collections.Counter(
+            event.constraint_index for event in script.steps[0].queries)
+        # The hottest constraint dominates: more arrivals than any other
+        # and a share far above uniform (1/6).
+        head = counts[0]
+        assert head == max(counts.values())
+        assert head / 300 > 2.0 / 6.0
+
+
+class TestScriptDeterminism:
+    def test_same_spec_same_fingerprint(self, quick_script):
+        again = build_scenario(QUICK)
+        assert again.fingerprint() == quick_script.fingerprint()
+
+    def test_different_seed_different_fingerprint(self, quick_script):
+        other = build_scenario(ScenarioSpec(**dict(
+            QUICK.__dict__, seed=QUICK.seed + 1)))
+        assert other.fingerprint() != quick_script.fingerprint()
+
+    def test_component_streams_are_independent(self, quick_script):
+        """Changing the query knobs must not perturb dataset or deltas
+        (each component draws from its own spawned SeedSequence child)."""
+        more_queries = build_scenario(ScenarioSpec(**dict(
+            QUICK.__dict__, queries_per_step=QUICK.queries_per_step + 7)))
+        for step, other in zip(quick_script.steps, more_queries.steps):
+            assert step.delta == other.delta
+        base = quick_script.base_dataset
+        other = more_queries.base_dataset
+        assert [i.values for i in base.instances] == \
+            [i.values for i in other.instances]
+        assert quick_script.constraint_pool == more_queries.constraint_pool
+
+    def test_script_does_not_touch_global_numpy_state(self):
+        np.random.seed(4321)
+        before = np.random.get_state()[1].copy()
+        build_scenario(QUICK)
+        after = np.random.get_state()[1].copy()
+        np.testing.assert_array_equal(before, after)
+
+
+class TestScriptShape:
+    def test_steps_and_queries_counts(self, quick_script):
+        assert len(quick_script.steps) == QUICK.steps
+        assert quick_script.num_queries == QUICK.steps * QUICK.queries_per_step
+        for step in quick_script.steps:
+            assert len(step.delta.inserts) == QUICK.inserts_per_step
+            assert len(step.delta.deletes) == QUICK.deletes_per_step
+            assert len(step.delta.updates) == QUICK.updates_per_step
+
+    def test_deltas_are_valid_against_the_evolving_population(
+            self, quick_script):
+        dataset = quick_script.base_dataset
+        for step in quick_script.steps:
+            step.delta.validate(dataset.num_objects)
+            dataset = dataset.apply_delta(step.delta)
+            dataset.validate()
+
+    def test_bursts_share_a_constraint_and_time_is_monotone(
+            self, quick_script):
+        for step in quick_script.steps:
+            arrivals = [event.arrival_s for event in step.queries]
+            assert arrivals == sorted(arrivals)
+            by_burst = collections.defaultdict(set)
+            for event in step.queries:
+                by_burst[event.burst].add(event.constraint_index)
+            # One constraint per burst: the shape single-flight coalescing
+            # absorbs.
+            assert all(len(keys) == 1 for keys in by_burst.values())
+
+    def test_constraint_pool_indices_in_range(self, quick_script):
+        for step in quick_script.steps:
+            for event in step.queries:
+                assert 0 <= event.constraint_index < QUICK.constraint_pool
+
+
+class TestSpecValidation:
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            ScenarioSpec(steps=0).validate()
+        with pytest.raises(ValueError, match="dimension"):
+            ScenarioSpec(dimension=1).validate()
+        with pytest.raises(ValueError, match="leave room"):
+            ScenarioSpec(num_objects=4, deletes_per_step=2,
+                         updates_per_step=2).validate()
+        with pytest.raises(ValueError, match="mean_burst"):
+            ScenarioSpec(mean_burst=0.5).validate()
+
+    def test_replay_rejects_unknown_mode(self, quick_script):
+        with pytest.raises(ValueError, match="unknown replay mode"):
+            replay_scenario(quick_script, "warp")
+
+
+class TestReplayEquivalence:
+    def test_all_modes_byte_identical(self, quick_script):
+        """The pinning property: every replay mode, one fingerprint."""
+        reports = [replay_scenario(quick_script, mode)
+                   for mode in REPLAY_MODES]
+        fingerprints = {report.result_fingerprint for report in reports}
+        assert len(fingerprints) == 1
+        for report in reports:
+            assert report.script_fingerprint == quick_script.fingerprint()
+            assert len(report.steps) == QUICK.steps
+            assert sum(step.num_queries for step in report.steps) == \
+                quick_script.num_queries
+
+    def test_incremental_mode_reports_maintenance_savings(self,
+                                                          quick_script):
+        report = replay_scenario(quick_script, "incremental")
+        stats = report.engine_stats
+        assert stats["deltas_applied"] == QUICK.steps
+        assert stats["sigma_hits"] > 0
+        assert stats["sigma_entries_copied"] > 0
+
+    def test_service_mode_hits_the_cross_query_cache(self, quick_script):
+        report = replay_scenario(quick_script, "service")
+        cache = report.engine_stats["cache"]
+        assert cache["hits"] > 0
+        assert report.engine_stats["deltas"] == QUICK.steps
+
+    @pytest.mark.serve
+    def test_daemon_mode_coalesces_bursts(self, quick_script):
+        report = replay_scenario(quick_script, "daemon")
+        # Multi-query bursts exist in the quick script, so at least one
+        # follower must have piggybacked on an in-flight leader.
+        sizes = [len(list(group)) for step in quick_script.steps
+                 for group in _burst_groups(step.queries)]
+        assert max(sizes) > 1
+        assert report.engine_stats["coalesced"] > 0
+
+    def test_oneshot_sharded_matches_serial(self, quick_script):
+        serial = replay_scenario(quick_script, "oneshot")
+        sharded = replay_scenario(quick_script, "oneshot", workers=2,
+                                  backend="serial")
+        assert sharded.result_fingerprint == serial.result_fingerprint
+
+
+def _burst_groups(queries):
+    grouped = collections.defaultdict(list)
+    for event in queries:
+        grouped[event.burst].append(event)
+    return grouped.values()
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("distribution", ["IND", "ANTI", "CORR"])
+@pytest.mark.parametrize("zipf_exponent", [0.0, 1.1])
+def test_full_matrix_replay_equivalence(distribution, zipf_exponent):
+    """The full scenario matrix (distributions × skews) behind ``bench``:
+    bigger populations, every replay mode, one fingerprint each."""
+    spec = ScenarioSpec(name="matrix", seed=17, steps=4, num_objects=48,
+                        max_instances=4, dimension=4,
+                        distribution=distribution,
+                        inserts_per_step=3, deletes_per_step=3,
+                        updates_per_step=3, queries_per_step=16,
+                        constraint_pool=8, zipf_exponent=zipf_exponent)
+    script = build_scenario(spec)
+    fingerprints = {replay_scenario(script, mode).result_fingerprint
+                    for mode in REPLAY_MODES}
+    assert len(fingerprints) == 1

@@ -1,0 +1,166 @@
+"""The delta-vs-recompute equivalence suite (the PR's pinning property).
+
+:class:`repro.algorithms.incremental.IncrementalArsp` answers queries by
+*maintaining* per-constraint σ matrices across dataset deltas; full
+recompute through :func:`repro.core.arsp.compute_arsp` is the
+specification.  This suite drives the engine through arbitrary random
+edit sequences (insert / delete / update batches of Hypothesis' choosing)
+and asserts the maintained answers stay **byte-identical** — same values
+bit for bit, same canonical key order — to a from-scratch recompute on
+the post-delta dataset, including across shard counts (the PR 5 rule that
+sharding never changes bytes composes with maintenance).
+
+Grid coordinates keep exact dominance ties common, which is precisely
+where a wrong σ repair would surface: a copied entry that should have
+been recomputed shifts a saturated ``1 - σ`` factor and flips a result
+bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro import WeightRatioConstraints
+from repro.algorithms.incremental import IncrementalArsp
+from repro.core.arsp import compute_arsp
+from repro.core.dataset import DatasetDelta, ObjectSpec
+
+from tests.properties.strategies import (grid_points, ratio_constraints,
+                                         uncertain_datasets)
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+_DIMENSION = 2
+
+
+def _fingerprint(result) -> str:
+    digest = hashlib.sha256()
+    for instance_id, probability in result.items():
+        digest.update(struct.pack("<qd", instance_id, probability))
+    return digest.hexdigest()
+
+
+def _draw_object_spec(data) -> ObjectSpec:
+    count = data.draw(st.integers(min_value=1, max_value=3),
+                      label="instances")
+    points = [data.draw(grid_points(_DIMENSION), label="point")
+              for _ in range(count)]
+    complete = data.draw(st.booleans(), label="complete")
+    if complete:
+        probabilities = [1.0 / count] * count
+    else:
+        probabilities = [round(data.draw(
+            st.floats(min_value=0.05, max_value=0.9 / count),
+            label="probability"), 3) for _ in range(count)]
+    return ObjectSpec.make(points, probabilities)
+
+
+def _draw_delta(data, num_objects: int) -> DatasetDelta:
+    """One random edit batch valid against ``num_objects`` objects."""
+    max_touch = max(0, num_objects - 1)
+    touched = data.draw(
+        st.lists(st.integers(min_value=0, max_value=num_objects - 1),
+                 unique=True, max_size=min(3, max_touch)),
+        label="touched")
+    split = data.draw(st.integers(min_value=0, max_value=len(touched)),
+                      label="split")
+    deletes = tuple(sorted(touched[:split]))
+    updates = tuple((object_id, _draw_object_spec(data))
+                    for object_id in sorted(touched[split:]))
+    num_inserts = data.draw(st.integers(min_value=0, max_value=2),
+                            label="inserts")
+    inserts = tuple(_draw_object_spec(data) for _ in range(num_inserts))
+    return DatasetDelta(inserts=inserts, deletes=deletes, updates=updates)
+
+
+def _recompute_fingerprints(dataset, constraints):
+    """Specification fingerprints: serial and sharded-serial recomputes."""
+    serial = _fingerprint(dict(compute_arsp(dataset, constraints,
+                                            algorithm="dual")))
+    sharded = _fingerprint(dict(compute_arsp(dataset, constraints,
+                                             algorithm="dual", workers=3,
+                                             backend="serial")))
+    assert sharded == serial  # PR 5 invariant, restated on this dataset
+    return serial
+
+
+class TestIncrementalEqualsRecompute:
+    @SETTINGS
+    @given(uncertain_datasets(dimension=_DIMENSION, max_objects=5),
+           ratio_constraints(dimension=_DIMENSION),
+           ratio_constraints(dimension=_DIMENSION),
+           st.integers(min_value=1, max_value=3),
+           st.data())
+    def test_any_edit_sequence_stays_byte_identical(self, dataset, hot,
+                                                    cold, num_steps, data):
+        """After every delta of a random edit sequence, the maintained
+        answer for both a cached-hot and a freshly-asked constraint is
+        byte-identical to full recompute on the post-delta dataset."""
+        engine = IncrementalArsp(dataset)
+        # Prime the σ cache so every subsequent delta exercises the
+        # repair path (copy + recompute blocks), not just a cold miss.
+        assert _fingerprint(engine.query(hot)) == \
+            _recompute_fingerprints(dataset, hot)
+        current = dataset
+        for _ in range(num_steps):
+            delta = _draw_delta(data, current.num_objects)
+            try:
+                delta.validate(current.num_objects)
+            except ValueError:
+                continue  # e.g. the delta would empty the dataset
+            current = engine.apply_delta(delta)
+            for constraints in (hot, cold):
+                maintained = _fingerprint(engine.query(constraints))
+                assert maintained == _recompute_fingerprints(current,
+                                                             constraints)
+        assert engine.deltas_applied <= num_steps
+
+    @SETTINGS
+    @given(uncertain_datasets(dimension=_DIMENSION, max_objects=4),
+           ratio_constraints(dimension=_DIMENSION),
+           st.data())
+    def test_repair_equals_cold_rebuild_of_the_engine(self, dataset,
+                                                      constraints, data):
+        """A repaired engine and a fresh engine built on the post-delta
+        dataset return identical bytes — the σ repair is undetectable."""
+        engine = IncrementalArsp(dataset)
+        engine.query(constraints)
+        delta = _draw_delta(data, dataset.num_objects)
+        try:
+            delta.validate(dataset.num_objects)
+        except ValueError:
+            return
+        current = engine.apply_delta(delta)
+        fresh = IncrementalArsp(current)
+        assert _fingerprint(engine.query(constraints)) == \
+            _fingerprint(fresh.query(constraints))
+        # The repaired query was a σ-cache hit, the fresh one a miss.
+        assert engine.sigma_hits >= 1
+
+
+@pytest.mark.parallel
+def test_incremental_equals_process_sharded_recompute():
+    """Maintained answers equal a process-pool sharded recompute too."""
+    from tests.conftest import make_random_dataset
+
+    dataset = make_random_dataset(seed=31, num_objects=10, dimension=3)
+    constraints_hot = WeightRatioConstraints([(0.5, 2.0)] * 2)
+    engine = IncrementalArsp(dataset)
+    engine.query(constraints_hot)
+    delta = DatasetDelta(
+        inserts=(ObjectSpec.make([(0.2, 0.3, 0.4), (0.5, 0.5, 0.5)]),),
+        deletes=(0, 4),
+        updates=((2, ObjectSpec.make([(0.1, 0.9, 0.4)], [0.7])),))
+    current = engine.apply_delta(delta)
+    maintained = _fingerprint(engine.query(constraints_hot))
+    recomputed = _fingerprint(dict(compute_arsp(
+        current, constraints_hot, algorithm="dual", workers=2,
+        backend="process")))
+    assert maintained == recomputed
