@@ -20,7 +20,8 @@ from repro.algorithms.registry import (PARALLEL_ALGORITHMS, list_algorithms,
 from repro.experiments.perf import (EXTRA_PATHS, HIT_RATE_TOLERANCE,
                                     PROFILES, SCHEMA, SCHEMA_V1,
                                     SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
-                                    SCHEMA_V5, SCHEMA_V6, compare_payloads,
+                                    SCHEMA_V5, SCHEMA_V6, SCHEMA_V7,
+                                    compare_payloads,
                                     format_bench, format_compare, load_bench,
                                     run_bench, upgrade_payload)
 from repro.experiments.workloads import (VARIANTS, available_workloads,
@@ -313,8 +314,10 @@ def test_compare_flags_regressions_and_only_regressions(quick_bench_payload):
                       if mode in payload["serve"])
     stream_lines = sum(1 for mode in ("cold", "incremental", "warm")
                        if mode in payload["stream"])
-    if "hit_rate" in (payload["stream"].get("warm") or {}):
-        stream_lines += 1  # the hit-rate gate prints its own line
+    warm_entry = payload["stream"].get("warm") or {}
+    for rate_field in ("hit_rate", "post_delta_hit_rate"):
+        if rate_field in warm_entry:
+            stream_lines += 1  # each rate gate prints its own line
     assert len(lines) == (cells + len(payload["extras"]) + serve_modes +
                           stream_lines)
 
@@ -623,6 +626,65 @@ def test_v6_payloads_gain_an_empty_stream_section():
     assert not regressions
 
 
+def test_v7_payloads_gain_a_post_delta_hit_rate():
+    """The v7 -> v8 upgrade path: pre-retention payloads read cleanly,
+    their warm stream entry gains ``post_delta_hit_rate: 0.0`` (the v7
+    serving layer cleared its cache on every delta, so the rate was
+    genuinely zero), and comparing against them gates the new counter."""
+    v7 = {
+        "schema": SCHEMA_V7,
+        "profile": "default",
+        "workers": 1,
+        "backend": None,
+        "workload_axis": ["ind"],
+        "matrix": {"ind": {
+            "kind": "synthetic",
+            "description": "synthetic, independent centres",
+            "datasets": {"wr": {"num_objects": 192}},
+            "algorithms": {
+                "kdtt+": {"variant": "wr", "repeats": 5, "workers": 1,
+                          "runs_s": [0.01], "median_s": 0.01, "min_s": 0.01,
+                          "arsp_size": 39, "phases_s": {}, "execution": None,
+                          "cache": None, "parity": "ok"},
+            },
+        }},
+        "extras": {},
+        "extra_workloads": {},
+        "serve": {},
+        "stream": {
+            "workload": {"scenario": "bench-default"},
+            "warm": {"runs_s": [0.01], "median_s": 0.01, "min_s": 0.01,
+                     "repeats": 1, "hit_rate": 0.25,
+                     "cache": {"hits": 3, "misses": 9}, "coalesced": 0},
+        },
+    }
+    upgraded = upgrade_payload(v7)
+    assert upgraded["schema"] == SCHEMA
+    assert upgraded["stream"]["warm"]["post_delta_hit_rate"] == 0.0
+    assert upgraded["stream"]["warm"]["hit_rate"] == 0.25
+    # The input is not mutated, and empty stream sections stay empty.
+    assert "post_delta_hit_rate" not in v7["stream"]["warm"]
+    empty = {**v7, "stream": {}}
+    assert upgrade_payload(empty)["stream"] == {}
+    # Older schemas ride the whole chain up through the v7 step.
+    v3 = {key: value for key, value in v7.items()
+          if key not in ("workers", "backend", "serve", "stream")}
+    v3["schema"] = SCHEMA_V3
+    chained = upgrade_payload(v3)
+    assert chained["schema"] == SCHEMA and chained["stream"] == {}
+    # Self-comparison of the upgraded payload is clean; a current run
+    # whose retention broke back to clear-on-delta ties the 0.0 baseline
+    # (never flags), while a baseline with a real rate gates a drop.
+    _, regressions = compare_payloads(upgraded, upgraded)
+    assert not regressions
+    better = json.loads(json.dumps(upgraded))
+    better["stream"]["warm"]["post_delta_hit_rate"] = 0.5
+    _, regressions = compare_payloads(upgraded, better)
+    assert not regressions  # improvements never flag
+    _, regressions = compare_payloads(better, upgraded)
+    assert regressions == ["stream/warm:post_delta_hit_rate"]
+
+
 @pytest.mark.stream
 def test_stream_section_measures_incremental_and_warm_replays(
         quick_bench_payload):
@@ -650,11 +712,17 @@ def test_stream_section_measures_incremental_and_warm_replays(
     warm = stream["warm"]
     assert warm["cache"]["hits"] > 0
     assert warm["hit_rate"] > 0
+    # The PR 10 acceptance criterion: cache entries retained across the
+    # per-step deltas serve real post-delta hits (this was structurally
+    # zero when apply_delta cleared the cache).
+    assert warm["post_delta_hit_rate"] > 0
+    assert warm["cache"]["retained"] > 0
+    assert warm["cache"]["retained_hits"] > 0
     assert warm["coalesced"] >= 0
     assert stream["speedup"] is not None
     text = format_bench(payload)
     assert "[stream]" in text and "stream-incremental" in text
-    assert "sigma:" in text and "hit rate" in text
+    assert "sigma:" in text and "hit rate" in text and "post-delta" in text
 
 
 @pytest.mark.stream
@@ -677,6 +745,13 @@ def test_compare_gates_on_stream_hit_rate(quick_bench_payload):
         HIT_RATE_TOLERANCE / 2.0)
     _, regressions = compare_payloads(payload, wobble, threshold=1000.0)
     assert not regressions
+    # Retention has its own gate: a run whose repair path broke back to
+    # clear-on-delta zeroes the post-delta rate and flags, even with
+    # every timing cell and the overall hit rate clean.
+    dropped = json.loads(json.dumps(payload))
+    dropped["stream"]["warm"]["post_delta_hit_rate"] = 0.0
+    _, regressions = compare_payloads(payload, dropped, threshold=1000.0)
+    assert regressions == ["stream/warm:post_delta_hit_rate"]
     # Stream timing cells ride the ordinary regression gate.
     slower = json.loads(json.dumps(payload))
     slower["stream"]["incremental"]["median_s"] *= 1000.0

@@ -36,6 +36,12 @@ The σ cache is LRU-bounded: matrices are ``O(n · m)`` floats, so only a
 handful of hot constraints keep their incremental fast path; a cold
 constraint after a delta simply recomputes its matrix once (still against
 the warm index) and is hot from then on.
+
+The row/column translation of a delta is factored into
+:class:`SigmaRepairPlan` — built once per delta, applied per matrix — so
+the serving layer can reuse the exact same repair (and its
+``copied_fraction`` cost model) to retain cross-query cache entries
+across deltas instead of dropping them (:mod:`repro.serve.service`).
 """
 
 from __future__ import annotations
@@ -80,6 +86,10 @@ class IncrementalArsp:
         self.deltas_applied = 0
         self.entries_copied = 0
         self.entries_recomputed = 0
+        #: Per-entry repair shape of the most recent delta (see
+        #: :meth:`SigmaRepairPlan.summary`); ``None`` before any delta.
+        #: The serving layer's retain-vs-drop decision reads this.
+        self.last_repair: Optional[Dict[str, object]] = None
 
     @property
     def dataset(self) -> UncertainDataset:
@@ -153,66 +163,37 @@ class IncrementalArsp:
         """Advance the dataset one delta; repair index and σ matrices."""
         old_dataset = self.dataset
         old_objects = old_dataset.object_ids()
-        _, unchanged = delta.mappings(old_dataset.num_objects)
+        old_num_objects = old_dataset.num_objects
+        _, unchanged = delta.mappings(old_num_objects)
         new_dataset = old_dataset.apply_delta(delta)
-
-        # Instance-row translation: instances are grouped by object in
-        # object order on both sides, and an unchanged object keeps its
-        # instance count, so its rows map block to block.
-        old_rows_of = _object_row_blocks(old_objects,
-                                         old_dataset.num_objects)
         self.index.apply_delta(new_dataset, unchanged)
-        new_objects = self.index._target_objects
-        new_rows_of = _object_row_blocks(new_objects,
-                                         new_dataset.num_objects)
-        kept_new = np.flatnonzero(unchanged >= 0)
-        kept_old_rows = (np.concatenate([old_rows_of[unchanged[j]]
-                                         for j in kept_new])
-                         if len(kept_new) else np.empty(0, dtype=int))
-        kept_new_rows = (np.concatenate([new_rows_of[j] for j in kept_new])
-                         if len(kept_new) else np.empty(0, dtype=int))
-        changed_new = np.flatnonzero(unchanged < 0)
 
-        new_live = self.index._target_probabilities != 0.0
-        # Rows to recompute in full: live instances of changed objects.
-        fresh_rows = np.flatnonzero(
-            new_live & (unchanged[new_objects] < 0))
-        # Unchanged-but-live rows still need σ against the changed columns.
-        kept_live_rows = kept_new_rows[new_live[kept_new_rows]]
-
-        sub_index: Optional[DualIndex] = None
-        if len(changed_new) and len(kept_live_rows):
-            # A throwaway forest over only the changed objects answers the
-            # invalidated columns; its per-object trees are identical to
-            # the full index's (same instance segments), so the entries
-            # match a fresh full query bit for bit.
-            sub_index = DualIndex(
-                new_dataset.subset(changed_new.tolist()),
-                leaf_size=self.index.leaf_size)
-
+        plan = SigmaRepairPlan(self.index, old_objects, old_num_objects,
+                               unchanged)
         repaired: Dict[tuple, Tuple[WeightRatioConstraints, np.ndarray]] = {}
         for key, (constraints, old_sigma) in self._sigma_cache.items():
-            sigma = np.zeros((new_dataset.num_instances,
-                              new_dataset.num_objects))
-            if len(kept_old_rows):
-                sigma[np.ix_(kept_new_rows, kept_new)] = \
-                    old_sigma[np.ix_(kept_old_rows, unchanged[kept_new])]
-                self.entries_copied += len(kept_old_rows) * len(kept_new)
-            if sub_index is not None:
-                sigma[np.ix_(kept_live_rows, changed_new)] = \
-                    sub_index.sigma_targets(
-                        constraints, self.index._targets[kept_live_rows])
-                self.entries_recomputed += (len(kept_live_rows)
-                                            * len(changed_new))
-            if len(fresh_rows):
-                sigma[fresh_rows] = self.index.sigma_targets(
-                    constraints, self.index._targets[fresh_rows])
-                self.entries_recomputed += (len(fresh_rows)
-                                            * new_dataset.num_objects)
-            repaired[key] = (constraints, sigma)
+            repaired[key] = (constraints, plan.repair(constraints, old_sigma))
+            self.entries_copied += plan.entry_copied
+            self.entries_recomputed += plan.entry_recomputed
         self._sigma_cache = repaired
+        self.last_repair = plan.summary()
         self.deltas_applied += 1
         return new_dataset
+
+    def refold(self, ranges: tuple) -> Optional[Dict[int, float]]:
+        """Fold the cached σ matrix of ``ranges`` into a full result.
+
+        The read-only sibling of :meth:`query` for the serving layer's
+        cache repair: it touches neither the LRU order nor the query/hit
+        counters (nobody *asked* for this constraint — the service is
+        re-deriving a retained cache value after a delta), and returns
+        ``None`` when the constraint holds no σ matrix (its cache entry
+        cannot be repaired and must be dropped instead).
+        """
+        cached = self._sigma_cache.get(ranges)
+        if cached is None:
+            return None
+        return self._evaluate(cached[1])
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -228,6 +209,124 @@ class IncrementalArsp:
                                 if total else 0.0),
             "sigma_cache_size": len(self._sigma_cache),
         }
+
+
+class SigmaRepairPlan:
+    """Row/column translation for repairing σ matrices across one delta.
+
+    Built once per delta against the *already updated*
+    :class:`~repro.algorithms.dual.DualIndex` (the plan reads the new
+    target layout from it), then applied to any number of old σ matrices
+    via :meth:`repair` — the per-entry work splits into:
+
+    * **copied** — σ of (unchanged target row, unchanged object column)
+      pairs moves over verbatim (``unchanged[j] >= 0`` names the old
+      object new object ``j`` carries, so rows map block to block);
+    * **recomputed** — columns of changed objects against surviving live
+      rows (answered by a throwaway sub-forest over only the changed
+      objects, built lazily on first use) plus full rows for the changed
+      objects' own live instances (answered by the updated full index).
+
+    ``entry_copied`` / ``entry_recomputed`` are those two areas in σ
+    entries, identical for every matrix repaired under the plan, and
+    :attr:`copied_fraction` is their ratio — the cost model the serving
+    layer's retain-vs-drop decision reuses.
+    """
+
+    def __init__(self, index: DualIndex, old_object_ids: np.ndarray,
+                 old_num_objects: int, unchanged: np.ndarray):
+        self.index = index
+        self.unchanged = unchanged
+        new_dataset = index.dataset
+        # Instance-row translation: instances are grouped by object in
+        # object order on both sides, and an unchanged object keeps its
+        # instance count, so its rows map block to block.
+        old_rows_of = _object_row_blocks(old_object_ids, old_num_objects)
+        new_objects = index._target_objects
+        new_rows_of = _object_row_blocks(new_objects,
+                                         new_dataset.num_objects)
+        self.kept_new = np.flatnonzero(unchanged >= 0)
+        self.kept_old_rows = (
+            np.concatenate([old_rows_of[unchanged[j]]
+                            for j in self.kept_new])
+            if len(self.kept_new) else np.empty(0, dtype=int))
+        self.kept_new_rows = (
+            np.concatenate([new_rows_of[j] for j in self.kept_new])
+            if len(self.kept_new) else np.empty(0, dtype=int))
+        self.changed_new = np.flatnonzero(unchanged < 0)
+        new_live = index._target_probabilities != 0.0
+        # Rows to recompute in full: live instances of changed objects.
+        self.fresh_rows = np.flatnonzero(
+            new_live & (unchanged[new_objects] < 0))
+        # Unchanged-but-live rows still need σ against the changed columns.
+        self.kept_live_rows = self.kept_new_rows[
+            new_live[self.kept_new_rows]]
+        self._sub_index: Optional[DualIndex] = None
+
+    @property
+    def entry_copied(self) -> int:
+        """σ entries one :meth:`repair` call copies from the old matrix."""
+        if not len(self.kept_old_rows):
+            return 0
+        return len(self.kept_old_rows) * len(self.kept_new)
+
+    @property
+    def entry_recomputed(self) -> int:
+        """σ entries one :meth:`repair` call recomputes from trees."""
+        total = 0
+        if len(self.changed_new) and len(self.kept_live_rows):
+            total += len(self.kept_live_rows) * len(self.changed_new)
+        if len(self.fresh_rows):
+            total += len(self.fresh_rows) * self.index.dataset.num_objects
+        return total
+
+    @property
+    def copied_fraction(self) -> float:
+        """Copied share of the per-entry repair work, 1.0 for a no-op.
+
+        An empty plan (e.g. a pure-delete delta leaving no σ area to
+        rebuild) counts as all-copy: retaining under it costs nothing.
+        """
+        total = self.entry_copied + self.entry_recomputed
+        return self.entry_copied / total if total else 1.0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready per-entry shape of this delta's repairs."""
+        return {
+            "entry_copied": self.entry_copied,
+            "entry_recomputed": self.entry_recomputed,
+            "copied_fraction": round(self.copied_fraction, 6),
+        }
+
+    def _changed_column_index(self) -> DualIndex:
+        if self._sub_index is None:
+            # A throwaway forest over only the changed objects answers the
+            # invalidated columns; its per-object trees are identical to
+            # the full index's (same instance segments), so the entries
+            # match a fresh full query bit for bit.
+            self._sub_index = DualIndex(
+                self.index.dataset.subset(self.changed_new.tolist()),
+                leaf_size=self.index.leaf_size)
+        return self._sub_index
+
+    def repair(self, constraints: WeightRatioConstraints,
+               old_sigma: np.ndarray) -> np.ndarray:
+        """New-layout σ matrix rebuilt from ``old_sigma`` under the plan."""
+        new_dataset = self.index.dataset
+        sigma = np.zeros((new_dataset.num_instances,
+                          new_dataset.num_objects))
+        if len(self.kept_old_rows):
+            sigma[np.ix_(self.kept_new_rows, self.kept_new)] = \
+                old_sigma[np.ix_(self.kept_old_rows,
+                                 self.unchanged[self.kept_new])]
+        if len(self.changed_new) and len(self.kept_live_rows):
+            sigma[np.ix_(self.kept_live_rows, self.changed_new)] = \
+                self._changed_column_index().sigma_targets(
+                    constraints, self.index._targets[self.kept_live_rows])
+        if len(self.fresh_rows):
+            sigma[self.fresh_rows] = self.index.sigma_targets(
+                constraints, self.index._targets[self.fresh_rows])
+        return sigma
 
 
 def _object_row_blocks(object_ids: np.ndarray, num_objects: int

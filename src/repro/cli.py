@@ -410,10 +410,16 @@ def run_serve(args: argparse.Namespace) -> int:
         pass
     stats = service.stats()
     cache = stats["cache"]
-    print("repro serve: answered %d queries; cache %d/%d entries, "
-          "%d hit(s), %d miss(es), %d eviction(s)"
-          % (stats["queries"], cache["size"], cache["limit"],
-             cache["hits"], cache["misses"], cache["evictions"]))
+    summary = ("repro serve: answered %d queries; cache %d/%d entries, "
+               "%d hit(s), %d miss(es), %d eviction(s)"
+               % (stats["queries"], cache["size"], cache["limit"],
+                  cache["hits"], cache["misses"], cache["evictions"]))
+    if stats["deltas"]:
+        summary += ("; %d delta(s): %d entrie(s) retained (%d repaired, "
+                    "%d retained hit(s))"
+                    % (stats["deltas"], cache["retained"],
+                       cache["repaired"], cache["retained_hits"]))
+    print(summary)
     return 0
 
 
@@ -471,6 +477,9 @@ def run_stream(args: argparse.Namespace) -> Tuple[str, int]:
             note = ("             query cache: %d hit(s), %d miss(es), hit "
                     "rate %.2f" % (cache["hits"], cache["misses"],
                                    cache["hit_rate"]))
+            if cache.get("retained"):
+                note += ("; %d retained across deltas (%d hit(s))"
+                         % (cache["retained"], cache["retained_hits"]))
             if "coalesced" in stats:
                 note += "; %d coalesced" % stats["coalesced"]
             lines.append(note)

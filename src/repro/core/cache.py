@@ -21,22 +21,27 @@ serving layer's cross-query :class:`QueryCache` on top of it:
     The serving layer's shared cache: a size-bounded LRU mapping from a
     query identity (see :func:`constraint_key`) to a full ARSP result,
     with hit/miss/eviction counters that every ``repro serve`` response
-    exposes (docs/ARCHITECTURE.md, "Serving layer").  Operations take an
+    exposes (docs/ARCHITECTURE.md, "Serving layer").  Every operation —
+    including ``in``, iteration and the ``stats()`` snapshot — takes an
     internal lock so the daemon's compute thread and in-process callers
-    can share one instance.
+    can share one instance without torn reads.
 
 The cache contract of the serving layer is *full-result granularity*: a
 cached value is the complete ``{instance_id: probability}`` mapping for
-one (algorithm, constraints) identity, in canonical instance order, and
-target-set projections are sliced from it per request.  Cached answers are
-therefore byte-identical to uncached ones by construction — the cache
-stores exactly what the one-shot computation returned.
+one (algorithm, constraints-at-epoch) identity, in canonical instance
+order, and target-set projections are sliced from it per request.  Cached
+answers are therefore byte-identical to uncached ones by construction —
+the cache stores exactly what the one-shot computation returned.  When
+the served dataset moves (a delta), the service either repairs surviving
+entries onto the new epoch's keys (:meth:`QueryCache.retain_across_delta`)
+or drops them; either way an old-epoch key can never hit again, because
+no request ever asks for one.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Hashable, Iterator, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -82,13 +87,31 @@ def bounded_lookup(cache: Dict, key, default=None):
     return value
 
 
-def constraint_key(constraints) -> Tuple:
+def _canonical_bytes(array) -> bytes:
+    """Hash-stable bytes of a numeric array: C-contiguous native float64.
+
+    ``ndarray.tobytes()`` is dtype- and byte-order-sensitive, so hashing
+    raw buffers gave *equal* regions *different* keys whenever one side
+    arrived as float32 or big-endian.  Canonicalizing before hashing makes
+    the key a function of the values alone.
+    """
+    return np.ascontiguousarray(array, dtype=np.float64).tobytes()
+
+
+def constraint_key(constraints, epoch: Optional[int] = None) -> Tuple:
     """Hashable identity of a constraint specification.
 
     Two constraint objects that describe the same preference region the
-    same way map to the same key; the serving layer combines this with the
-    resolved algorithm name to key its cross-query cache.  Supported are
-    the types :func:`repro.core.arsp.compute_arsp` accepts.
+    same way map to the same key — regardless of array dtype or byte
+    order (see :func:`_canonical_bytes`); the serving layer combines this
+    with the resolved algorithm name to key its cross-query cache.
+    Supported are the types :func:`repro.core.arsp.compute_arsp` accepts.
+
+    When ``epoch`` is given (the serving layer passes
+    :attr:`UncertainDataset.epoch <repro.core.dataset.UncertainDataset.epoch>`),
+    it is folded in as a trailing ``("epoch", n)`` component, so the same
+    constraints against different dataset generations are *different*
+    keys — a stale cache hit after a delta is structurally impossible.
     """
     # Imported here: preference pulls numpy-heavy modules this leaf module
     # should not force on import.
@@ -96,19 +119,24 @@ def constraint_key(constraints) -> Tuple:
                              WeightRatioConstraints)
 
     if isinstance(constraints, WeightRatioConstraints):
-        return ("ratio", constraints.ranges)
-    if isinstance(constraints, LinearConstraints):
-        return ("linear", constraints.dimension,
-                constraints.matrix.shape, constraints.matrix.tobytes(),
-                constraints.rhs.tobytes())
-    if isinstance(constraints, PreferenceRegion):
-        return ("region", constraints.vertices.shape,
-                constraints.vertices.tobytes())
-    array = np.asarray(constraints, dtype=float)
-    if array.ndim == 2:
-        return ("vertices", array.shape, array.tobytes())
-    raise TypeError("unsupported constraint specification: %r"
-                    % (type(constraints),))
+        key: Tuple = ("ratio", constraints.ranges)
+    elif isinstance(constraints, LinearConstraints):
+        key = ("linear", constraints.dimension,
+               constraints.matrix.shape,
+               _canonical_bytes(constraints.matrix),
+               _canonical_bytes(constraints.rhs))
+    elif isinstance(constraints, PreferenceRegion):
+        key = ("region", constraints.vertices.shape,
+               _canonical_bytes(constraints.vertices))
+    else:
+        array = np.asarray(constraints, dtype=float)
+        if array.ndim != 2:
+            raise TypeError("unsupported constraint specification: %r"
+                            % (type(constraints),))
+        key = ("vertices", array.shape, _canonical_bytes(array))
+    if epoch is None:
+        return key
+    return key + (("epoch", int(epoch)),)
 
 
 class QueryCache:
@@ -120,6 +148,18 @@ class QueryCache:
     recency (read-side LRU), ``put`` evicts the stalest entry beyond
     ``limit`` and counts the eviction.  ``stats()`` is the JSON-ready
     counter snapshot attached to every serve response.
+
+    Delta retention (:meth:`retain_across_delta`) atomically replaces the
+    contents with entries that survived a dataset delta under new-epoch
+    keys.  Three lifetime counters account for it: ``retained`` (entries
+    carried across a delta), ``repaired`` (the subset whose value needed
+    σ-recompute work, not just row/column copies), and ``retained_hits``
+    (hits served by an entry while it was in its carried-over state) —
+    the numerator of the bench harness's post-delta warm hit rate.
+
+    Every read — ``in``, ``len``, iteration, ``hit_rate``, ``stats()`` —
+    takes the internal (non-reentrant) lock, so concurrent readers never
+    observe a torn snapshot of the entries or the counters.
     """
 
     def __init__(self, limit: int = DEFAULT_CACHE_LIMIT):
@@ -131,17 +171,31 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.retained = 0
+        self.repaired = 0
+        self.retained_hits = 0
+        #: Keys currently holding a value carried across a delta; a fresh
+        #: ``put`` (a recompute) or an eviction takes a key back out.
+        self._retained_keys: set = set()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
         """Presence probe; deliberately counts nothing, refreshes nothing."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __iter__(self) -> Iterator:
-        """Keys, stalest first (the next eviction victim leads)."""
-        return iter(list(self._entries))
+        """Keys, stalest first (the next eviction victim leads).
+
+        The key list is snapshotted under the lock, so iterating while
+        another thread mutates the cache walks a consistent moment in
+        time rather than racing the underlying dict.
+        """
+        with self._lock:
+            return iter(list(self._entries))
 
     def get(self, key, default=None):
         """Counted LRU lookup: a hit re-ranks the key newest."""
@@ -151,6 +205,8 @@ class QueryCache:
                 self.misses += 1
                 return default
             self.hits += 1
+            if key in self._retained_keys:
+                self.retained_hits += 1
             return value
 
     def put(self, key, value) -> None:
@@ -158,7 +214,12 @@ class QueryCache:
         with self._lock:
             evicting = key not in self._entries \
                 and len(self._entries) >= self.limit
+            if evicting:
+                self._retained_keys.discard(next(iter(self._entries)))
             bounded_insert(self._entries, key, value, self.limit)
+            # A put is a freshly computed value: the key no longer holds
+            # a carried-over result even if it did before.
+            self._retained_keys.discard(key)
             if evicting:
                 self.evictions += 1
 
@@ -166,20 +227,61 @@ class QueryCache:
         """Drop every entry; the counters keep their lifetime totals."""
         with self._lock:
             self._entries.clear()
+            self._retained_keys.clear()
+
+    def retain_across_delta(
+            self, entries: Iterable[Tuple[Hashable, object, bool]]) -> int:
+        """Atomically replace the contents with a delta's survivors.
+
+        ``entries`` yields ``(new_key, value, repaired)`` triples in
+        stalest-first order (the order :meth:`__iter__` produces), so the
+        survivors keep their relative LRU ranking under their new-epoch
+        keys.  Everything not in ``entries`` is dropped — the non-retained
+        analogue of :meth:`clear` — without counting evictions (nothing
+        was displaced by an insert).  Returns the number of entries
+        retained; counters: ``retained`` per entry, ``repaired`` for the
+        triples flagged as having needed recompute work.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._retained_keys.clear()
+            count = 0
+            for key, value, repaired in entries:
+                self._entries[key] = value
+                self._retained_keys.add(key)
+                self.retained += 1
+                if repaired:
+                    self.repaired += 1
+                count += 1
+            return count
 
     @property
     def hit_rate(self) -> float:
         """Hits over lookups, 0.0 before the first lookup."""
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, object]:
-        """JSON-ready counter snapshot (the per-response ``cache`` field)."""
-        return {
-            "size": len(self._entries),
-            "limit": self.limit,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 6),
-        }
+        """JSON-ready counter snapshot (the per-response ``cache`` field).
+
+        Taken under one lock acquisition: ``size`` and every counter come
+        from the same instant, so a response can never report, say, the
+        size from after an eviction next to the eviction count from
+        before it.
+        """
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "limit": self.limit,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "retained": self.retained,
+                "repaired": self.repaired,
+                "retained_hits": self.retained_hits,
+                "hit_rate": round(self._hit_rate_locked(), 6),
+            }

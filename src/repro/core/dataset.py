@@ -262,14 +262,29 @@ class DatasetDelta:
 class UncertainDataset:
     """A collection of uncertain objects over a common attribute space."""
 
-    def __init__(self, objects: Sequence[UncertainObject]):
+    def __init__(self, objects: Sequence[UncertainObject], epoch: int = 0):
         self._objects: List[UncertainObject] = list(objects)
         self._instances: List[Instance] = [
             instance for obj in self._objects for instance in obj.instances
         ]
+        #: Delta generation of this dataset: 0 for a freshly built dataset,
+        #: advanced by one on every :meth:`apply_delta`.  The serving layer
+        #: folds it into its cache keys so a result computed against an
+        #: older generation can never be served after the dataset moves.
+        self._epoch = int(epoch)
         #: Opt-in cache of the flat array views (see :meth:`_attach_flat_cache`).
         self._flat_cache: Optional[Tuple[np.ndarray, np.ndarray,
                                          np.ndarray]] = None
+
+    @property
+    def epoch(self) -> int:
+        """Monotone delta counter: how many deltas produced this dataset.
+
+        Derived datasets (:meth:`subset`, :meth:`project`,
+        :meth:`aggregate`, ...) are new logical datasets and restart at 0;
+        only :meth:`apply_delta` advances the epoch, by exactly one.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -280,6 +295,7 @@ class UncertainDataset:
         instance_lists: Sequence[Sequence[Sequence[float]]],
         probability_lists: Optional[Sequence[Sequence[float]]] = None,
         labels: Optional[Sequence[str]] = None,
+        epoch: int = 0,
     ) -> "UncertainDataset":
         """Build a dataset from nested lists of coordinates.
 
@@ -294,6 +310,9 @@ class UncertainDataset:
             ``1 / len(instance_lists[i])``.
         labels:
             Optional human readable labels for the objects.
+        epoch:
+            Delta generation to stamp on the dataset (see :attr:`epoch`);
+            only :meth:`apply_delta` should pass a nonzero value.
         """
         objects: List[UncertainObject] = []
         next_instance_id = 0
@@ -320,7 +339,7 @@ class UncertainDataset:
             objects.append(UncertainObject(object_id=object_id,
                                            instances=instances,
                                            label=label))
-        return cls(objects)
+        return cls(objects, epoch=epoch)
 
     @classmethod
     def from_certain_points(
@@ -509,7 +528,8 @@ class UncertainDataset:
         probabilities, within-object instance order) to its old self, only
         under possibly different dense ids.  That invariant is what lets
         delta-aware indexes reuse per-object state
-        (see :meth:`DatasetDelta.mappings`).
+        (see :meth:`DatasetDelta.mappings`).  The result's :attr:`epoch`
+        is this dataset's epoch plus one.
         """
         delta.validate(self.num_objects)
         deleted = set(delta.deletes)
@@ -537,7 +557,8 @@ class UncertainDataset:
             probability_lists.append(spec.probabilities)
             labels.append(spec.label)
         return UncertainDataset.from_instance_lists(
-            instance_lists, probability_lists, labels=labels)
+            instance_lists, probability_lists, labels=labels,
+            epoch=self._epoch + 1)
 
     # ------------------------------------------------------------------
     # Validation and summaries

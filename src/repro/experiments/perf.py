@@ -85,16 +85,20 @@ deltas plus a Zipf-skewed, bursty query stream — in three ways: *cold*
 :class:`repro.algorithms.incremental.IncrementalArsp`) and *warm* (the
 PR 7 daemon session with the cross-query LRU cache, bursts coalescing
 in flight).  Per-step wall-clock lands in each entry's ``runs_s``, the
-warm entry records the cache hit rate under the skewed stream, and the
-three replays' stream fingerprints must agree byte for byte (recorded
-as the section's ``parity``).
+warm entry records the cache hit rate under the skewed stream *and* the
+post-delta hit rate (hits served by cache entries σ-repaired across a
+delta — the retention win of PR 10), and the three replays' stream
+fingerprints must agree byte for byte (recorded as the section's
+``parity``).
 
-The JSON schema is ``repro-bench/7`` (adds the top-level ``stream``
-section to the ``repro-bench/6`` shape of per-workload ``matrix``
-sections with per-phase timings, ``workers`` fields, per-cell
-``execution`` summaries and ``cache`` stats, plus the top-level
-``serve`` section); :func:`upgrade_payload` / :func:`load_bench` still
-read the ``repro-bench/6`` pre-stream files, the ``repro-bench/5``
+The JSON schema is ``repro-bench/8`` (adds ``post_delta_hit_rate`` to
+the warm stream entry of the ``repro-bench/7`` shape, which added the
+top-level ``stream`` section to the ``repro-bench/6`` shape of
+per-workload ``matrix`` sections with per-phase timings, ``workers``
+fields, per-cell ``execution`` summaries and ``cache`` stats, plus the
+top-level ``serve`` section); :func:`upgrade_payload` /
+:func:`load_bench` still read the ``repro-bench/7`` pre-retention
+files, the ``repro-bench/6`` pre-stream files, the ``repro-bench/5``
 pre-serving files, the ``repro-bench/4`` pre-supervision files, the
 ``repro-bench/3`` pre-backend files, the ``repro-bench/2`` matrix files
 and the flat ``repro-bench/1`` files written before.
@@ -135,7 +139,12 @@ from .workloads import (WORKLOAD_AXIS, Workload, WorkloadScale,
 
 #: Schema tag written into the JSON payload so future harness versions can
 #: evolve the format without ambiguity.
-SCHEMA = "repro-bench/7"
+SCHEMA = "repro-bench/8"
+
+#: The schema before delta-aware cache retention: the serving layer
+#: cleared its cache on every delta, so the warm stream entry had no
+#: ``post_delta_hit_rate`` (it was structurally zero).
+SCHEMA_V7 = "repro-bench/7"
 
 #: The schema before the scenario engine: no top-level ``stream`` section.
 SCHEMA_V6 = "repro-bench/6"
@@ -501,9 +510,11 @@ def _run_stream(profile: BenchProfile, check: bool) -> Dict[str, object]:
     the stream through the PR 7 daemon session: deltas and queries on
     the single compute thread, bursts submitted concurrently so repeated
     in-flight constraints coalesce, the cross-query LRU absorbing the
-    Zipf repetition.  Per-step wall-clock becomes each entry's
-    ``runs_s`` (so ``--compare`` gates per-step latency), and ``check``
-    records whether all three stream fingerprints agree byte for byte.
+    Zipf repetition and carrying σ-repaired entries across each step's
+    delta (``post_delta_hit_rate`` counts the hits those retained
+    entries serve).  Per-step wall-clock becomes each entry's ``runs_s``
+    (so ``--compare`` gates per-step latency), and ``check`` records
+    whether all three stream fingerprints agree byte for byte.
     """
     from .scenarios import build_scenario, replay_scenario
 
@@ -540,6 +551,14 @@ def _run_stream(profile: BenchProfile, check: bool) -> Dict[str, object]:
             stats = report.engine_stats
             entry["cache"] = stats["cache"]
             entry["hit_rate"] = stats["cache"]["hit_rate"]
+            # Post-delta warm hit rate: hits served by retained (σ-repaired)
+            # entries over the queries that arrived after the first delta —
+            # structurally zero before PR 10 cleared-on-delta was replaced.
+            post_queries = sum(len(step.queries)
+                               for step in script.steps[1:])
+            entry["post_delta_hit_rate"] = (
+                round(stats["cache"]["retained_hits"] / post_queries, 6)
+                if post_queries else 0.0)
             entry["coalesced"] = stats["coalesced"]
         section[mode] = entry
     cold_total = sum(replays["cold"].step_seconds)
@@ -693,8 +712,11 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     an empty top-level ``serve`` section (no serve workload was
     measured).  ``repro-bench/6`` files predate the scenario engine; they
     gain an empty top-level ``stream`` section (no stream replay was
-    measured).  Downstream consumers only ever see the v7 shape; current
-    payloads are returned unchanged.
+    measured).  ``repro-bench/7`` files predate delta-aware cache
+    retention; their warm stream entry gains
+    ``post_delta_hit_rate: 0.0`` (the serving layer cleared its cache on
+    every delta, so the rate genuinely was zero).  Downstream consumers
+    only ever see the v8 shape; current payloads are returned unchanged.
     """
     schema = payload.get("schema")
     if schema == SCHEMA:
@@ -714,9 +736,12 @@ def upgrade_payload(payload: Dict[str, object]) -> Dict[str, object]:
     if schema == SCHEMA_V5:
         payload = _upgrade_v5(payload)
         schema = SCHEMA_V6
-    if schema != SCHEMA_V6:
+    if schema == SCHEMA_V6:
+        payload = _upgrade_v6(payload)
+        schema = SCHEMA_V7
+    if schema != SCHEMA_V7:
         raise ValueError("unknown bench payload schema %r" % (schema,))
-    return _upgrade_v6(payload)
+    return _upgrade_v7(payload)
 
 
 def _upgrade_v1(payload: Dict[str, object]) -> Dict[str, object]:
@@ -822,8 +847,28 @@ def _upgrade_v5(payload: Dict[str, object]) -> Dict[str, object]:
 def _upgrade_v6(payload: Dict[str, object]) -> Dict[str, object]:
     """``repro-bench/6`` -> ``repro-bench/7``: no stream section."""
     upgraded = dict(payload)
-    upgraded["schema"] = SCHEMA
+    upgraded["schema"] = SCHEMA_V7
     upgraded.setdefault("stream", {})
+    return upgraded
+
+
+def _upgrade_v7(payload: Dict[str, object]) -> Dict[str, object]:
+    """``repro-bench/7`` -> ``repro-bench/8``: no post-delta hit rate.
+
+    The v7 serving layer cleared its cross-query cache on every delta,
+    so the post-delta warm hit rate was zero by construction — recorded
+    as exactly that, not as missing, so ``--compare`` against an old
+    baseline still gates the new counter (any nonzero current rate
+    clears a 0.0 baseline).
+    """
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA
+    stream = dict(upgraded.get("stream") or {})
+    if stream.get("warm"):
+        warm = dict(stream["warm"])
+        warm.setdefault("post_delta_hit_rate", 0.0)
+        stream["warm"] = warm
+    upgraded["stream"] = stream
     return upgraded
 
 
@@ -967,21 +1012,26 @@ def compare_payloads(baseline: Dict[str, object],
     # on bench-sized data still flags.
     warm = current_stream.get("warm") or {}
     base_warm = base_stream.get("warm") or {}
-    if "hit_rate" in warm:
-        now_rate = float(warm["hit_rate"])
-        if "hit_rate" in base_warm:
-            base_rate = float(base_warm["hit_rate"])
+    # ``post_delta_hit_rate`` gates cache *retention*: a broken repair
+    # path silently degrades to clear-on-delta (rate 0) without failing
+    # any timing cell, so the counter is gated like the hit rate is.
+    for field in ("hit_rate", "post_delta_hit_rate"):
+        if field not in warm:
+            continue
+        label = "stream/warm:%s" % field
+        now_rate = float(warm[field])
+        if field in base_warm:
+            base_rate = float(base_warm[field])
             flag = ""
             if now_rate < base_rate - HIT_RATE_TOLERANCE:
-                regressions.append("stream/warm:hit_rate")
+                regressions.append(label)
                 flag = ("  REGRESSION (dropped > %.2f)"
                         % HIT_RATE_TOLERANCE)
             lines.append("  %-28s %9.2f   -> %9.2f%s"
-                         % ("stream/warm:hit_rate", base_rate, now_rate,
-                            flag))
+                         % (label, base_rate, now_rate, flag))
         else:
             lines.append("  %-28s %9.2f    (no baseline)"
-                         % ("stream/warm:hit_rate", now_rate))
+                         % (label, now_rate))
     return lines, regressions
 
 
@@ -1118,9 +1168,11 @@ def format_bench(payload: Dict[str, object]) -> str:
             cache = entry.get("cache")
             if cache:
                 suffix = ("  [cache: %d hit(s), %d miss(es), hit rate "
-                          "%.2f; %d coalesced]"
+                          "%.2f; post-delta %.2f; %d coalesced]"
                           % (cache["hits"], cache["misses"],
-                             cache["hit_rate"], entry.get("coalesced", 0)))
+                             cache["hit_rate"],
+                             entry.get("post_delta_hit_rate", 0.0),
+                             entry.get("coalesced", 0)))
             lines.append("  %-*s  %9.4f s/step  (min %.4f)%s"
                          % (stream_width, "stream-" + mode,
                             entry["median_s"], entry["min_s"], suffix))

@@ -32,11 +32,14 @@ reproducible artifact:
     recompute per query, the specification), ``incremental``
     (:class:`~repro.algorithms.incremental.IncrementalArsp` σ-matrix
     maintenance), ``service`` (warm :class:`~repro.serve.service.ArspService`
-    with the cross-query LRU cache), and ``daemon``
+    with the epoch-keyed cross-query LRU cache, σ-repaired across each
+    step's delta rather than cleared), and ``daemon``
     (:class:`~repro.serve.server.ArspSession`, bursts submitted
     concurrently so identical in-flight queries coalesce).  Every mode
     folds its answers into one stream fingerprint; all four must agree
-    byte for byte (``tests/experiments/test_scenarios.py``).
+    byte for byte (``tests/experiments/test_scenarios.py``) — cache
+    retention is inside that gate, so a repaired entry that diverged from
+    recompute by even one bit would fail the replay-equivalence suite.
 """
 
 from __future__ import annotations
@@ -461,7 +464,8 @@ def _serve_config(cache_limit):
 
 def _replay_service(script: ScenarioScript, workers=None, backend=None,
                     cache_limit=None) -> ScenarioReport:
-    """Warm service: cross-query LRU absorbs the Zipf repetition."""
+    """Warm service: cross-query LRU absorbs the Zipf repetition, and
+    retained entries carry hot constraints across the per-step deltas."""
     from ..serve.service import ArspService
     service = ArspService(script.base_dataset,
                           config=_serve_config(cache_limit))

@@ -30,6 +30,16 @@ Constraint specifications (``SPEC`` above) mirror the constraint types
 Every response carries ``ok`` (errors answer ``{"ok": false, "error":
 ...}`` without closing the connection) and echoes the request's ``id``
 when present.
+
+Query responses additionally report the daemon's cache accounting and
+dataset generation: the ``cache`` field is the
+:meth:`QueryCache.stats() <repro.core.cache.QueryCache.stats>` snapshot
+(hits/misses/evictions plus the delta-retention counters ``retained``,
+``repaired`` and ``retained_hits``), and ``epoch`` is the served
+dataset's delta generation — it advances by one per ``apply_delta``, so
+clients can tell which generation answered.  These fields are additive;
+the protocol version stays 1 (it is bumped only on incompatible
+changes, and old clients simply ignore keys they do not know).
 """
 
 from __future__ import annotations

@@ -37,7 +37,6 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
-from ..core.cache import constraint_key
 from .protocol import (PROTOCOL_VERSION, decode_constraints, dump_message,
                        encode_result, load_message)
 from .service import ArspService, QueryOutcome
@@ -65,11 +64,18 @@ class ArspSession:
         only project — they touch no cache counters, and their outcomes
         report ``cached=True`` (the answer came from shared state, not
         from a kernel pass of their own).
+
+        The coalescing key is the service's epoch-aware
+        :meth:`~repro.serve.service.ArspService.query_key`, so a query
+        arriving after a delta never piggybacks on a leader that started
+        against the previous dataset generation.  (The authoritative
+        cache key is minted inside ``full_result`` on the compute thread,
+        strictly ordered against deltas.)
         """
         start = time.perf_counter()
         loop = asyncio.get_running_loop()
         name = self.service.resolve_algorithm(constraints, algorithm)
-        key = (name, constraint_key(constraints))
+        key = self.service.query_key(constraints, name)
         shared = self._inflight.get(key)
         if shared is None:
             future = loop.create_future()
@@ -114,6 +120,9 @@ class ArspSession:
         executor queries compute on, so the delta is strictly ordered
         against in-flight and queued queries — a query either sees the
         dataset before the delta or after it, never a half-applied state.
+        Cache retention (σ-repaired entries re-keyed to the new epoch)
+        happens inside that same ordered call, so a post-delta query can
+        hit a retained entry but never a stale one.
         """
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
@@ -163,6 +172,7 @@ class ArspSession:
             "coalesced": outcome.coalesced,
             "execution": outcome.execution,
             "cache": self.service.cache.stats(),
+            "epoch": self.service.dataset.epoch,
             "elapsed_s": outcome.elapsed_s,
         }
 

@@ -8,11 +8,29 @@ expensive constraint-independent state alive between queries:
 * the :class:`~repro.algorithms.dual.DualIndex` kd-forest is built once
   and reused for every weight-ratio query on the serial path — the build
   cost one-shot ``repro arsp`` pays per invocation is paid once per
-  daemon;
+  daemon.  It lives inside an
+  :class:`~repro.algorithms.incremental.IncrementalArsp` engine, whose
+  per-constraint σ matrices double as the repair source for cache
+  retention across deltas;
 * a shared, size-bounded :class:`~repro.core.cache.QueryCache` fronts
   *all* algorithms at full-result granularity, keyed by
-  ``(algorithm, constraint identity)`` — a repeated constraint is a dict
-  copy, regardless of which client sends it or which targets it asks for.
+  ``(algorithm, constraint identity @ dataset epoch)`` — a repeated
+  constraint is a dict copy, regardless of which client sends it or
+  which targets it asks for, and a result computed against an older
+  dataset generation can never be served after a delta (the epoch in
+  the key makes a stale hit structurally impossible).
+
+**Delta retention.**  :meth:`ArspService.apply_delta` used to clear the
+cross-query cache wholesale — keys carried no dataset version, so every
+entry was presumed stale.  Now the engine repairs its σ matrices through
+the delta (:class:`~repro.algorithms.incremental.SigmaRepairPlan`), and
+when the repair was mostly copies
+(``copied_fraction >= RETENTION_MIN_COPIED_FRACTION``) the service
+re-folds each surviving σ matrix into a full result and re-keys the
+cache entry to the new epoch — so the post-delta stream opens warm
+instead of all-miss.  Entries without a σ matrix (non-DUAL algorithms,
+σ-LRU evictees) and all entries under an expensive repair are dropped,
+because repairing them would cost what recomputing costs.
 
 **Byte-identity contract.**  The service always computes (or retrieves)
 the *full* result for a constraint and projects the requested target set
@@ -37,12 +55,20 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..algorithms.dual import DualIndex
+from ..algorithms.incremental import IncrementalArsp
 from ..algorithms.registry import canonical_name
 from ..core.arsp import arsp_size, compute_arsp
 from ..core.backend import ExecutionPolicy
 from ..core.cache import DEFAULT_CACHE_LIMIT, QueryCache, constraint_key
 from ..core.dataset import DatasetDelta, UncertainDataset
 from ..core.preference import WeightRatioConstraints
+
+#: Retain-vs-drop rule for cache repair across a delta: entries survive
+#: only when at least this fraction of the per-entry σ repair is verbatim
+#: copies (:attr:`SigmaRepairPlan.copied_fraction`).  Below it, repairing
+#: a *speculative* cache entry (it may never be queried again) approaches
+#: the cost of recomputing it on demand, so dropping is the better bet.
+RETENTION_MIN_COPIED_FRACTION = 0.5
 
 
 @dataclass
@@ -99,16 +125,27 @@ class ArspService:
         self.cache = QueryCache(self.config.cache_limit)
         self.queries_answered = 0
         self.deltas_applied = 0
-        self._dual_index: Optional[DualIndex] = None
+        self._engine: Optional[IncrementalArsp] = None
 
     # ------------------------------------------------------------------
     @property
+    def engine(self) -> IncrementalArsp:
+        """The warm maintenance engine, built on first use.
+
+        Owns the constraint-independent kd-forest *and* the per-constraint
+        σ matrices — the serial warm path queries through it so that every
+        served DUAL constraint leaves behind the σ matrix its cache entry
+        will be repaired from when a delta lands.
+        """
+        if self._engine is None:
+            self._engine = IncrementalArsp(self.dataset,
+                                           leaf_size=self.config.leaf_size)
+        return self._engine
+
+    @property
     def dual_index(self) -> DualIndex:
         """The warm constraint-independent kd-forest, built on first use."""
-        if self._dual_index is None:
-            self._dual_index = DualIndex(self.dataset,
-                                         leaf_size=self.config.leaf_size)
-        return self._dual_index
+        return self.engine.index
 
     def warm(self) -> float:
         """Eagerly build the warm index; returns the build seconds."""
@@ -121,22 +158,53 @@ class ArspService:
 
         The warm DUAL index is *updated* (only changed objects' trees are
         rebuilt, :meth:`DualIndex.apply_delta`) rather than rebuilt from
-        scratch, and the cross-query cache is **cleared**: its keys are
-        (algorithm, constraint identity) with no dataset version in them,
-        so every cached full result is stale the moment the dataset moves.
-        The counters keep their lifetime totals — a post-delta stream
-        shows up as fresh misses, which is exactly what it costs.
+        scratch, and the engine repairs its σ matrices through the delta.
+        The cross-query cache is then **retained** rather than cleared:
+        when the repair was mostly verbatim copies
+        (``copied_fraction >= RETENTION_MIN_COPIED_FRACTION``), every
+        current-epoch DUAL entry whose σ matrix survived the engine's
+        σ-LRU is re-folded into a full result and re-keyed to the new
+        epoch, preserving its LRU rank; everything else is dropped.  The
+        counters keep their lifetime totals, and the retained/repaired/
+        retained-hit counters account for what the repair saved.
 
         Must be called from the same single thread that computes queries
         (:class:`repro.serve.server.ArspSession.apply_delta` guarantees
         that ordering for concurrent callers).
         """
-        _, unchanged = delta.mappings(self.dataset.num_objects)
-        new_dataset = self.dataset.apply_delta(delta)
+        old_epoch = self.dataset.epoch
+        engine = self._engine
+        if engine is None:
+            # Nothing warm to repair from: advance the dataset and drop
+            # the cache (its old-epoch keys could never hit again anyway).
+            new_dataset = self.dataset.apply_delta(delta)
+            self.dataset = new_dataset
+            self.cache.clear()
+            self.deltas_applied += 1
+            return new_dataset
+        new_dataset = engine.apply_delta(delta)
         self.dataset = new_dataset
-        if self._dual_index is not None:
-            self._dual_index.apply_delta(new_dataset, unchanged)
-        self.cache.clear()
+        repair = engine.last_repair or {}
+        survivors = []
+        if repair.get("copied_fraction", 0.0) >= \
+                RETENTION_MIN_COPIED_FRACTION:
+            # Survivors needed real recompute work exactly when the plan
+            # had a recomputed area (the per-entry shape is shared).
+            repaired_flag = repair.get("entry_recomputed", 0) > 0
+            new_epoch = new_dataset.epoch
+            for key in self.cache:  # stalest first: LRU rank survives
+                name, ckey = key
+                if ckey[-1] != ("epoch", old_epoch):
+                    continue
+                if name != "dual" or ckey[0] != "ratio":
+                    continue  # no σ matrix to repair these from
+                full = engine.refold(ckey[1])
+                if full is None:
+                    continue  # σ-LRU evicted this constraint's matrix
+                survivors.append(
+                    ((name, ckey[:-1] + (("epoch", new_epoch),)),
+                     full, repaired_flag))
+        self.cache.retain_across_delta(survivors)
         self.deltas_applied += 1
         return new_dataset
 
@@ -158,9 +226,14 @@ class ArspService:
 
     def query_key(self, constraints,
                   algorithm: Optional[str] = None) -> Tuple:
-        """Cross-query cache identity: (algorithm, constraint identity)."""
+        """Cross-query cache identity at the *current* dataset epoch.
+
+        ``(algorithm, constraint identity @ epoch)`` — the epoch component
+        is why a key minted before a delta can never hit afterwards: the
+        post-delta service only ever looks up post-delta keys.
+        """
         return (self.resolve_algorithm(constraints, algorithm),
-                constraint_key(constraints))
+                constraint_key(constraints, epoch=self.dataset.epoch))
 
     # ------------------------------------------------------------------
     def full_result(self, constraints, algorithm: Optional[str] = None
@@ -173,7 +246,7 @@ class ArspService:
         :meth:`project` — so cache entries stay immutable.
         """
         name = self.resolve_algorithm(constraints, algorithm)
-        key = (name, constraint_key(constraints))
+        key = (name, constraint_key(constraints, epoch=self.dataset.epoch))
         cached = self.cache.get(key)
         if cached is not None:
             return cached, True, None
@@ -186,9 +259,11 @@ class ArspService:
         config = self.config
         if (name == "dual" and config.workers is None
                 and isinstance(constraints, WeightRatioConstraints)):
-            # Warm path: the exact code serial one-shot DUAL runs, minus
-            # the per-invocation forest build.
-            return self.dual_index.query(constraints), None
+            # Warm path: byte-identical to serial one-shot DUAL, minus the
+            # per-invocation forest build.  Routed through the engine so
+            # the constraint's σ matrix sticks around as the repair
+            # source for cache retention across deltas.
+            return self.engine.query(constraints), None
         result = compute_arsp(self.dataset, constraints, algorithm=name,
                               workers=config.workers, backend=config.backend,
                               policy=config.policy,
@@ -241,11 +316,14 @@ class ArspService:
             "queries": self.queries_answered,
             "deltas": self.deltas_applied,
             "cache": self.cache.stats(),
-            "warm_index": self._dual_index is not None,
+            "warm_index": self._engine is not None,
+            "maintenance": (self._engine.stats()
+                            if self._engine is not None else None),
             "dataset": {
                 "objects": dataset.num_objects,
                 "instances": dataset.num_instances,
                 "dimension": dataset.dimension,
+                "epoch": dataset.epoch,
             },
             "config": {
                 "algorithm": self.config.algorithm,

@@ -105,7 +105,8 @@ def test_query_cache_counts_hits_misses_evictions():
     assert (cache.hits, cache.misses, cache.evictions) == (2, 2, 1)
     stats = cache.stats()
     assert stats == {"size": 2, "limit": 2, "hits": 2, "misses": 2,
-                     "evictions": 1, "hit_rate": 0.5}
+                     "evictions": 1, "retained": 0, "repaired": 0,
+                     "retained_hits": 0, "hit_rate": 0.5}
 
 
 def test_query_cache_size_never_exceeds_limit():
@@ -142,6 +143,102 @@ def test_query_cache_hit_rate_and_clear():
 def test_query_cache_rejects_nonpositive_limit():
     with pytest.raises(ValueError):
         QueryCache(limit=0)
+
+
+# ----------------------------------------------------------------------
+# QueryCache: delta retention (retain_across_delta + counters)
+# ----------------------------------------------------------------------
+
+def test_retain_across_delta_replaces_contents_and_counts():
+    cache = QueryCache(limit=4)
+    cache.put("old-a", 1)
+    cache.put("old-b", 2)
+    cache.put("old-c", 3)
+    kept = cache.retain_across_delta([("new-a", 10, True),
+                                      ("new-b", 20, False)])
+    assert kept == 2
+    assert len(cache) == 2
+    assert "old-a" not in cache and "old-c" not in cache
+    assert list(cache) == ["new-a", "new-b"]  # survivor order preserved
+    assert (cache.retained, cache.repaired) == (2, 1)
+    assert cache.evictions == 0  # dropping non-survivors is not eviction
+    # Hits on retained entries are counted separately — the numerator of
+    # the bench harness's post-delta warm hit rate.
+    assert cache.get("new-a") == 10
+    assert cache.retained_hits == 1
+
+
+def test_retained_flag_cleared_by_fresh_put():
+    cache = QueryCache(limit=4)
+    cache.retain_across_delta([("k", 1, False)])
+    cache.put("k", 2)  # a recompute overwrote the carried-over value
+    cache.get("k")
+    assert cache.retained_hits == 0
+    assert cache.retained == 1  # the lifetime total stays
+
+
+def test_retained_flag_cleared_by_eviction_and_clear():
+    cache = QueryCache(limit=2)
+    cache.retain_across_delta([("k", 1, False)])
+    cache.put("a", 1)
+    cache.put("b", 2)  # evicts "k", the stalest entry
+    assert "k" not in cache
+    cache.retain_across_delta([("j", 1, False)])
+    cache.clear()
+    cache.put("j", 2)
+    cache.get("j")
+    assert cache.retained_hits == 0
+
+
+def test_retain_across_delta_empty_acts_like_clear():
+    cache = QueryCache(limit=4)
+    cache.put("a", 1)
+    assert cache.retain_across_delta([]) == 0
+    assert len(cache) == 0
+    assert cache.retained == 0
+
+
+# ----------------------------------------------------------------------
+# QueryCache: locked reads (the torn-snapshot satellite fixes)
+# ----------------------------------------------------------------------
+
+def test_stats_snapshot_is_consistent_under_concurrent_mutation():
+    """``stats()`` under one lock acquisition: the reported hit rate is
+    always exactly hits/(hits+misses) *of the same snapshot*, even while
+    another thread hammers the cache.  Before the fix each counter was
+    read at a different instant, so the invariant could tear."""
+    import threading
+
+    cache = QueryCache(limit=4)
+    stop = threading.Event()
+
+    def hammer():
+        index = 0
+        while not stop.is_set():
+            cache.put(("key", index % 9), index)
+            cache.get(("key", (index * 5) % 9))
+            index += 1
+
+    threads = [threading.Thread(target=hammer) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(500):
+            stats = cache.stats()
+            total = stats["hits"] + stats["misses"]
+            expected = stats["hits"] / total if total else 0.0
+            assert stats["hit_rate"] == round(expected, 6)
+            assert 0 <= stats["size"] <= stats["limit"]
+            # Snapshotted iteration and membership never raise, and the
+            # key list is a consistent moment in time.
+            keys = list(cache)
+            assert len(keys) <= stats["limit"]
+            for key in keys:
+                assert isinstance(key in cache, bool)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
 
 
 def test_query_cache_iterates_stalest_first():
@@ -256,6 +353,55 @@ def test_constraint_key_region_and_vertices():
 def test_constraint_key_rejects_junk():
     with pytest.raises(TypeError):
         constraint_key(object())
+
+
+def test_constraint_key_canonicalizes_dtype():
+    """Equal regions collide regardless of array dtype.
+
+    The regression the ISSUE names: hashing raw ``.tobytes()`` made a
+    float32 matrix and its float64 twin *different* keys, so equal
+    constraints missed each other's cache entries.
+    """
+    import numpy as np
+
+    vertices = [[0.5, 0.5], [0.25, 0.75]]
+    assert (constraint_key(np.asarray(vertices, dtype=np.float32))
+            == constraint_key(np.asarray(vertices, dtype=np.float64)))
+    assert (constraint_key(PreferenceRegion(
+                np.asarray(vertices, dtype=np.float32)))
+            == constraint_key(PreferenceRegion(vertices)))
+
+    a = weak_ranking_constraints(4, 2)
+    b = weak_ranking_constraints(4, 2)
+    b.matrix = b.matrix.astype(np.float32)
+    b.rhs = b.rhs.astype(np.float32)
+    assert constraint_key(a) == constraint_key(b)
+
+
+def test_constraint_key_canonicalizes_byte_order_and_layout():
+    """Equal regions collide regardless of endianness or memory order."""
+    import numpy as np
+
+    native = np.asarray([[0.5, 0.5], [0.25, 0.75], [0.1, 0.9]])
+    swapped = native.astype(native.dtype.newbyteorder())
+    assert swapped.dtype.byteorder != native.dtype.byteorder
+    assert constraint_key(swapped) == constraint_key(native)
+    fortran = np.asfortranarray(native)
+    assert constraint_key(fortran) == constraint_key(native)
+
+
+def test_constraint_key_epoch_separates_dataset_generations():
+    """The same constraints at different epochs are different keys — the
+    structural guarantee that a pre-delta cache entry can never answer a
+    post-delta query."""
+    wr = WeightRatioConstraints([(0.5, 2.0)])
+    base = constraint_key(wr)
+    at_zero = constraint_key(wr, epoch=0)
+    at_one = constraint_key(wr, epoch=1)
+    assert at_zero != at_one
+    assert base != at_zero  # epoch-less and epoch-0 keys are distinct too
+    assert at_zero[:-1] == base and at_zero[-1] == ("epoch", 0)
+    assert constraint_key(wr, epoch=1) == at_one
 
 
 # ----------------------------------------------------------------------

@@ -315,3 +315,28 @@ class TestApplyDelta:
         assert result.num_objects == example1_dataset.num_objects
         assert [i.values for i in result.instances] == \
             [i.values for i in example1_dataset.instances]
+
+
+class TestEpoch:
+    """The dataset's delta generation — the version the serving layer
+    folds into its cache keys (a stale hit is impossible by construction
+    because no request ever asks for an old-epoch key)."""
+
+    def test_fresh_datasets_start_at_zero(self, example1_dataset):
+        assert example1_dataset.epoch == 0
+        assert UncertainDataset.from_certain_points([[1.0], [2.0]]).epoch == 0
+
+    def test_apply_delta_advances_by_exactly_one(self, example1_dataset):
+        stepped = example1_dataset.apply_delta(DatasetDelta(deletes=(0,)))
+        assert stepped.epoch == 1
+        assert example1_dataset.epoch == 0  # the input is untouched
+        # Chained deltas count monotonically — even a no-op delta is a
+        # generation move (the serving layer treats it as one).
+        again = stepped.apply_delta(DatasetDelta())
+        assert again.epoch == 2
+
+    def test_derived_datasets_restart_at_zero(self, example1_dataset):
+        stepped = example1_dataset.apply_delta(DatasetDelta(deletes=(0,)))
+        assert stepped.subset([0, 1]).epoch == 0
+        assert stepped.truncate_instances(1).epoch == 0
+        assert stepped.project([0]).epoch == 0

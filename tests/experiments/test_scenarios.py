@@ -168,6 +168,18 @@ class TestReplayEquivalence:
         assert cache["hits"] > 0
         assert report.engine_stats["deltas"] == QUICK.steps
 
+    def test_service_mode_retains_cache_entries_across_deltas(
+            self, quick_script):
+        """The quick script's per-step deltas touch a small fraction of
+        the objects, so the σ repair is cheap and hot constraints'
+        entries must survive the delta and serve post-delta hits —
+        under the same stream fingerprint as full recompute (pinned by
+        ``test_all_modes_byte_identical``)."""
+        report = replay_scenario(quick_script, "service")
+        cache = report.engine_stats["cache"]
+        assert cache["retained"] > 0
+        assert cache["retained_hits"] > 0
+
     @pytest.mark.serve
     def test_daemon_mode_coalesces_bursts(self, quick_script):
         report = replay_scenario(quick_script, "daemon")

@@ -145,6 +145,50 @@ class TestIncrementalEqualsRecompute:
         assert engine.sigma_hits >= 1
 
 
+class TestServingRetentionEqualsRecompute:
+    """The PR 10 property: the serving layer's delta-retained cache is
+    undetectable.  Whatever a random delta sequence does — retain a
+    σ-repaired entry or drop it — the served answer stays byte-identical
+    to recompute, and a pre-delta-epoch key can never hit."""
+
+    @SETTINGS
+    @given(uncertain_datasets(dimension=_DIMENSION, max_objects=5),
+           ratio_constraints(dimension=_DIMENSION),
+           st.integers(min_value=1, max_value=3),
+           st.data())
+    def test_retained_results_byte_identical_and_stale_keys_dead(
+            self, dataset, constraints, num_steps, data):
+        from repro.serve import ArspService
+
+        service = ArspService(dataset)
+        service.query(constraints)  # prime cache + σ matrix
+        current = dataset
+        for _ in range(num_steps):
+            delta = _draw_delta(data, current.num_objects)
+            try:
+                delta.validate(current.num_objects)
+            except ValueError:
+                continue
+            old_key = service.query_key(constraints)
+            retained_before = service.cache.stats()["retained"]
+            current = service.apply_delta(delta)
+            # The negative half: the pre-delta epoch's key is gone, and
+            # no post-delta lookup can ever mint it again.
+            assert old_key not in service.cache
+            new_key = service.query_key(constraints)
+            assert new_key != old_key
+            retained = (service.cache.stats()["retained"]
+                        > retained_before)
+            assert retained == (new_key in service.cache)
+            outcome = service.query(constraints)
+            # A retained entry answers from cache; either way the bytes
+            # equal one-shot recompute on the post-delta dataset (serial
+            # and sharded agree, restating the PR 5 invariant on top).
+            assert outcome.cached == retained
+            assert _fingerprint(outcome.full) == \
+                _recompute_fingerprints(current, constraints)
+
+
 @pytest.mark.parallel
 def test_incremental_equals_process_sharded_recompute():
     """Maintained answers equal a process-pool sharded recompute too."""

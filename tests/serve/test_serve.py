@@ -19,6 +19,7 @@ import threading
 import pytest
 
 from repro.core.arsp import compute_arsp
+from repro.core.dataset import DatasetDelta, ObjectSpec
 from repro.core.preference import (LinearConstraints, PreferenceRegion,
                                    WeightRatioConstraints)
 from repro.data.constraints import weak_ranking_constraints
@@ -191,6 +192,131 @@ class TestService:
         assert _fingerprint(outcome.result) == _fingerprint(reference)
         # The cached repeat skips the backend entirely.
         assert service.query(ratio_constraints).execution is None
+
+
+# ----------------------------------------------------------------------
+# Delta retention: epoch keys + σ-repaired cache survival
+# ----------------------------------------------------------------------
+
+def _small_delta(dataset):
+    """Touch 3 of the dataset's objects: one update, one delete, one
+    insert — cheap to repair, so retention triggers."""
+    spec = ObjectSpec.make([[0.4] * dataset.dimension,
+                            [0.7] * dataset.dimension],
+                           probabilities=[0.5, 0.3])
+    return DatasetDelta(updates=((2, spec),), deletes=(5,), inserts=(spec,))
+
+
+class TestRetention:
+    def test_delta_repairs_and_retains_cached_results(self, dataset,
+                                                      ratio_constraints):
+        service = ArspService(dataset)
+        assert service.query(ratio_constraints).cached is False
+        new_dataset = service.apply_delta(_small_delta(dataset))
+        assert new_dataset.epoch == 1
+
+        stats = service.cache.stats()
+        assert stats["retained"] == 1 and stats["repaired"] == 1
+        outcome = service.query(ratio_constraints)
+        assert outcome.cached is True  # served by the repaired entry
+        one_shot = dict(compute_arsp(new_dataset, ratio_constraints,
+                                     algorithm="dual"))
+        assert _fingerprint(outcome.full) == _fingerprint(one_shot)
+        assert service.cache.stats()["retained_hits"] == 1
+
+    def test_stale_epoch_key_can_never_hit(self, dataset,
+                                           ratio_constraints):
+        service = ArspService(dataset)
+        service.query(ratio_constraints)
+        old_key = service.query_key(ratio_constraints)
+        assert old_key in service.cache
+        service.apply_delta(_small_delta(dataset))
+        new_key = service.query_key(ratio_constraints)
+        # The retained entry lives under the *new* epoch's key; the old
+        # key is gone from the cache and, structurally, can never be
+        # looked up again — every post-delta query asks for new_key.
+        assert old_key != new_key
+        assert old_key not in service.cache
+        assert new_key in service.cache
+
+    def test_expensive_repair_drops_the_cache_instead(self,
+                                                      ratio_constraints):
+        # Updating 3 of 4 objects leaves almost nothing to copy: the
+        # repair's copied fraction falls below the retention threshold,
+        # so dropping (recompute on demand) is the better bet.
+        small = make_random_dataset(seed=7, num_objects=4,
+                                    max_instances=3, dimension=3)
+        service = ArspService(small)
+        service.query(ratio_constraints)
+        spec = ObjectSpec.make([[0.5] * small.dimension])
+        delta = DatasetDelta(updates=((0, spec), (1, spec), (2, spec)))
+        new_dataset = service.apply_delta(delta)
+        stats = service.cache.stats()
+        assert stats["retained"] == 0 and len(service.cache) == 0
+        outcome = service.query(ratio_constraints)
+        assert outcome.cached is False  # recomputed, not repaired
+        one_shot = dict(compute_arsp(new_dataset, ratio_constraints,
+                                     algorithm="dual"))
+        assert _fingerprint(outcome.full) == _fingerprint(one_shot)
+
+    def test_non_dual_entries_are_dropped_on_delta(self, dataset):
+        # bnb results carry no σ matrix, so there is nothing to repair
+        # them from — they are dropped even when DUAL entries survive.
+        service = ArspService(dataset)
+        linear = weak_ranking_constraints(dataset.dimension, 2)
+        wr = WeightRatioConstraints([(0.5, 2.0)] * (dataset.dimension - 1))
+        service.query(linear)
+        service.query(wr)
+        service.apply_delta(_small_delta(dataset))
+        assert len(service.cache) == 1  # only the WR entry survived
+        assert service.query_key(wr) in service.cache
+        assert service.query_key(linear) not in service.cache
+        assert service.query(linear).cached is False
+
+    def test_cold_service_delta_clears_without_an_engine(
+            self, dataset, ratio_constraints):
+        service = ArspService(dataset)
+        new_dataset = service.apply_delta(_small_delta(dataset))
+        assert new_dataset.epoch == 1
+        assert service.stats()["warm_index"] is False  # still lazy
+        assert service.cache.stats()["retained"] == 0
+        outcome = service.query(ratio_constraints)
+        one_shot = dict(compute_arsp(new_dataset, ratio_constraints,
+                                     algorithm="dual"))
+        assert _fingerprint(outcome.full) == _fingerprint(one_shot)
+
+    def test_retained_entries_keep_their_lru_rank(self, dataset):
+        service = ArspService(dataset)
+        wr_a = WeightRatioConstraints([(0.5, 2.0)] * (dataset.dimension - 1))
+        wr_b = WeightRatioConstraints([(0.4, 2.5)] * (dataset.dimension - 1))
+        service.query(wr_a)
+        service.query(wr_b)
+        service.query(wr_a)  # refresh: a is now the newest entry
+        service.apply_delta(_small_delta(dataset))
+        keys = list(service.cache)
+        assert keys == [service.query_key(wr_b), service.query_key(wr_a)]
+
+    def test_session_delta_surfaces_epoch_and_retention(
+            self, dataset, ratio_constraints):
+        async def scenario():
+            service = ArspService(dataset)
+            session = ArspSession(service)
+            client = ServeClient.in_process(session)
+            first = await client.query(constraints=ratio_constraints)
+            assert first["epoch"] == 0
+            await session.apply_delta(_small_delta(dataset))
+            second = await client.query(constraints=ratio_constraints)
+            session.close()
+            return service.dataset, second
+
+        new_dataset, response = asyncio.run(scenario())
+        assert response["epoch"] == 1
+        assert response["cached"] is True
+        assert response["cache"]["retained"] == 1
+        assert response["cache"]["retained_hits"] == 1
+        one_shot = dict(compute_arsp(new_dataset, ratio_constraints,
+                                     algorithm="dual"))
+        assert _fingerprint(response["result"]) == _fingerprint(one_shot)
 
 
 # ----------------------------------------------------------------------
